@@ -1,0 +1,51 @@
+"""Simulator engine-room benchmark: big-integer vs NumPy bit vectors.
+
+Not a paper experiment — this measures the reproduction's own substrate
+so the backend choice is a documented decision rather than folklore.
+Python big integers do whole-stream boolean ops in one C call and win
+at block/window sizes (KBs); the word-array backend exists for very
+long streams and as the word-layout reference for real kernels.
+"""
+
+import pytest
+
+from repro.bitstream.bitvector import BitVector
+from repro.bitstream.npvector import NPBitVector
+
+SIZES = (1 << 13, 1 << 20)   # a window-sized and a full-stream-sized run
+
+
+def _mixed_workload(a, b):
+    x = a & b
+    y = x | a
+    z = y.advance(1)
+    w = z.andn(b)
+    return w.advance(-3) ^ y
+
+
+@pytest.mark.parametrize("bits", SIZES, ids=lambda b: f"{b}b")
+def test_bigint_backend(benchmark, bits):
+    a = BitVector((1 << bits) - 1, bits)
+    b = BitVector(((1 << bits) - 1) // 3, bits)
+    result = benchmark(_mixed_workload, a, b)
+    assert result.length == bits
+
+
+@pytest.mark.parametrize("bits", SIZES, ids=lambda b: f"{b}b")
+def test_numpy_backend(benchmark, bits):
+    a = NPBitVector.from_bitvector(BitVector((1 << bits) - 1, bits))
+    b = NPBitVector.from_bitvector(
+        BitVector(((1 << bits) - 1) // 3, bits))
+    result = benchmark(_mixed_workload, a, b)
+    assert result.length == bits
+
+
+def test_backends_agree_on_workload(benchmark):
+    bits = 4096
+    ref_a = BitVector((1 << bits) - 1, bits)
+    ref_b = BitVector(((1 << bits) - 1) // 5, bits)
+    expected = _mixed_workload(ref_a, ref_b)
+    np_a = NPBitVector.from_bitvector(ref_a)
+    np_b = NPBitVector.from_bitvector(ref_b)
+    actual = benchmark(_mixed_workload, np_a, np_b)
+    assert actual.to_bitvector() == expected

@@ -1,0 +1,50 @@
+"""Figure 11: throughput of all engines normalised to ngAP.
+
+The paper's headline figure: BitGen vs HS-1T, HS-MT, ngAP (=1.0), and
+icgrep on all ten applications.  Shape to check: BitGen above ngAP on
+every application, above icgrep everywhere, above HS-1T except on the
+literal-dominated suites.
+"""
+
+from repro.perf.model import geometric_mean
+from repro.perf.paper_data import TABLE2
+from repro.perf.report import format_bars, format_table
+
+from conftest import APP_NAMES
+
+ENGINES = ("BitGen", "HS-1T", "HS-MT", "ngAP", "icgrep")
+
+
+def test_fig11(ctx, benchmark):
+    rows = []
+    normalised = {}
+    for app in APP_NAMES:
+        runs = {engine: ctx.run(app, engine) for engine in ENGINES}
+        base = max(runs["ngAP"].mbps, 1e-9)
+        normalised[app] = {e: runs[e].mbps / base for e in ENGINES}
+        paper = TABLE2[app]
+        paper_norm = {"BitGen": paper.bitgen / paper.ngap,
+                      "HS-1T": paper.hs_1t / paper.ngap,
+                      "HS-MT": paper.hs_mt / paper.ngap}
+        rows.append([app] + [round(normalised[app][e], 2) for e in ENGINES]
+                    + [round(paper_norm["BitGen"], 1)])
+    print()
+    print(format_table(["App"] + list(ENGINES) + ["paper BitGen/ngAP"],
+                       rows, title="Figure 11 — throughput normalised "
+                                   "to ngAP"))
+    print()
+    print(format_bars({app: normalised[app]["BitGen"]
+                       for app in APP_NAMES},
+                      title="BitGen speedup over ngAP per app"))
+
+    # Shape assertions from the paper.
+    for app in APP_NAMES:
+        assert normalised[app]["BitGen"] > 1.0, \
+            f"BitGen must beat ngAP on {app} (Figure 11)"
+    gmean = geometric_mean([normalised[a]["BitGen"] for a in APP_NAMES])
+    assert gmean > 5.0, "BitGen/ngAP geometric mean far above 1 " \
+                        "(paper: 19.5x)"
+
+    workload = ctx.harness.workload("Bro217")
+    engine = ctx.harness.bitgen_engine(workload)
+    benchmark(engine.match, workload.data)

@@ -1,0 +1,57 @@
+"""Figure 12 / Table 3: the optimization breakdown.
+
+Adds the techniques one at a time — Base, DTM- (static mapping), DTM
+(dynamic), SR (shift rebalancing), ZBS (zero-block skipping) — and
+reports per-app speedup over Base.  Shapes to check: monotone
+improvement on average; DTM- already strong on shift-heavy Yara; the
+DTM step matters most for control-intensive Brill/Protomata; ZBS helps
+sparse suites (paper calls out Dotstar).
+"""
+
+from repro.core.schemes import SCHEME_LADDER, Scheme
+from repro.perf.model import geometric_mean
+from repro.perf.paper_data import FIGURE12_AVG_SPEEDUP
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+
+def test_fig12_breakdown(ctx, benchmark):
+    speedup = {scheme: {} for scheme in SCHEME_LADDER}
+    for app in APP_NAMES:
+        base = ctx.run_bitgen(app, Scheme.BASE)
+        for scheme in SCHEME_LADDER:
+            run = ctx.run_bitgen(app, scheme)
+            speedup[scheme][app] = run.mbps / max(base.mbps, 1e-9)
+
+    rows = []
+    for app in APP_NAMES:
+        rows.append([app] + [round(speedup[s][app], 1)
+                             for s in SCHEME_LADDER])
+    gmeans = {s: geometric_mean(list(speedup[s].values()))
+              for s in SCHEME_LADDER}
+    rows.append(["Gmean"] + [round(gmeans[s], 1) for s in SCHEME_LADDER])
+    print()
+    print(format_table(["App"] + [s.value for s in SCHEME_LADDER], rows,
+                       title="Figure 12 — speedup over the Base scheme"))
+    print(f"paper average after SR: {FIGURE12_AVG_SPEEDUP['SR']}x, "
+          f"after ZBS: {FIGURE12_AVG_SPEEDUP['ZBS']}x")
+
+    # Shape assertions (Table 3 ladder).
+    assert gmeans[Scheme.DTM] > gmeans[Scheme.DTM_MINUS] > 1.0, \
+        "each DTM stage improves on Base on average"
+    assert gmeans[Scheme.SR] > gmeans[Scheme.DTM], \
+        "Shift Rebalancing improves on DTM (paper: 17.6x over Base)"
+    assert gmeans[Scheme.ZBS] >= gmeans[Scheme.SR] * 0.95, \
+        "ZBS holds or improves the average (paper: 24.9x over Base)"
+    # Control-intensive apps need the dynamic analysis most.
+    brill_gain = speedup[Scheme.DTM]["Brill"] \
+        / max(speedup[Scheme.DTM_MINUS]["Brill"], 1e-9)
+    yara_gain = speedup[Scheme.DTM]["Yara"] \
+        / max(speedup[Scheme.DTM_MINUS]["Yara"], 1e-9)
+    assert brill_gain > yara_gain, \
+        "DTM's dynamic step helps Brill more than shift-heavy Yara"
+
+    workload = ctx.harness.workload("Ranges1")
+    engine = ctx.harness.bitgen_engine(workload, Scheme.SR)
+    benchmark(engine.match, workload.data)

@@ -1,0 +1,86 @@
+"""Figure 13 + Table 6: Shift Rebalancing merge-size sensitivity.
+
+Sweeps the barrier merge size over {1, 4, 16, 32} and reports
+normalised throughput (Figure 13) plus the Table 6 profile: SHIFT sync
+sites, shared-memory footprint of the largest group, barrier-stall
+share of modelled time, and shared-memory traffic.  Shapes to check:
+throughput rises with merge size; sync sites and stall share fall;
+shared-memory footprint grows.
+"""
+
+from repro.core.schemes import Scheme
+from repro.perf.model import geometric_mean
+from repro.perf.paper_data import TABLE6
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+MERGE_SIZES = (1, 4, 16, 32)
+
+
+def test_fig13_table6(ctx, benchmark):
+    throughput = {size: {} for size in MERGE_SIZES}
+    sync_sites = {size: [] for size in MERGE_SIZES}
+    smem_kb = {size: [] for size in MERGE_SIZES}
+    stall_pct = {size: [] for size in MERGE_SIZES}
+    smem_mb = {size: [] for size in MERGE_SIZES}
+
+    gpu = ctx.harness.gpu
+    ops_rate_sm = gpu.int_ops_per_second() / gpu.sm_count
+    for app in APP_NAMES:
+        for size in MERGE_SIZES:
+            run = ctx.run_bitgen(app, Scheme.SR, merge_size=size)
+            throughput[size][app] = run.mbps
+            workload = ctx.harness.workload(app)
+            in_f = ctx.harness.extrapolation(workload).input_factor
+            engine = ctx.harness.bitgen_engine(workload, Scheme.SR,
+                                               merge_size=size)
+            for group in engine.groups:
+                sync_sites[size].append(group.barrier_plan.sync_points())
+                smem_kb[size].append(group.barrier_plan.smem_bytes_needed(
+                    ctx.harness.geometry.block_bytes) / 1024)
+            for metrics in run.cta_metrics:
+                stall = metrics.barriers * gpu.barrier_latency_ns * 1e-9
+                compute = metrics.thread_word_ops * in_f / ops_rate_sm
+                stall_pct[size].append(100 * stall / (stall + compute))
+                smem_mb[size].append(metrics.smem_total_bytes() * in_f
+                                     / 1e6)
+
+    rows = []
+    for size in MERGE_SIZES:
+        norm = geometric_mean([throughput[size][a]
+                               / throughput[1][a] for a in APP_NAMES])
+        paper = TABLE6[size]
+        rows.append([f"SR_{size}", round(norm, 2),
+                     round(_avg(sync_sites[size]), 1),
+                     round(_avg(smem_kb[size]), 1),
+                     round(_avg(stall_pct[size]), 1),
+                     round(_avg(smem_mb[size]), 1),
+                     f"{paper['sync']}/{paper['smem_kb']}/"
+                     f"{paper['stall_pct']}/{paper['smem_mb']}"])
+    print()
+    print(format_table(
+        ["Scheme", "Thpt vs SR_1", "#Sync", "SMem KB", "Stall %",
+         "SMem MB", "paper (sync/kb/stall/mb)"], rows,
+        title="Figure 13 + Table 6 — merge-size sensitivity "
+              "(per-CTA averages)"))
+
+    # Shape assertions.
+    norms = [geometric_mean([throughput[s][a] / throughput[1][a]
+                             for a in APP_NAMES]) for s in MERGE_SIZES]
+    assert norms[-1] >= norms[0], "larger merge sizes help on average"
+    syncs = [_avg(sync_sites[s]) for s in MERGE_SIZES]
+    assert syncs == sorted(syncs, reverse=True), \
+        "sync sites fall monotonically with merge size (Table 6)"
+    stalls = [_avg(stall_pct[s]) for s in MERGE_SIZES]
+    assert stalls[-1] < stalls[0], "barrier-stall share falls"
+    smems = [_avg(smem_kb[s]) for s in MERGE_SIZES]
+    assert smems[-1] > smems[0], "merging costs shared memory"
+
+    workload = ctx.harness.workload("Yara")
+    engine = ctx.harness.bitgen_engine(workload, Scheme.SR, merge_size=32)
+    benchmark(engine.match, workload.data)
+
+
+def _avg(values):
+    return sum(values) / max(len(values), 1)

@@ -1,0 +1,70 @@
+"""Figure 14: Zero Block Skipping interval-size sensitivity.
+
+Sweeps the guard-insertion interval over {1, 2, 4, 8} and reports
+throughput normalised to interval 1, plus the skip statistics behind
+it.  Shapes to check: the optimum varies per application (the paper:
+"optimal size varies by application"); interval 1 maximises skips but
+pays the most guard/synchronisation overhead, so it is rarely best.
+"""
+
+from repro.core.schemes import Scheme
+from repro.perf.model import geometric_mean
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+INTERVALS = (1, 2, 4, 8)
+
+
+def test_fig14_interval(ctx, benchmark):
+    throughput = {interval: {} for interval in INTERVALS}
+    skips = {interval: {} for interval in INTERVALS}
+    guards = {interval: {} for interval in INTERVALS}
+    for app in APP_NAMES:
+        for interval in INTERVALS:
+            run = ctx.run_bitgen(app, Scheme.ZBS, interval_size=interval)
+            throughput[interval][app] = run.mbps
+            metrics = run.metrics
+            total = metrics.thread_word_ops + metrics.skipped_word_ops
+            skips[interval][app] = metrics.skipped_word_ops / max(total, 1)
+            guards[interval][app] = metrics.guard_checks
+
+    rows = []
+    for app in APP_NAMES:
+        best = max(INTERVALS, key=lambda i: throughput[i][app])
+        rows.append([app]
+                    + [round(throughput[i][app] / throughput[1][app], 2)
+                       for i in INTERVALS]
+                    + [best, f"{skips[1][app]:.0%}"])
+    norm_row = ["Gmean"]
+    for interval in INTERVALS:
+        norm_row.append(round(geometric_mean(
+            [throughput[interval][a] / throughput[1][a]
+             for a in APP_NAMES]), 2))
+    rows.append(norm_row + ["", ""])
+    print()
+    print(format_table(
+        ["App", "I=1", "I=2", "I=4", "I=8", "best I", "skip@1"], rows,
+        title="Figure 14 — ZBS throughput normalised to interval 1"))
+
+    # Shape assertions.
+    for app in APP_NAMES:
+        # Interval 1 inserts roughly at least as many guards as
+        # interval 8 (guards on long paths are capped per path and
+        # deduplicated, so the relation holds only within a tolerance).
+        assert guards[1][app] >= 0.85 * guards[8][app], \
+            f"{app}: smaller intervals insert at least as many guards"
+        # Every interval setting must actually skip work on every app
+        # (the fractions are not strictly monotone in the interval:
+        # denser guards also add reduction ops to the denominator).
+        assert all(skips[i][app] > 0 for i in INTERVALS), \
+            f"{app}: ZBS must skip some work at every interval"
+    best_intervals = {max(INTERVALS, key=lambda i: throughput[i][app])
+                      for app in APP_NAMES}
+    assert len(best_intervals) > 1, \
+        "the optimal interval varies by application (Figure 14)"
+
+    workload = ctx.harness.workload("Dotstar")
+    engine = ctx.harness.bitgen_engine(workload, Scheme.ZBS,
+                                       interval_size=4)
+    benchmark(engine.match, workload.data[:8192])

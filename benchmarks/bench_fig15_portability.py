@@ -1,0 +1,53 @@
+"""Figure 15: performance portability across GPUs.
+
+Prices the same counted kernel work on the RTX 3090, H100 NVL, and
+L40S, for BitGen and ngAP, normalised to the 3090.  Shapes to check
+(paper): BitGen is compute-bound, so it tracks integer throughput
+(1 : 1.9 : 2.6 => measured 1.6x / 2.0x) and gains more on the L40S
+than the H100 despite H100's bandwidth; ngAP barely improves on H100
+(1.0x) and modestly on L40S (1.4x).
+"""
+
+from repro.gpu.config import ALL_GPUS, H100_NVL, L40S, RTX_3090
+from repro.perf.model import geometric_mean
+from repro.perf.paper_data import FIGURE15
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+
+def test_fig15_portability(ctx, benchmark):
+    bitgen = {gpu.name: {} for gpu in ALL_GPUS}
+    ngap = {gpu.name: {} for gpu in ALL_GPUS}
+    for app in APP_NAMES:
+        for gpu in ALL_GPUS:
+            bitgen[gpu.name][app] = ctx.run_bitgen(app, gpu=gpu).mbps
+            ngap[gpu.name][app] = ctx.harness.run_baseline(
+                app, "ngAP", gpu=gpu).mbps
+
+    rows = []
+    norms = {}
+    for engine_name, table in (("BitGen", bitgen), ("ngAP", ngap)):
+        for gpu in ALL_GPUS:
+            norm = geometric_mean([table[gpu.name][a]
+                                   / table[RTX_3090.name][a]
+                                   for a in APP_NAMES])
+            norms[(engine_name, gpu.name)] = norm
+            paper = FIGURE15[engine_name][gpu.name]
+            rows.append([engine_name, gpu.name, round(norm, 2), paper])
+    print()
+    print(format_table(["Engine", "GPU", "vs 3090", "paper"], rows,
+                       title="Figure 15 — throughput normalised to the "
+                             "RTX 3090"))
+
+    # Shape assertions.
+    assert norms[("BitGen", H100_NVL.name)] > 1.2, \
+        "BitGen gains on H100 (paper 1.6x)"
+    assert norms[("BitGen", L40S.name)] > norms[("BitGen", H100_NVL.name)], \
+        "BitGen gains MORE on L40S than H100: compute-bound, follows " \
+        "integer throughput, not memory bandwidth (Section 8.3)"
+    assert norms[("ngAP", H100_NVL.name)] < \
+        norms[("BitGen", H100_NVL.name)], \
+        "ngAP is less compute-portable than BitGen"
+
+    benchmark(lambda: ctx.run_bitgen("Bro217", gpu=L40S))

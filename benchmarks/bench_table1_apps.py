@@ -1,0 +1,59 @@
+"""Table 1: application statistics and bitstream instruction mix.
+
+Regenerates the paper's Table 1 for the synthetic rule sets: pattern
+count, character-length mean/SD, and the and/or/not/shift/while
+instruction histogram of the lowered programs, next to the published
+values.  Shapes to check: Yara shift-heavy with ~no whiles, Brill
+while-heavy, Protomata or-heavy, ClamAV long patterns.
+"""
+
+import re
+import statistics
+
+from repro.core import BitGenEngine, Scheme
+from repro.perf.paper_data import TABLE1
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+
+def app_row(ctx, app):
+    workload = ctx.harness.workload(app)
+    engine = ctx.harness.bitgen_engine(workload, Scheme.DTM)
+    stats = engine.program_stats()
+    # Canonical length counts \xNN byte escapes as two hex digits, the
+    # convention behind ClamAV/Yara signature lengths in Table 1.
+    lengths = [len(re.sub(r"\\x[0-9a-f]{2}", "XX", p))
+               for p in workload.patterns]
+    paper = TABLE1[app]
+    scale = len(workload.patterns) / paper["regexes"]
+    return [app, len(workload.patterns),
+            round(statistics.mean(lengths), 1),
+            round(statistics.pstdev(lengths), 1),
+            stats["and"], stats["or"], stats["not"], stats["shift"],
+            stats["while"],
+            f"{paper['len_avg']}/{paper['len_sd']}",
+            f"{int(paper['shift'] * scale)}",
+            f"{int(paper['while'] * scale)}"]
+
+
+def test_table1(ctx, benchmark):
+    rows = [app_row(ctx, app) for app in APP_NAMES]
+    print()
+    print(format_table(
+        ["App", "#Regex", "LenAvg", "LenSD", "and", "or", "not",
+         "shift", "while", "paper len", "paper shift*", "paper while*"],
+        rows,
+        title="Table 1 — application statistics (paper columns scaled "
+              "to the benchmark rule-set size)"))
+
+    # Structural checks from the paper's Table 1.
+    by_app = {row[0]: row for row in rows}
+    assert by_app["Yara"][8] <= 2, "Yara has essentially no while loops"
+    assert by_app["Brill"][8] == max(r[8] for r in rows), \
+        "Brill is the most while-heavy application"
+    or_share = {r[0]: r[5] / max(r[4], 1) for r in rows}
+    assert or_share["Protomata"] == max(or_share.values()), \
+        "Protomata has the highest or/and ratio"
+
+    benchmark(lambda: ctx.harness.workload("TCP"))

@@ -1,0 +1,67 @@
+"""Table 2: absolute throughput (MB/s) and BitGen speedups per baseline,
+with the geometric-mean row.
+
+Shapes to check against the paper: Hyperscan wins on the literal suites
+(Yara 0.8x, ExactMatch 0.6x in the paper), BitGen wins everywhere over
+ngAP and icgrep, and the gmean ordering icgrep > ngAP >> HS-1T > HS-MT.
+"""
+
+from repro.perf.model import geometric_mean
+from repro.perf.paper_data import TABLE2, TABLE2_GMEAN_SPEEDUPS
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+BASELINES = ("HS-1T", "HS-MT", "ngAP", "icgrep")
+
+
+def test_table2(ctx, benchmark):
+    rows = []
+    speedups = {engine: [] for engine in BASELINES}
+    for app in APP_NAMES:
+        bitgen = ctx.run(app, "BitGen")
+        row = [app, round(bitgen.mbps, 1)]
+        paper = TABLE2[app]
+        for engine in BASELINES:
+            run = ctx.run(app, engine)
+            speedup = bitgen.mbps / max(run.mbps, 1e-9)
+            speedups[engine].append(speedup)
+            row.extend([round(run.mbps, 1), f"{speedup:.1f}x"])
+        row.append(f"{paper.bitgen:.0f}")
+        rows.append(row)
+    gmean_row = ["Gmean", ""]
+    for engine in BASELINES:
+        gmean = geometric_mean(speedups[engine])
+        gmean_row.extend(["", f"{gmean:.1f}x"])
+    gmean_row.append("")
+    rows.append(gmean_row)
+
+    headers = ["App", "BitGen"]
+    for engine in BASELINES:
+        headers.extend([engine, "SpdUp"])
+    headers.append("paper BitGen")
+    print()
+    print(format_table(headers, rows,
+                       title="Table 2 — throughput (MB/s) and speedups"))
+    print(f"paper gmean speedups: {TABLE2_GMEAN_SPEEDUPS}")
+
+    # Shape assertions.
+    gmeans = {engine: geometric_mean(speedups[engine])
+              for engine in BASELINES}
+    assert gmeans["ngAP"] > gmeans["HS-MT"], \
+        "ngAP gap far larger than HS-MT gap (paper: 19.5x vs 1.7x)"
+    assert gmeans["icgrep"] > gmeans["HS-1T"]
+    assert gmeans["HS-1T"] > gmeans["HS-MT"], \
+        "multithreading narrows Hyperscan's gap"
+    assert gmeans["HS-MT"] > 0.5, "BitGen competitive with HS-MT"
+    # Hyperscan's literal-suite wins (Table 2: Yara and ExactMatch).
+    yara_index = APP_NAMES.index("Yara")
+    assert speedups["HS-1T"][yara_index] < 1.5, \
+        "Hyperscan is at least competitive on Yara"
+    exact_index = APP_NAMES.index("ExactMatch")
+    assert speedups["HS-1T"][exact_index] < 1.5, \
+        "Hyperscan is at least competitive on ExactMatch"
+
+    workload = ctx.harness.workload("ExactMatch")
+    engine = ctx.harness.bitgen_engine(workload)
+    benchmark(engine.match, workload.data)

@@ -1,0 +1,66 @@
+"""Table 4: fusion level vs memory behaviour.
+
+Per-CTA averages for Base / DTM- / DTM: number of fused loops,
+materialised intermediate bitstreams, and DRAM read/write traffic.
+Shapes to check (paper, per CTA on 1 MB inputs): loops 260.7 -> 17.6 ->
+1, intermediates 317.8 -> 54.2 -> 0, DRAM from hundreds of MB to ~0.2.
+"""
+
+from repro.core.schemes import Scheme
+from repro.perf.paper_data import TABLE4
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+SCHEMES = (Scheme.BASE, Scheme.DTM_MINUS, Scheme.DTM)
+
+
+def per_cta_average(ctx, scheme, field):
+    values = []
+    for app in APP_NAMES:
+        run = ctx.run_bitgen(app, scheme)
+        factor = ctx.harness.extrapolation(
+            ctx.harness.workload(app)).input_factor
+        for metrics in run.cta_metrics:
+            value = getattr(metrics, field) if isinstance(field, str) \
+                else field(metrics)
+            values.append(value * (factor if callable(field) else 1))
+    return sum(values) / len(values)
+
+
+def test_table4(ctx, benchmark):
+    rows = []
+    measured = {}
+    for scheme in SCHEMES:
+        loops = per_cta_average(ctx, scheme, "fused_loops")
+        intermediates = per_cta_average(ctx, scheme,
+                                        "intermediate_streams")
+        reads = per_cta_average(ctx, scheme,
+                                lambda m: m.dram_read_bytes / 1e6)
+        writes = per_cta_average(ctx, scheme,
+                                 lambda m: m.dram_write_bytes / 1e6)
+        measured[scheme] = (loops, intermediates, reads, writes)
+        paper = TABLE4[scheme.value]
+        rows.append([scheme.value, round(loops, 1),
+                     round(intermediates, 1), round(reads, 2),
+                     round(writes, 2),
+                     f"{paper['loops']}/{paper['intermediates']}/"
+                     f"{paper['dram_read_mb']}/{paper['dram_write_mb']}"])
+    print()
+    print(format_table(
+        ["Scheme", "#Loop", "#Intermediate", "DRAM Rd (MB)",
+         "DRAM Wr (MB)", "paper (loop/int/rd/wr)"], rows,
+        title="Table 4 — per-CTA fusion/memory profile "
+              "(DRAM extrapolated to 1 MB inputs)"))
+
+    base, dtm_minus, dtm = (measured[s] for s in SCHEMES)
+    assert base[0] > dtm_minus[0] > dtm[0] == 1.0, \
+        "fusion collapses the loop count to exactly 1 (Table 4)"
+    assert base[1] > dtm_minus[1] > dtm[1] == 0.0, \
+        "full interleaving materialises no intermediates"
+    assert base[2] + base[3] > 10 * (dtm[2] + dtm[3]), \
+        "DTM cuts DRAM traffic by orders of magnitude"
+
+    workload = ctx.harness.workload("TCP")
+    engine = ctx.harness.bitgen_engine(workload, Scheme.BASE)
+    benchmark(engine.match, workload.data)

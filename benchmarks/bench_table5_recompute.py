@@ -1,0 +1,59 @@
+"""Table 5: DTM recomputation overhead.
+
+Per application: static overlap distance, average/maximum dynamic
+overlap (from the runtime loop-counter tracking), recompute fraction,
+and blocks per CTA (#Iter).  Shapes to check: control-intensive apps
+(Brill, Protomata) dominate the dynamic columns; everything else stays
+near zero; recompute stays small; no app exceeds the one-block limit.
+"""
+
+from repro.core.schemes import Scheme
+from repro.perf.paper_data import TABLE5
+from repro.perf.report import format_table
+
+from conftest import APP_NAMES
+
+
+def test_table5(ctx, benchmark):
+    rows = []
+    measured = {}
+    for app in APP_NAMES:
+        run = ctx.run_bitgen(app, Scheme.DTM)
+        metrics = run.metrics
+        ctas = len(run.cta_metrics)
+        static = max(m.static_overlap_bits for m in run.cta_metrics)
+        dyn_avg = metrics.avg_dynamic_overlap()
+        dyn_max = metrics.dynamic_overlap_max
+        recompute = metrics.recompute_fraction() * 100
+        iters = metrics.blocks_processed / ctas
+        measured[app] = (static, dyn_avg, dyn_max, recompute, iters)
+        paper = TABLE5[app]
+        rows.append([app, static, round(dyn_avg, 1), dyn_max,
+                     round(recompute, 2), round(iters, 1),
+                     f"{paper['static']}/{paper['dyn_avg']}/"
+                     f"{paper['dyn_max']}/{paper['recompute_pct']}/"
+                     f"{paper['iters']}"])
+    print()
+    print(format_table(
+        ["App", "Static", "DynAvg", "DynMax", "Recompute%", "#Iter",
+         "paper (st/avg/max/%/iter)"], rows,
+        title="Table 5 — DTM overlap distances (bits) and recompute"))
+
+    # Shape assertions.
+    max_overlap = ctx.harness.geometry.max_overlap_bits
+    for app, (static, dyn_avg, dyn_max, recompute, iters) in \
+            measured.items():
+        assert dyn_max <= max_overlap, \
+            f"{app} stays within the one-block overlap limit"
+        assert 50 <= iters <= 80, \
+            f"{app} block count mirrors the paper's ~62 iterations"
+    dynamic_rank = sorted(measured, key=lambda a: -measured[a][1])
+    assert {"Brill", "Protomata"} & set(dynamic_rank[:3]), \
+        "control-intensive apps dominate dynamic overlap (Table 5)"
+    assert measured["ExactMatch"][1] < measured["Brill"][1]
+    assert all(m[3] < 25 for m in measured.values()), \
+        "recompute overhead stays a small fraction"
+
+    workload = ctx.harness.workload("Snort")
+    engine = ctx.harness.bitgen_engine(workload, Scheme.DTM)
+    benchmark(engine.match, workload.data)

@@ -1,0 +1,55 @@
+"""Preprocessing transpose kernel (Section 7's overhead claim).
+
+The paper: "transposing 1 MB on an RTX 3090 typically takes about
+0.026 ms (37,449 MB/s), regardless of the regex patterns or input
+data, causing negligible performance overhead."  Checks: (a) modelled
+transpose throughput is in the tens of GB/s; (b) it is independent of
+input content; (c) it is a small fraction of the slowest application's
+kernel time.
+"""
+
+import random
+
+from repro.gpu.transpose_kernel import (model_transpose_time,
+                                        run_transpose_kernel)
+from repro.perf.report import format_table
+
+PAPER_MS_PER_MB = 0.026
+
+
+def test_transpose_overhead(ctx, benchmark):
+    rng = random.Random(0)
+    size = 1 << 20
+    inputs = {
+        "zeros": bytes(size),
+        "text": (b"the quick brown fox " * (size // 20 + 1))[:size],
+        "random": bytes(rng.randrange(256) for _ in range(size // 64))
+        * 64,
+    }
+    rows = []
+    times_ms = []
+    for name, data in inputs.items():
+        result = run_transpose_kernel(data[:size])
+        seconds = model_transpose_time(result.metrics, ctx.harness.gpu)
+        times_ms.append(seconds * 1e3)
+        rows.append([name, round(seconds * 1e3, 4),
+                     round(size / seconds / 1e6, 0)])
+    print()
+    print(format_table(["input (1 MB)", "ms", "MB/s"], rows,
+                       title=f"Transpose kernel (paper: "
+                             f"{PAPER_MS_PER_MB} ms, ~37,449 MB/s)"))
+
+    # (a) tens of GB/s
+    assert all(size / (t / 1e3) / 1e9 > 10 for t in times_ms)
+    # (b) content-independent
+    assert max(times_ms) == min(times_ms)
+    # (c) negligible against the regex kernel: compare with the slowest
+    # app at this scale
+    slowest = min(ctx.run(app, "BitGen").throughput.seconds
+                  for app in ("Brill", "Protomata"))
+    per_input_byte = times_ms[0] / 1e3 / size
+    kernel_per_byte = slowest / 1_000_000
+    assert per_input_byte < 0.25 * kernel_per_byte, \
+        "transpose is a small fraction of kernel time (paper: negligible)"
+
+    benchmark(run_transpose_kernel, inputs["text"][:65536])

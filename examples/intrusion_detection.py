@@ -1,0 +1,59 @@
+"""Intrusion detection: scan synthetic network traffic against a
+Snort-style rule set and compare the execution schemes.
+
+This is the paper's motivating deployment (multi-regex deep packet
+inspection).  The script builds a deterministic Snort-like workload,
+matches it under every scheme of the Table 3 ablation, verifies all
+schemes agree, and prints the per-scheme kernel metrics that explain
+the speedups: DRAM traffic (DTM), barrier counts (SR), skipped work
+(ZBS).
+
+Run:  python examples/intrusion_detection.py
+"""
+
+from repro.core import SCHEME_LADDER, BitGenEngine
+from repro.workloads import app_by_name
+
+
+def main() -> None:
+    workload = app_by_name("Snort").build(scale=0.01, seed=7)
+    print(f"rule set: {len(workload.patterns)} Snort-style patterns, "
+          f"traffic: {len(workload.data)} bytes")
+    print("sample rules:")
+    for pattern in workload.patterns[:4]:
+        print(f"    /{pattern}/")
+    print()
+
+    reference = None
+    header = (f"{'scheme':6s} {'matches':>8s} {'word ops':>10s} "
+              f"{'skipped':>9s} {'DRAM KB':>9s} {'barriers':>9s} "
+              f"{'loops':>6s}")
+    print(header)
+    print("-" * len(header))
+    for scheme in SCHEME_LADDER:
+        engine = BitGenEngine.compile(workload.patterns, scheme=scheme,
+                                      cta_count=4)
+        result = engine.match(workload.data)
+        if reference is None:
+            reference = result
+        else:
+            assert result.same_matches(reference), \
+                f"{scheme.value} changed the matches!"
+        metrics = result.metrics
+        print(f"{scheme.value:6s} {result.match_count():8d} "
+              f"{metrics.thread_word_ops:10d} "
+              f"{metrics.skipped_word_ops:9d} "
+              f"{metrics.dram_total_bytes() // 1024:9d} "
+              f"{metrics.barriers:9d} {metrics.fused_loops:6d}")
+
+    print("\nall schemes produce identical matches; interleaving "
+          "removes the DRAM traffic, rebalancing the barriers, and "
+          "zero-block skipping the wasted work.")
+
+    alerts = [i for i, ends in reference.ends.items() if ends]
+    print(f"\ntriggered rules: {alerts[:10]}"
+          + (" ..." if len(alerts) > 10 else ""))
+
+
+if __name__ == "__main__":
+    main()

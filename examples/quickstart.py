@@ -1,0 +1,38 @@
+"""Quickstart: compile a multi-pattern matcher and scan some text.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BitGenEngine
+
+PATTERNS = [
+    "a(bc)*d",        # Kleene star (the paper's Listing 3 example)
+    "colou?r",        # optional character
+    "[0-9]{3}-[0-9]{4}",  # bounded repetition: phone-ish number
+    "cat|dog",        # alternation
+]
+
+TEXT = (b"the colour of a cat is not the color of a dog; "
+        b"dial 555-0199 or match abcbcbcd")
+
+
+def main() -> None:
+    engine = BitGenEngine.compile(PATTERNS)
+    result = engine.match(TEXT)
+
+    print(f"input: {TEXT.decode()!r}")
+    print(f"total matches: {result.match_count()}\n")
+    for index, pattern in enumerate(PATTERNS):
+        ends = result.ends[index]
+        print(f"/{pattern}/  ->  {len(ends)} match(es) ending at {ends}")
+        for end in ends:
+            start = max(0, end - 15)
+            context = TEXT[start:end + 1].decode()
+            print(f"    ...{context!r}")
+
+    metrics = result.metrics
+    print(f"\nkernel metrics: {metrics.summary()}")
+
+
+if __name__ == "__main__":
+    main()

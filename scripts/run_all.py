@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Run the full experiment suite and write CSV results + ASCII figures,
+mirroring the paper artifact's ``5_run_all.sh`` / ``6_plot_all.sh``
+workflow (results land in ``results/csv`` and ``results/``).
+
+Usage::
+
+    python scripts/run_all.py [--scale 0.02] [--out results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+
+from repro.core.schemes import SCHEME_LADDER, Scheme
+from repro.gpu.config import ALL_GPUS, RTX_3090
+from repro.perf.harness import ENGINE_NAMES, Harness
+from repro.perf.model import geometric_mean
+from repro.perf.paper_data import APPS
+from repro.perf.report import format_bars, format_table, to_csv
+
+
+def write(path: pathlib.Path, text: str) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text)
+    print(f"  wrote {path}")
+
+
+def run_throughput(harness: Harness, out: pathlib.Path) -> None:
+    print("== Figure 11 / Table 2: throughput ==")
+    headers = ["app"] + list(ENGINE_NAMES)
+    rows = []
+    for app in APPS:
+        row = [app]
+        for engine in ENGINE_NAMES:
+            row.append(round(harness.run(app, engine).mbps, 2))
+            print(f"  {app} / {engine}: {row[-1]} MB/s")
+        rows.append(row)
+    write(out / "csv" / "table2_throughput.csv", to_csv(headers, rows))
+    bitgen = {row[0]: row[1] for row in rows}
+    ngap = {row[0]: row[1 + ENGINE_NAMES.index("ngAP")] for row in rows}
+    figure = format_bars({app: bitgen[app] / max(ngap[app], 1e-9)
+                          for app in APPS},
+                         title="Figure 11: BitGen speedup over ngAP")
+    write(out / "figure11.txt", figure)
+
+
+def run_breakdown(harness: Harness, out: pathlib.Path) -> None:
+    print("== Figure 12: optimization breakdown ==")
+    headers = ["app"] + [s.value for s in SCHEME_LADDER]
+    rows = []
+    for app in APPS:
+        base = harness.run_bitgen(app, Scheme.BASE).mbps
+        row = [app] + [round(harness.run_bitgen(app, s).mbps
+                             / max(base, 1e-9), 2)
+                       for s in SCHEME_LADDER]
+        rows.append(row)
+        print(f"  {app}: {row[1:]}")
+    gmeans = ["gmean"] + [round(geometric_mean(
+        [row[1 + i] for row in rows]), 2)
+        for i in range(len(SCHEME_LADDER))]
+    rows.append(gmeans)
+    write(out / "csv" / "figure12_breakdown.csv", to_csv(headers, rows))
+
+
+def run_portability(harness: Harness, out: pathlib.Path) -> None:
+    print("== Figure 15: portability ==")
+    headers = ["engine", "gpu", "normalised"]
+    rows = []
+    for gpu in ALL_GPUS:
+        values = [harness.run_bitgen(app, gpu=gpu).mbps for app in APPS]
+        base = [harness.run_bitgen(app, gpu=RTX_3090).mbps
+                for app in APPS]
+        norm = geometric_mean([v / b for v, b in zip(values, base)])
+        rows.append(["BitGen", gpu.name, round(norm, 2)])
+        print(f"  BitGen on {gpu.name}: {norm:.2f}x")
+    write(out / "csv" / "figure15_portability.csv",
+          to_csv(headers, rows))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--out", default="results")
+    args = parser.parse_args()
+
+    out = pathlib.Path(args.out)
+    harness = Harness(scale=args.scale)
+    started = time.time()
+    run_throughput(harness, out)
+    run_breakdown(harness, out)
+    run_portability(harness, out)
+    print(f"done in {time.time() - started:.0f}s; results in {out}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

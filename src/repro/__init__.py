@@ -1,0 +1,46 @@
+"""repro — a from-scratch reproduction of BitGen (MICRO 2025):
+interleaved bitstream execution for multi-pattern regex matching on
+(simulated) GPUs.
+
+Quickstart::
+
+    from repro import BitGenEngine
+
+    engine = BitGenEngine.compile(["a(bc)*d", "colou?r"])
+    result = engine.match(b"abcbcd has colour and color")
+    print(result.match_count())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-reproduction results.
+"""
+
+__version__ = "1.0.0"
+
+from .bitstream import BitVector, transpose
+from .ir import Interpreter, lower_group, lower_regex, match_positions, \
+    run_regexes
+from .regex import CharClass, parse
+
+__all__ = [
+    "BitGenEngine", "BitVector", "CharClass", "Interpreter", "MatchResult",
+    "Scheme", "StreamingMatcher",
+    "lower_group", "lower_regex", "match_positions", "parse", "run_regexes",
+    "transpose",
+]
+
+
+def __getattr__(name):
+    # Heavier subsystems are imported lazily so `import repro` stays cheap.
+    if name == "BitGenEngine":
+        from .core.engine import BitGenEngine
+        return BitGenEngine
+    if name == "MatchResult":
+        from .engines.base import MatchResult
+        return MatchResult
+    if name == "StreamingMatcher":
+        from .core.streaming import StreamingMatcher
+        return StreamingMatcher
+    if name == "Scheme":
+        from .core.schemes import Scheme
+        return Scheme
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

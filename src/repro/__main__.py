@@ -1,0 +1,123 @@
+"""Command-line multi-pattern matcher.
+
+Usage examples::
+
+    python -m repro 'a(bc)*d' 'cat|dog' --text 'abcbcd hot dog'
+    python -m repro -f rules.txt -i payload.bin --engine hyperscan
+    python -m repro 'colou?r' --text '...' --scheme SR --stats
+    python -m repro 'a(bc)*d' --kernel          # print the CUDA-like kernel
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .core.engine import BitGenEngine
+from .core.schemes import Scheme
+from .engines.base import Engine
+from .engines.hyperscan import HyperscanEngine
+from .engines.icgrep import ICgrepEngine
+from .engines.ngap import NgAPEngine
+from .engines.re2 import RE2Engine
+
+ENGINES = {
+    "bitgen": BitGenEngine,
+    "hyperscan": HyperscanEngine,
+    "ngap": NgAPEngine,
+    "icgrep": ICgrepEngine,
+    "re2": RE2Engine,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-pattern regex matching with the BitGen "
+                    "reproduction (and its baseline engines).")
+    parser.add_argument("patterns", nargs="*",
+                        help="regex patterns to match")
+    parser.add_argument("-f", "--patterns-file",
+                        help="file with one pattern per line")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("-i", "--input", help="input file to scan")
+    source.add_argument("--text", help="inline input text")
+    parser.add_argument("--engine", choices=sorted(ENGINES),
+                        default="bitgen")
+    parser.add_argument("--scheme", choices=[s.name for s in Scheme],
+                        default="ZBS",
+                        help="BitGen execution scheme (bitgen engine only)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print engine work statistics")
+    parser.add_argument("--spans", action="store_true",
+                        help="also report match start positions "
+                             "(bitgen engine only)")
+    parser.add_argument("--kernel", action="store_true",
+                        help="print the generated CUDA-like kernel and exit")
+    parser.add_argument("--limit", type=int, default=10,
+                        help="max positions printed per pattern")
+    return parser
+
+
+def load_patterns(args) -> List[str]:
+    patterns = list(args.patterns)
+    if args.patterns_file:
+        with open(args.patterns_file) as handle:
+            patterns.extend(line.rstrip("\n") for line in handle
+                            if line.strip() and not line.startswith("#"))
+    if not patterns:
+        raise SystemExit("no patterns given (positional or -f)")
+    return patterns
+
+
+def load_input(args) -> bytes:
+    if args.text is not None:
+        return args.text.encode()
+    if args.input:
+        with open(args.input, "rb") as handle:
+            return handle.read()
+    return sys.stdin.buffer.read()
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    patterns = load_patterns(args)
+
+    if args.engine == "bitgen":
+        engine: Engine = BitGenEngine.compile(
+            patterns, scheme=Scheme[args.scheme], loop_fallback=True)
+    else:
+        engine = ENGINES[args.engine].compile(patterns)
+
+    if args.kernel:
+        if not isinstance(engine, BitGenEngine):
+            raise SystemExit("--kernel requires --engine bitgen")
+        print(engine.render_kernels())
+        return 0
+
+    data = load_input(args)
+    result = engine.match(data)
+    starts = engine.match_starts(data) \
+        if args.spans and isinstance(engine, BitGenEngine) else None
+
+    for index, pattern in enumerate(patterns):
+        ends = result.ends[index]
+        shown = ", ".join(map(str, ends[:args.limit]))
+        suffix = ", ..." if len(ends) > args.limit else ""
+        print(f"/{pattern}/: {len(ends)} match(es)"
+              + (f" ending at [{shown}{suffix}]" if ends else ""))
+        if starts is not None and starts.ends[index]:
+            begin = ", ".join(map(str, starts.ends[index][:args.limit]))
+            print(f"    starts at [{begin}]")
+
+    if args.stats:
+        if isinstance(engine, BitGenEngine):
+            print(f"\n{result.metrics.summary()}")
+        else:
+            print(f"\n{engine.last_stats}")
+    return 0 if result.match_count() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Finite-automata substrate: Glushkov NFAs, subset DFAs, Aho–Corasick."""
+
+from .aho_corasick import ACStats, AhoCorasick
+from .dfa import DFA, DFATooLarge
+from .glushkov import Glushkov, UnsupportedFeature
+from .nfa import MultiPatternNFA, NFAStats, match_ends
+
+__all__ = ["ACStats", "AhoCorasick", "DFA", "DFATooLarge", "Glushkov",
+           "MultiPatternNFA", "NFAStats", "UnsupportedFeature", "match_ends"]

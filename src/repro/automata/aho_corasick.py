@@ -1,0 +1,95 @@
+"""Aho–Corasick multi-string matching.
+
+The literal-matching substrate of the Hyperscan-style engine: candidate
+positions for decomposed regex literals are found with one AC scan, then
+confirmed by an automaton.  Counters track per-byte work for the CPU
+cost model.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+@dataclass
+class ACStats:
+    symbols: int = 0
+    goto_lookups: int = 0
+    fail_follows: int = 0
+    outputs_emitted: int = 0
+
+
+@dataclass
+class AhoCorasick:
+    """A byte-level Aho–Corasick automaton."""
+
+    goto: List[Dict[int, int]] = field(default_factory=lambda: [{}])
+    fail: List[int] = field(default_factory=lambda: [0])
+    #: per-node list of (pattern id, pattern length)
+    output: List[List[Tuple[int, int]]] = field(default_factory=lambda: [[]])
+    pattern_count: int = 0
+
+    @classmethod
+    def build(cls, patterns: Sequence[bytes]) -> "AhoCorasick":
+        ac = cls(pattern_count=len(patterns))
+        for pattern_id, pattern in enumerate(patterns):
+            if not pattern:
+                raise ValueError("empty literal pattern")
+            node = 0
+            for byte in pattern:
+                nxt = ac.goto[node].get(byte)
+                if nxt is None:
+                    nxt = len(ac.goto)
+                    ac.goto.append({})
+                    ac.fail.append(0)
+                    ac.output.append([])
+                    ac.goto[node][byte] = nxt
+                node = nxt
+            ac.output[node].append((pattern_id, len(pattern)))
+        ac._build_failure_links()
+        return ac
+
+    def _build_failure_links(self) -> None:
+        queue = deque()
+        for byte, node in self.goto[0].items():
+            self.fail[node] = 0
+            queue.append(node)
+        while queue:
+            node = queue.popleft()
+            for byte, child in self.goto[node].items():
+                queue.append(child)
+                fallback = self.fail[node]
+                while fallback and byte not in self.goto[fallback]:
+                    fallback = self.fail[fallback]
+                self.fail[child] = self.goto[fallback].get(byte, 0)
+                if self.fail[child] == child:
+                    self.fail[child] = 0
+                self.output[child] = (self.output[child]
+                                      + self.output[self.fail[child]])
+
+    @property
+    def node_count(self) -> int:
+        return len(self.goto)
+
+    def scan(self, data: bytes) -> Tuple[List[Tuple[int, int]], ACStats]:
+        """Scan ``data``; returns [(pattern id, end position)] and stats."""
+        hits: List[Tuple[int, int]] = []
+        stats = ACStats()
+        node = 0
+        for index, byte in enumerate(data):
+            stats.symbols += 1
+            while node and byte not in self.goto[node]:
+                node = self.fail[node]
+                stats.fail_follows += 1
+            node = self.goto[node].get(byte, 0)
+            stats.goto_lookups += 1
+            for pattern_id, _length in self.output[node]:
+                hits.append((pattern_id, index))
+                stats.outputs_emitted += 1
+        return hits, stats
+
+    def iter_matches(self, data: bytes) -> Iterator[Tuple[int, int]]:
+        hits, _stats = self.scan(data)
+        return iter(hits)

@@ -1,0 +1,96 @@
+"""Subset-construction DFA over a multi-pattern NFA.
+
+Used by the Hyperscan-style engine for confirming candidate matches and
+available as a standalone linear-scan engine (the RE2 execution model
+the related-work section cites).  Construction is bounded: regex sets
+can blow up exponentially, so exceeding ``max_states`` raises
+:class:`DFATooLarge` and callers fall back to NFA simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from .nfa import MultiPatternNFA
+
+
+class DFATooLarge(RuntimeError):
+    """Raised when subset construction exceeds the state budget."""
+
+
+@dataclass
+class DFA:
+    """A dense-table DFA; state 0 is the start state.
+
+    Transitions already include the implicit restart (unanchored
+    matching): every step unions the NFA start states back in, so a
+    single left-to-right scan reports all match end positions.
+    """
+
+    #: transition[state][byte] -> state
+    transitions: List[List[int]] = field(default_factory=list)
+    #: per-state reported pattern ids
+    reports: List[Tuple[int, ...]] = field(default_factory=list)
+    pattern_count: int = 0
+
+    @property
+    def state_count(self) -> int:
+        return len(self.transitions)
+
+    @classmethod
+    def build(cls, nfa: MultiPatternNFA, max_states: int = 4096) -> "DFA":
+        start_set = frozenset(nfa.start_states)
+        tables = [cc.table() for cc in nfa.classes]
+
+        dfa = cls(pattern_count=nfa.pattern_count)
+        index_of: Dict[FrozenSet[int], int] = {}
+
+        def intern(state_set: FrozenSet[int]) -> int:
+            found = index_of.get(state_set)
+            if found is not None:
+                return found
+            if len(index_of) >= max_states:
+                raise DFATooLarge(
+                    f"subset construction exceeded {max_states} states")
+            index = len(index_of)
+            index_of[state_set] = index
+            dfa.transitions.append([0] * 256)
+            reported: List[int] = []
+            for nfa_state in state_set:
+                reported.extend(nfa.reports.get(nfa_state, ()))
+            dfa.reports.append(tuple(sorted(set(reported))))
+            return index
+
+        # DFA states track "NFA states entered by the previous byte";
+        # candidates for the next byte are their successors plus starts.
+        start_index = intern(frozenset())
+        work = [frozenset()]
+        seen = {frozenset()}
+        while work:
+            current = work.pop()
+            current_index = index_of[current]
+            candidates = set(start_set)
+            for nfa_state in current:
+                candidates.update(nfa.successors[nfa_state])
+            for byte in range(256):
+                entered = frozenset(s for s in candidates
+                                    if tables[s][byte])
+                target = intern(entered)
+                dfa.transitions[current_index][byte] = target
+                if entered not in seen:
+                    seen.add(entered)
+                    work.append(entered)
+        assert start_index == 0
+        return dfa
+
+    def run(self, data: bytes) -> Dict[int, List[int]]:
+        """Scan ``data``; returns per-pattern match end positions."""
+        matches: Dict[int, List[int]] = {i: []
+                                         for i in range(self.pattern_count)}
+        state = 0
+        for index, byte in enumerate(data):
+            state = self.transitions[state][byte]
+            for pattern_id in self.reports[state]:
+                matches[pattern_id].append(index)
+        return matches

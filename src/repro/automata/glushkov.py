@@ -1,0 +1,131 @@
+"""Glushkov NFA construction.
+
+Builds the position automaton of a regex: one state per character-class
+occurrence plus an initial state, no epsilon transitions.  This is the
+construction Hyperscan uses for its NFA fallback [Glushkov 1961], and
+the automaton our ngAP-style engine processes.
+
+Anchors are not supported here; the paper's evaluation restricts
+benchmarks to features all compared systems support (Section 7), and
+the automata engines in this reproduction match that subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set
+
+from ..regex import ast
+from ..regex.charclass import CharClass
+from ..regex.simplify import simplify
+
+
+class UnsupportedFeature(ValueError):
+    """Raised for constructs an engine does not implement."""
+
+
+@dataclass
+class _Facts:
+    """Glushkov analysis of one subtree over global position ids."""
+
+    nullable: bool
+    first: FrozenSet[int]
+    last: FrozenSet[int]
+
+
+@dataclass
+class Glushkov:
+    """The position automaton of one regex.
+
+    State 0 is initial; state ``i`` (1-based) corresponds to position
+    ``i`` and is entered by consuming a byte of ``classes[i]``.
+    """
+
+    classes: Dict[int, CharClass] = field(default_factory=dict)
+    first: Set[int] = field(default_factory=set)
+    follow: Dict[int, Set[int]] = field(default_factory=dict)
+    accepting: Set[int] = field(default_factory=set)
+    nullable: bool = False
+
+    @property
+    def state_count(self) -> int:
+        return len(self.classes) + 1
+
+    @classmethod
+    def build(cls, node: ast.Regex) -> "Glushkov":
+        builder = _GlushkovBuilder()
+        node = simplify(node)
+        facts = builder.analyse(node)
+        auto = cls(classes=builder.classes, follow=builder.follow)
+        auto.first = set(facts.first)
+        auto.accepting = set(facts.last)
+        auto.nullable = facts.nullable
+        return auto
+
+
+class _GlushkovBuilder:
+    def __init__(self):
+        self.classes: Dict[int, CharClass] = {}
+        self.follow: Dict[int, Set[int]] = {}
+        self._next_pos = 1
+
+    def analyse(self, node: ast.Regex) -> _Facts:
+        if isinstance(node, ast.Empty):
+            return _Facts(True, frozenset(), frozenset())
+        if isinstance(node, ast.Anchor):
+            raise UnsupportedFeature("anchors are not supported by the "
+                                     "automata engines")
+        if isinstance(node, ast.Lit):
+            pos = self._next_pos
+            self._next_pos += 1
+            self.classes[pos] = node.cc
+            self.follow[pos] = set()
+            single = frozenset((pos,))
+            return _Facts(False, single, single)
+        if isinstance(node, ast.Seq):
+            return self._sequence([self.analyse(p) for p in node.parts])
+        if isinstance(node, ast.Alt):
+            facts = [self.analyse(b) for b in node.branches]
+            return _Facts(
+                any(f.nullable for f in facts),
+                frozenset().union(*(f.first for f in facts)),
+                frozenset().union(*(f.last for f in facts)))
+        if isinstance(node, ast.Star):
+            inner = self.analyse(node.body)
+            self._connect(inner.last, inner.first)
+            return _Facts(True, inner.first, inner.last)
+        if isinstance(node, ast.Rep):
+            return self._repetition(node)
+        raise UnsupportedFeature(f"cannot build automaton for {node!r}")
+
+    def _sequence(self, facts: List[_Facts]) -> _Facts:
+        result = facts[0]
+        for nxt in facts[1:]:
+            self._connect(result.last, nxt.first)
+            first = result.first | nxt.first if result.nullable \
+                else result.first
+            last = nxt.last | result.last if nxt.nullable else nxt.last
+            result = _Facts(result.nullable and nxt.nullable,
+                            frozenset(first), frozenset(last))
+        return result
+
+    def _repetition(self, node: ast.Rep) -> _Facts:
+        # Expand R{n,m} structurally; bounds were capped by the parser.
+        parts: List[_Facts] = []
+        for _ in range(node.lo):
+            parts.append(self.analyse(node.body))
+        if node.hi is None:
+            star_inner = self.analyse(node.body)
+            self._connect(star_inner.last, star_inner.first)
+            parts.append(_Facts(True, star_inner.first, star_inner.last))
+        else:
+            for _ in range(node.hi - node.lo):
+                inner = self.analyse(node.body)
+                parts.append(_Facts(True, inner.first, inner.last))
+        if not parts:
+            return _Facts(True, frozenset(), frozenset())
+        return self._sequence(parts)
+
+    def _connect(self, lasts, firsts) -> None:
+        for pos in lasts:
+            self.follow[pos].update(firsts)

@@ -1,0 +1,130 @@
+"""Multi-pattern NFA simulation with access accounting.
+
+Combines the Glushkov automata of a pattern set into one NFA and
+simulates it one input byte at a time — the automata-processing
+execution model of ngAP and its ancestors.  The simulator counts the
+memory-access events the paper identifies as the bottleneck of this
+model (per-symbol state-transition lookups, worklist pushes), which
+drive the ngAP cost model in ``repro.perf``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..regex import ast
+from ..regex.charclass import CharClass
+from .glushkov import Glushkov
+
+
+@dataclass
+class NFAStats:
+    """Counters describing one simulation run."""
+
+    symbols: int = 0
+    active_state_visits: int = 0
+    transition_lookups: int = 0
+    #: candidate checks of always-active start states; engines service
+    #: these from dense per-symbol bitmaps, far cheaper than worklist
+    #: state lookups
+    start_checks: int = 0
+    matches: int = 0
+    max_active: int = 0
+
+    def avg_active(self) -> float:
+        if self.symbols == 0:
+            return 0.0
+        return self.active_state_visits / self.symbols
+
+
+@dataclass
+class MultiPatternNFA:
+    """A union NFA over one or more patterns.
+
+    States are globally renumbered; ``start_states`` are always active
+    (unanchored all-match semantics: a new match attempt starts at every
+    input position).
+    """
+
+    #: per-state matching class (None for unreachable placeholder slots)
+    classes: List[CharClass] = field(default_factory=list)
+    #: per-state successor lists
+    successors: List[Tuple[int, ...]] = field(default_factory=list)
+    #: states that begin a pattern (entered from any position)
+    start_states: List[int] = field(default_factory=list)
+    #: state -> pattern ids reported when the state is reached
+    reports: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    pattern_count: int = 0
+
+    @classmethod
+    def build(cls, patterns: Sequence[ast.Regex]) -> "MultiPatternNFA":
+        nfa = cls(pattern_count=len(patterns))
+        for pattern_id, node in enumerate(patterns):
+            auto = Glushkov.build(node)
+            base = len(nfa.classes)
+            # Position p of this automaton becomes global state base+p-1.
+            for pos in range(1, auto.state_count):
+                nfa.classes.append(auto.classes[pos])
+                nfa.successors.append(tuple(
+                    base + succ - 1 for succ in sorted(auto.follow[pos])))
+            for pos in auto.first:
+                nfa.start_states.append(base + pos - 1)
+            for pos in auto.accepting:
+                state = base + pos - 1
+                nfa.reports[state] = nfa.reports.get(state, ()) + (pattern_id,)
+        return nfa
+
+    @property
+    def state_count(self) -> int:
+        return len(self.classes)
+
+    def transition_count(self) -> int:
+        return sum(len(s) for s in self.successors)
+
+    # -- simulation -----------------------------------------------------------
+
+    def run(self, data: bytes) -> Tuple[Dict[int, List[int]], NFAStats]:
+        """Simulate over ``data``; returns per-pattern match end
+        positions and the access statistics."""
+        matches: Dict[int, List[int]] = {i: [] for i in
+                                         range(self.pattern_count)}
+        stats = NFAStats()
+        # Precompute per-state 256-entry membership tables once.
+        tables = [cc.table() for cc in self.classes]
+        active: Set[int] = set()
+        start_set = set(self.start_states)
+        for index, byte in enumerate(data):
+            stats.symbols += 1
+            next_active: Set[int] = set()
+            # Start states are candidates at every position (unanchored).
+            candidates = active.union(start_set)
+            stats.active_state_visits += len(candidates)
+            for state in candidates:
+                if state in active:
+                    # One table lookup per worklist state: the irregular
+                    # memory access the paper attributes NFA slowness to.
+                    stats.transition_lookups += 1
+                else:
+                    stats.start_checks += 1
+                if not tables[state][byte]:
+                    continue
+                reported = self.reports.get(state)
+                if reported:
+                    for pattern_id in reported:
+                        matches[pattern_id].append(index)
+                        stats.matches += 1
+                for succ in self.successors[state]:
+                    stats.transition_lookups += 1
+                    next_active.add(succ)
+            active = next_active
+            stats.max_active = max(stats.max_active, len(active))
+        return matches, stats
+
+
+def match_ends(patterns: Sequence[ast.Regex],
+               data: bytes) -> Dict[int, List[int]]:
+    """Convenience wrapper returning sorted unique match end positions."""
+    nfa = MultiPatternNFA.build(patterns)
+    matches, _ = nfa.run(data)
+    return {pid: sorted(set(ends)) for pid, ends in matches.items()}

@@ -1,0 +1,9 @@
+"""Bitstream substrate: unbounded bit vectors and byte transposition."""
+
+from .bitvector import BitVector
+from .npvector import NPBitVector
+from .transpose import BASIS_COUNT, inverse_transpose, transpose, \
+    transpose_reference
+
+__all__ = ["BASIS_COUNT", "BitVector", "NPBitVector",
+           "inverse_transpose", "transpose", "transpose_reference"]

@@ -1,0 +1,168 @@
+"""Unbounded bit vectors.
+
+A :class:`BitVector` holds one bitstream: bit *i* corresponds to text
+position *i*.  Vectors carry an explicit length so that complement and
+the paper's shift semantics are well defined.
+
+Shift naming follows the paper (Section 2): ``advance(k)`` is the
+paper's ``S >> k`` — it moves match cursors *forward* in the text, so
+``result[i] = S[i - k]``.  On the underlying Python integer (bit *i* =
+position *i*) this is an integer left shift.  ``advance`` accepts
+negative distances, which are the paper's left shifts (``result[i] =
+S[i + k]``), used by Shift Rebalancing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+
+class BitVector:
+    """A fixed-length bitstream backed by a Python integer."""
+
+    __slots__ = ("bits", "length")
+
+    def __init__(self, bits: int, length: int):
+        if length < 0:
+            raise ValueError("negative length")
+        if bits < 0:
+            raise ValueError("negative bit pattern")
+        if bits >> length:
+            raise ValueError("bit pattern wider than declared length")
+        self.bits = bits
+        self.length = length
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, length: int) -> "BitVector":
+        return cls(0, length)
+
+    @classmethod
+    def ones(cls, length: int) -> "BitVector":
+        return cls((1 << length) - 1, length)
+
+    @classmethod
+    def from_positions(cls, positions: Iterable[int], length: int) -> "BitVector":
+        bits = 0
+        for pos in positions:
+            if not 0 <= pos < length:
+                raise ValueError(f"position {pos} out of range [0, {length})")
+            bits |= 1 << pos
+        return cls(bits, length)
+
+    @classmethod
+    def from_string(cls, text: str) -> "BitVector":
+        """Parse "1.01" style strings; '.' and '0' are zero. Position 0 is
+        the leftmost character (text order, unlike binary notation)."""
+        bits = 0
+        for i, char in enumerate(text):
+            if char == "1":
+                bits |= 1 << i
+            elif char not in "0.":
+                raise ValueError(f"bad bit character {char!r}")
+        return cls(bits, len(text))
+
+    # -- logic --------------------------------------------------------------
+
+    def _check(self, other: "BitVector") -> None:
+        if self.length != other.length:
+            raise ValueError(
+                f"length mismatch: {self.length} vs {other.length}")
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.bits & other.bits, self.length)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.bits | other.bits, self.length)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        return BitVector(self.bits ^ other.bits, self.length)
+
+    def __invert__(self) -> "BitVector":
+        return BitVector(~self.bits & self._mask(), self.length)
+
+    def andn(self, other: "BitVector") -> "BitVector":
+        """self & ~other."""
+        self._check(other)
+        return BitVector(self.bits & ~other.bits & self._mask(), self.length)
+
+    def advance(self, distance: int) -> "BitVector":
+        """The paper's shift: positive moves cursors forward in the text
+        (paper ``>>``), negative moves them backward (paper ``<<``)."""
+        if distance >= 0:
+            return BitVector((self.bits << distance) & self._mask(),
+                             self.length)
+        return BitVector(self.bits >> -distance, self.length)
+
+    def _mask(self) -> int:
+        return (1 << self.length) - 1
+
+    # -- queries -------------------------------------------------------------
+
+    def any(self) -> bool:
+        return self.bits != 0
+
+    def __bool__(self) -> bool:
+        return self.any()
+
+    def popcount(self) -> int:
+        return bin(self.bits).count("1")
+
+    def test(self, pos: int) -> bool:
+        if not 0 <= pos < self.length:
+            raise IndexError(f"position {pos} out of range [0, {self.length})")
+        return bool(self.bits >> pos & 1)
+
+    def __getitem__(self, pos: int) -> bool:
+        return self.test(pos)
+
+    def positions(self) -> List[int]:
+        """Sorted positions of set bits."""
+        out = []
+        bits = self.bits
+        pos = 0
+        while bits:
+            step = (bits & -bits).bit_length() - 1
+            pos += step
+            out.append(pos)
+            bits >>= step + 1
+            pos += 1
+        return out
+
+    def iter_positions(self) -> Iterator[int]:
+        return iter(self.positions())
+
+    def slice(self, start: int, stop: int) -> "BitVector":
+        """Bits in [start, stop) as a new vector of length stop - start."""
+        if not 0 <= start <= stop <= self.length:
+            raise ValueError(f"bad slice [{start}, {stop}) of {self.length}")
+        width = stop - start
+        return BitVector((self.bits >> start) & ((1 << width) - 1), width)
+
+    def any_in_range(self, start: int, stop: int) -> bool:
+        if not 0 <= start <= stop <= self.length:
+            raise ValueError(f"bad range [{start}, {stop}) of {self.length}")
+        width = stop - start
+        return bool((self.bits >> start) & ((1 << width) - 1))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, BitVector)
+                and self.length == other.length and self.bits == other.bits)
+
+    def __hash__(self) -> int:
+        return hash((self.bits, self.length))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def to_string(self) -> str:
+        return "".join("1" if self.test(i) else "." for i in range(self.length))
+
+    def __repr__(self) -> str:
+        if self.length <= 80:
+            return f"BitVector({self.to_string()!r})"
+        return f"BitVector(length={self.length}, popcount={self.popcount()})"

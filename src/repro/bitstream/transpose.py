@@ -1,0 +1,71 @@
+"""Byte-stream transposition (the S2P step of Section 2).
+
+The input byte stream is transposed into 8 basis bitstreams b0..b7,
+where ``b[k][i]`` is bit *k* of byte *i*.  Following the paper's ASCII
+example ('a' = 01100001 matched as ~b0 & b1 & b2 & ~b3 & ... & b7),
+b0 is the *most significant* bit of the byte and b7 the least.
+
+Two implementations are provided: a numpy bulk path used everywhere,
+and a pure-Python one kept as a cross-check for tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from .bitvector import BitVector
+
+BASIS_COUNT = 8
+
+
+def transpose(data: bytes) -> List[BitVector]:
+    """Transpose ``data`` into 8 basis bitstreams (b0 = MSB ... b7 = LSB)."""
+    if not data:
+        return [BitVector.zeros(0) for _ in range(BASIS_COUNT)]
+    arr = np.frombuffer(data, dtype=np.uint8)
+    basis = []
+    for k in range(BASIS_COUNT):
+        shift = BASIS_COUNT - 1 - k  # b0 is the MSB
+        plane = (arr >> shift) & 1
+        basis.append(_bits_to_vector(plane))
+    return basis
+
+
+def _bits_to_vector(plane: np.ndarray) -> BitVector:
+    """Pack a 0/1 uint8 array (index = position) into a BitVector."""
+    packed = np.packbits(plane, bitorder="little")
+    return BitVector(int.from_bytes(packed.tobytes(), "little"), len(plane))
+
+
+def transpose_reference(data: bytes) -> List[BitVector]:
+    """Bit-at-a-time transposition; slow, used to validate :func:`transpose`."""
+    n = len(data)
+    bits = [0] * BASIS_COUNT
+    for i, byte in enumerate(data):
+        for k in range(BASIS_COUNT):
+            if byte >> (BASIS_COUNT - 1 - k) & 1:
+                bits[k] |= 1 << i
+    return [BitVector(b, n) for b in bits]
+
+
+def inverse_transpose(basis: Sequence[BitVector]) -> bytes:
+    """Reassemble the byte stream from its 8 basis bitstreams."""
+    if len(basis) != BASIS_COUNT:
+        raise ValueError(f"expected {BASIS_COUNT} basis streams")
+    n = basis[0].length
+    if any(b.length != n for b in basis):
+        raise ValueError("basis streams must share one length")
+    if n == 0:
+        return b""
+    planes = []
+    for vec in basis:
+        raw = vec.bits.to_bytes((n + 7) // 8, "little")
+        plane = np.unpackbits(np.frombuffer(raw, dtype=np.uint8),
+                              bitorder="little")[:n]
+        planes.append(plane)
+    out = np.zeros(n, dtype=np.uint8)
+    for k, plane in enumerate(planes):
+        out |= plane << (BASIS_COUNT - 1 - k)
+    return out.tobytes()

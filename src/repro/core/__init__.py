@@ -1,0 +1,30 @@
+"""BitGen core: the paper's contribution.
+
+Interleaved bitstream execution with Dependency-Aware Thread-Data
+Mapping, Shift Rebalancing, and Zero Block Skipping, plus the
+sequential baseline, regex grouping, and CUDA-like code emission.
+"""
+
+from .barriers import BarrierPlan, plan_barriers
+from .codegen import render_kernel, render_module
+from .engine import BitGenEngine, BitGenResult, CompiledGroup
+from .grouping import RegexGroup, group_regexes, imbalance
+from .interleaved import InterleavedExecutor, const_window, split_segments
+from .overlap import (OverlapLimitError, RuntimeTracker, StaticOverlap,
+                      analyze_static, propagate, region_bounds)
+from .rebalance import rebalance_program
+from .schemes import SCHEME_LADDER, ExecutionResult, Scheme
+from .sequential import SequentialExecutor, split_passes
+from .streaming import StreamingMatcher
+from .zeroskip import insert_guards
+
+__all__ = [
+    "BarrierPlan", "BitGenEngine", "BitGenResult", "CompiledGroup",
+    "ExecutionResult", "InterleavedExecutor", "OverlapLimitError",
+    "RegexGroup", "RuntimeTracker", "SCHEME_LADDER", "Scheme",
+    "SequentialExecutor", "StaticOverlap", "StreamingMatcher",
+    "analyze_static",
+    "const_window", "group_regexes", "imbalance", "insert_guards",
+    "plan_barriers", "propagate", "rebalance_program", "region_bounds",
+    "render_kernel", "render_module", "split_passes", "split_segments",
+]

@@ -1,0 +1,215 @@
+"""BitGenEngine — the public compile-and-match API.
+
+Mirrors the paper's workflow (Figure 4): regexes are partitioned into
+balanced groups (Section 7), each group is lowered to one bitstream
+program, the per-scheme transformation pipeline is applied (Shift
+Rebalancing, Zero Block Skipping, barrier planning), and at match time
+each program executes as one simulated CTA, producing match results
+plus the kernel metrics the benchmarks report.
+
+Tuning knobs follow Section 7's parameter setup: ``scheme`` (the
+Table 3 ladder), ``merge_size``, ``interval_size``, ``cta_count``, and
+the CTA geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..gpu.machine import DEFAULT_GEOMETRY, CTAGeometry
+from ..gpu.metrics import KernelMetrics
+from ..ir.lower import lower_group
+from ..ir.optimize import optimize_program
+from ..ir.program import Program
+from ..regex import ast
+from ..regex.parser import parse
+from ..regex.reverse import reverse
+from ..engines.base import Engine, MatchResult
+from .barriers import BarrierPlan, plan_barriers
+from .grouping import RegexGroup, group_regexes
+from .interleaved import InterleavedExecutor
+from .rebalance import rebalance_program
+from .schemes import ExecutionResult, Scheme
+from .sequential import SequentialExecutor
+from .zeroskip import insert_guards
+
+DEFAULT_CTA_COUNT = 256
+
+
+@dataclass
+class CompiledGroup:
+    """One CTA's compiled artefact."""
+
+    group: RegexGroup
+    program: Program
+    barrier_plan: Optional[BarrierPlan] = None
+
+
+@dataclass
+class BitGenResult(MatchResult):
+    """Match result annotated with execution metrics."""
+
+    #: aggregate over all CTAs
+    metrics: KernelMetrics = field(default_factory=KernelMetrics)
+    #: per-CTA metrics, aligned with the engine's groups
+    cta_metrics: List[KernelMetrics] = field(default_factory=list)
+    input_bytes: int = 0
+
+
+class BitGenEngine(Engine):
+    """Compiled multi-pattern BitGen matcher."""
+
+    name = "BitGen"
+
+    def __init__(self, groups: List[CompiledGroup], pattern_count: int,
+                 scheme: Scheme, geometry: CTAGeometry,
+                 merge_size: int, interval_size: int,
+                 loop_fallback: bool,
+                 nodes: Optional[List[ast.Regex]] = None):
+        self.groups = groups
+        self.pattern_count = pattern_count
+        self.scheme = scheme
+        self.geometry = geometry
+        self.merge_size = merge_size
+        self.interval_size = interval_size
+        self.loop_fallback = loop_fallback
+        self._nodes = nodes
+        self._reversed_engine: Optional["BitGenEngine"] = None
+
+    # -- compilation -------------------------------------------------------
+
+    @classmethod
+    def compile(cls, patterns: Sequence[Union[str, ast.Regex]],
+                scheme: Scheme = Scheme.ZBS,
+                geometry: CTAGeometry = DEFAULT_GEOMETRY,
+                cta_count: Optional[int] = None,
+                merge_size: int = 8,
+                interval_size: int = 8,
+                loop_fallback: bool = False,
+                optimize: bool = True,
+                grouping: str = "balanced") -> "BitGenEngine":
+        """Compile ``patterns`` (strings or ASTs) for ``scheme``."""
+        nodes = [parse(p) if isinstance(p, str) else p for p in patterns]
+        if cta_count is None:
+            cta_count = min(DEFAULT_CTA_COUNT, max(1, len(nodes)))
+        groups = group_regexes(nodes, cta_count, strategy=grouping)
+
+        compiled: List[CompiledGroup] = []
+        for group in groups:
+            members = [nodes[i] for i in group.indices]
+            names = [f"R{i}" for i in group.indices]
+            program = lower_group(members, names=names)
+            if optimize:
+                program = optimize_program(program)
+            program = cls._transform(program, scheme, merge_size,
+                                     interval_size, geometry)
+            plan = cls._plan(program, scheme, merge_size, geometry)
+            compiled.append(CompiledGroup(group, program, plan))
+        return cls(compiled, len(nodes), scheme, geometry, merge_size,
+                   interval_size, loop_fallback, nodes=nodes)
+
+    @staticmethod
+    def _transform(program: Program, scheme: Scheme, merge_size: int,
+                   interval_size: int, geometry: CTAGeometry) -> Program:
+        if scheme.rebalanced:
+            program = rebalance_program(program)
+        if scheme.zero_skipping:
+            program = insert_guards(program, interval=interval_size)
+        return program
+
+    @staticmethod
+    def _plan(program: Program, scheme: Scheme, merge_size: int,
+              geometry: CTAGeometry) -> Optional[BarrierPlan]:
+        if not scheme.interleaved:
+            return None
+        # Without Shift Rebalancing there is nothing to merge: every
+        # SHIFT keeps its own barrier pair.
+        effective = merge_size if scheme.rebalanced else 1
+        return plan_barriers(program, merge_size=effective,
+                             block_bytes=geometry.block_bytes)
+
+    # -- matching -----------------------------------------------------------
+
+    def match(self, data: bytes) -> BitGenResult:
+        result = BitGenResult(pattern_count=self.pattern_count,
+                              input_bytes=len(data))
+        for compiled in self.groups:
+            execution = self._run_group(compiled, data)
+            result.cta_metrics.append(execution.metrics)
+            result.metrics.merge(execution.metrics)
+            for out, ends in execution.match_ends().items():
+                result.ends[int(out[1:])] = ends
+        return result
+
+    def _run_group(self, compiled: CompiledGroup,
+                   data: bytes) -> ExecutionResult:
+        if self.scheme is Scheme.BASE:
+            executor = SequentialExecutor(self.geometry)
+            return executor.run(compiled.program, data)
+        executor = InterleavedExecutor(
+            geometry=self.geometry,
+            barrier_plan=compiled.barrier_plan,
+            honour_guards=self.scheme.zero_skipping,
+            segmented=(self.scheme is Scheme.DTM_MINUS),
+            loop_fallback=self.loop_fallback)
+        return executor.run(compiled.program, data)
+
+    def match_many(self, streams: Sequence[bytes]) -> List[BitGenResult]:
+        """Match several input streams with one compiled engine.
+
+        Section 3.1: with multiple concurrent input streams the
+        execution model becomes MIMD-style — every (group, stream) pair
+        is an independent simulated CTA.  Results are returned per
+        stream, each carrying its own metrics.
+        """
+        return [self.match(stream) for stream in streams]
+
+    def match_starts(self, data: bytes) -> BitGenResult:
+        """All-match *start* positions per pattern.
+
+        Runs the reversed patterns over the reversed input: a match of
+        ``R`` over data[s..e] is a match of ``reverse(R)`` over the
+        reversal ending at position ``n - 1 - s`` (the paper reports
+        end positions only; this recovers the other extent).
+        """
+        if self._nodes is None:
+            raise ValueError("engine was built without pattern ASTs")
+        if self._reversed_engine is None:
+            self._reversed_engine = BitGenEngine.compile(
+                [reverse(node) for node in self._nodes],
+                scheme=self.scheme, geometry=self.geometry,
+                merge_size=self.merge_size,
+                interval_size=self.interval_size,
+                loop_fallback=self.loop_fallback)
+        mirrored = self._reversed_engine.match(data[::-1])
+        length = len(data)
+        result = BitGenResult(pattern_count=self.pattern_count,
+                              input_bytes=length,
+                              metrics=mirrored.metrics,
+                              cta_metrics=mirrored.cta_metrics)
+        for index in range(self.pattern_count):
+            result.ends[index] = sorted(length - 1 - pos
+                                        for pos in mirrored.ends[index])
+        return result
+
+    # -- introspection ---------------------------------------------------------
+
+    def program_stats(self) -> Dict[str, int]:
+        """Aggregate instruction mix over all groups (Table 1 columns)."""
+        totals = {"and": 0, "or": 0, "not": 0, "shift": 0, "while": 0}
+        for compiled in self.groups:
+            for key, value in compiled.program.op_counts().items():
+                totals[key] += value
+        return totals
+
+    def render_kernels(self) -> str:
+        """CUDA-like source of every group's kernel."""
+        from .codegen import render_kernel
+
+        parts = []
+        for index, compiled in enumerate(self.groups):
+            parts.append(render_kernel(compiled.program, cta_index=index,
+                                       plan=compiled.barrier_plan,
+                                       geometry=self.geometry))
+        return "\n\n".join(parts)

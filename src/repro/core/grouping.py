@@ -1,0 +1,77 @@
+"""Regex grouping (Section 7).
+
+Regexes are partitioned into groups of similar total character length,
+one group per CTA, to balance the GPU workload.  Greedy longest-
+processing-time assignment: sort by length descending, place each regex
+in the currently lightest group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from typing import List, Sequence, Tuple
+
+from ..regex import ast
+from ..regex.simplify import char_length
+
+
+@dataclass
+class RegexGroup:
+    """One CTA's worth of regexes (original indices preserved)."""
+
+    indices: List[int] = field(default_factory=list)
+    total_length: int = 0
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+
+def group_regexes(nodes: Sequence[ast.Regex], group_count: int,
+                  strategy: str = "balanced") -> List[RegexGroup]:
+    """Partition ``nodes`` into at most ``group_count`` groups.
+
+    ``strategy``:
+
+    * ``"balanced"`` — the paper's policy: greedy LPT on total
+      character length, so CTA workloads are even.
+    * ``"round_robin"`` — naive index-striped assignment (the ablation
+      baseline: ignores pattern length, so one CTA can end up with all
+      the long patterns and straggle the whole launch).
+    """
+    if group_count < 1:
+        raise ValueError("group_count must be >= 1")
+    group_count = min(group_count, max(1, len(nodes)))
+    groups = [RegexGroup() for _ in range(group_count)]
+    if not nodes:
+        return groups[:1]
+
+    if strategy == "round_robin":
+        for index, node in enumerate(nodes):
+            group = groups[index % group_count]
+            group.indices.append(index)
+            group.total_length += char_length(node)
+        return [g for g in groups if g.indices]
+    if strategy != "balanced":
+        raise ValueError(f"unknown grouping strategy {strategy!r}")
+
+    lengths = [(char_length(node), index)
+               for index, node in enumerate(nodes)]
+    lengths.sort(key=lambda item: (-item[0], item[1]))
+
+    heap: List[Tuple[int, int]] = [(0, g) for g in range(group_count)]
+    for length, index in lengths:
+        total, g = heappop(heap)
+        groups[g].indices.append(index)
+        groups[g].total_length = total + length
+        heappush(heap, (groups[g].total_length, g))
+
+    return [g for g in groups if g.indices]
+
+
+def imbalance(groups: Sequence[RegexGroup]) -> float:
+    """max/mean total length ratio — 1.0 is perfectly balanced."""
+    totals = [g.total_length for g in groups if g.indices]
+    if not totals or sum(totals) == 0:
+        return 1.0
+    return max(totals) / (sum(totals) / len(totals))

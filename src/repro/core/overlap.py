@@ -1,0 +1,160 @@
+"""Dependency-Aware Thread-Data Mapping analysis (Section 4).
+
+Interleaved execution computes each block over a *window* that extends
+past the block boundaries; shifted accesses must stay inside it.  Along
+a dataflow path with cumulative signed shift offsets δ₀..δₘ (positive =
+the paper's right shift / advance), the paper's overlap requirement is
+``Δ = max over paths (max δ - min δ)``.  We track the two directions
+separately, per variable:
+
+* ``lookback(v)``  = max over paths of ``δ_end - min δ``: how many bits
+  *before* the window start v's value at a position can depend on;
+* ``lookahead(v)`` = max over paths of ``max δ - δ_end``: how many bits
+  *after* the window end.
+
+``Δ = lookback + lookahead``.  Propagation is exact on straight-line
+code:
+
+* inputs / constants / character classes: (0, 0)
+* ``SHIFT k``:  lb' = max(lb + k, 0),  la' = max(la - k, 0)
+* bitwise ops: componentwise max of the operands
+
+Shifts inside ``while`` loops accumulate per iteration — the dynamic
+part (the Δ(n) = 1 + n example of Figure 7 (b)).  Statically we record
+one-iteration bounds and flag the program as dynamic; the interleaved
+executor tracks the same propagation at run time, where loops unroll
+naturally, and uses the observed bounds to size the next block's window
+(the paper's "loop iteration counter records the required overlap").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from ..ir.instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
+from ..ir.program import Program
+
+Bounds = Tuple[int, int]
+
+ZERO_BOUNDS: Bounds = (0, 0)
+
+
+class OverlapLimitError(RuntimeError):
+    """The required overlap exceeds one block (Section 8.2's limit):
+    a block would depend on multiple previous blocks, which interleaved
+    execution cannot recompute.  The paper's proposed fallback is a
+    sequential pass for the offending loop (see
+    ``InterleavedExecutor(loop_fallback=True)``)."""
+
+
+def propagate(instr: Instr, lookup) -> Bounds:
+    """Dependency bounds of ``instr``'s result given operand bounds."""
+    if instr.op in (Op.CONST, Op.MATCH_CC):
+        return ZERO_BOUNDS
+    if instr.op is Op.SHIFT:
+        lb, la = lookup(instr.args[0])
+        k = instr.shift
+        return (max(lb + k, 0), max(la - k, 0))
+    lb = 0
+    la = 0
+    for arg in instr.args:
+        arg_lb, arg_la = lookup(arg)
+        lb = max(lb, arg_lb)
+        la = max(la, arg_la)
+    return (lb, la)
+
+
+@dataclass
+class StaticOverlap:
+    """Result of the compile-time analysis."""
+
+    lookback: int = 0
+    lookahead: int = 0
+    #: True when some SHIFT executes inside a while loop, so the real
+    #: overlap grows with the loop count (needs dynamic tracking).
+    has_dynamic: bool = False
+    per_var: Dict[str, Bounds] = field(default_factory=dict)
+
+    @property
+    def delta(self) -> int:
+        """The paper's Δ (static part)."""
+        return self.lookback + self.lookahead
+
+
+def analyze_static(program: Program) -> StaticOverlap:
+    """Whole-program static bounds, loop bodies counted once."""
+    result = StaticOverlap()
+    env: Dict[str, Bounds] = {name: ZERO_BOUNDS for name in program.inputs}
+
+    def lookup(name: str) -> Bounds:
+        return env.get(name, ZERO_BOUNDS)
+
+    def visit(stmts: Sequence[Stmt], in_loop: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Instr):
+                bounds = propagate(stmt, lookup)
+                env[stmt.dest] = bounds
+                result.lookback = max(result.lookback, bounds[0])
+                result.lookahead = max(result.lookahead, bounds[1])
+                if in_loop and stmt.op is Op.SHIFT:
+                    result.has_dynamic = True
+            elif isinstance(stmt, WhileLoop):
+                visit(stmt.body, True)
+            elif isinstance(stmt, SkipGuard):
+                continue
+    visit(program.statements, False)
+    result.per_var = dict(env)
+    return result
+
+
+def region_bounds(instrs: Iterable[Instr],
+                  entry: Optional[Dict[str, Bounds]] = None
+                  ) -> Tuple[Dict[str, Bounds], int, int]:
+    """Bounds over one straight-line region.
+
+    ``entry`` gives bounds of region inputs; absent inputs are treated
+    as materialised-exact (0, 0) — the DTM- situation, where values
+    crossing segment boundaries live in global memory.
+    """
+    env: Dict[str, Bounds] = dict(entry or {})
+
+    def lookup(name: str) -> Bounds:
+        return env.get(name, ZERO_BOUNDS)
+
+    lookback = 0
+    lookahead = 0
+    for instr in instrs:
+        bounds = propagate(instr, lookup)
+        env[instr.dest] = bounds
+        lookback = max(lookback, bounds[0])
+        lookahead = max(lookahead, bounds[1])
+    return env, lookback, lookahead
+
+
+class RuntimeTracker:
+    """Per-variable dependency bounds maintained during interleaved
+    execution.  Loops unroll dynamically, so loop-carried shifts
+    accumulate exactly the paper's Δ(n) (Figure 7 (b))."""
+
+    def __init__(self, inputs: Iterable[str]):
+        self.bounds: Dict[str, Bounds] = {name: ZERO_BOUNDS
+                                          for name in inputs}
+        self.max_lookback = 0
+        self.max_lookahead = 0
+
+    def lookup(self, name: str) -> Bounds:
+        return self.bounds.get(name, ZERO_BOUNDS)
+
+    def record(self, instr: Instr) -> Bounds:
+        result = propagate(instr, self.lookup)
+        self.bounds[instr.dest] = result
+        if result[0] > self.max_lookback:
+            self.max_lookback = result[0]
+        if result[1] > self.max_lookahead:
+            self.max_lookahead = result[1]
+        return result
+
+    # Guard-skipped instructions must still be recorded: their values are
+    # zero, but later windows are sized from these bounds, and a skip in
+    # this block says nothing about dependency lengths in the next one.

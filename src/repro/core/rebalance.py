@@ -1,0 +1,233 @@
+"""Shift Rebalancing (Section 5.2).
+
+Long dependency chains of alternating SHIFT/AND instructions serialise
+execution: every SHIFT needs a barrier pair, and each depends on the
+previous AND.  The *operand rewriting* identity
+
+    (A >> n) & B   ==   (A & (B << n)) >> n
+
+(valid on zero-filled streams in both shift directions, and for the
+left operand of ANDN) moves the shift onto the operand with the
+shallower dataflow depth, shortening the critical path and letting the
+now-independent shifts be scheduled together and share barriers
+(``repro.core.barriers``).  The pass runs to a fixpoint and then
+coalesces shift-of-shift chains (``(x >> a) >> b == x >> (a+b)``),
+which is how the shifts that the rewrite introduces are merged "after
+the last AND" (Figure 8, iteration 2).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
+from ..ir.program import Program
+
+_MAX_PASSES = 32
+
+
+class _NameGen:
+    """Fresh variable names that cannot collide with existing ones."""
+
+    def __init__(self, program: Program):
+        highest = 0
+        for var in itertools.chain(program.inputs, program.variables()):
+            if var.startswith("S") and var[1:].isdigit():
+                highest = max(highest, int(var[1:]))
+        self._counter = highest
+
+    def fresh(self) -> str:
+        self._counter += 1
+        return f"S{self._counter}"
+
+
+def _usage_facts(program: Program) -> Tuple[Dict[str, int], Set[str]]:
+    """Global use counts and the set of reassigned (mutable) variables."""
+    uses: Dict[str, int] = {}
+    defined: Set[str] = set()
+    mutable: Set[str] = set()
+
+    def visit(stmts: Sequence[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Instr):
+                for arg in stmt.args:
+                    uses[arg] = uses.get(arg, 0) + 1
+                if stmt.dest in defined:
+                    mutable.add(stmt.dest)
+                defined.add(stmt.dest)
+            elif isinstance(stmt, WhileLoop):
+                uses[stmt.cond] = uses.get(stmt.cond, 0) + 1
+                visit(stmt.body)
+            elif isinstance(stmt, SkipGuard):
+                uses[stmt.cond] = uses.get(stmt.cond, 0) + 1
+
+    visit(program.statements)
+    return uses, mutable
+
+
+def rebalance_program(program: Program) -> Program:
+    """Return a new, semantically equal program with rebalanced shifts."""
+    names = _NameGen(program)
+    uses, mutable = _usage_facts(program)
+    protected = set(program.outputs.values()) | mutable
+
+    def visit(stmts: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        region: List[Instr] = []
+        for stmt in stmts:
+            if isinstance(stmt, Instr):
+                region.append(stmt)
+            else:
+                out.extend(_rebalance_region(region, names, uses, protected))
+                region = []
+                if isinstance(stmt, WhileLoop):
+                    out.append(WhileLoop(stmt.cond, visit(stmt.body)))
+                else:
+                    out.append(stmt)
+        out.extend(_rebalance_region(region, names, uses, protected))
+        return out
+
+    result = Program(name=program.name, statements=visit(program.statements),
+                     outputs=dict(program.outputs), inputs=program.inputs)
+    result.validate()
+    return result
+
+
+def _rebalance_region(instrs: List[Instr], names: _NameGen,
+                      uses: Dict[str, int],
+                      protected: Set[str]) -> List[Instr]:
+    region = list(instrs)
+    for _ in range(_MAX_PASSES):
+        changed = _rewrite_pass(region, names, uses, protected)
+        changed |= _coalesce_shifts(region, uses, protected)
+        if not changed:
+            break
+    return region
+
+
+def _depths(region: Sequence[Instr]) -> Dict[str, int]:
+    """Dataflow depth of each variable's latest definition; region
+    inputs have depth 0."""
+    depth: Dict[str, int] = {}
+    for instr in region:
+        operand_depth = max((depth.get(a, 0) for a in instr.args), default=0)
+        depth[instr.dest] = operand_depth + 1
+    return depth
+
+
+class _RegionIndex:
+    """Per-pass def/use maps for O(1) sole-use SHIFT lookup."""
+
+    def __init__(self, region: Sequence[Instr], uses: Dict[str, int],
+                 protected: Set[str]):
+        self.uses = uses
+        self.protected = protected
+        self.def_index: Dict[str, int] = {}
+        self.def_count: Dict[str, int] = {}
+        for index, instr in enumerate(region):
+            self.def_index[instr.dest] = index
+            self.def_count[instr.dest] = \
+                self.def_count.get(instr.dest, 0) + 1
+
+    def sole_use_shift(self, region: Sequence[Instr], index: int,
+                       var: str, consumed: Set[int]) -> Optional[int]:
+        """Index of the SHIFT defining ``var`` when the rewrite may
+        consume it: defined exactly once in the region (before the
+        consumer), used exactly once in the program, and neither an
+        output nor loop-carried."""
+        if var in self.protected or self.uses.get(var, 0) != 1:
+            return None
+        if self.def_count.get(var, 0) != 1:
+            return None
+        position = self.def_index.get(var)
+        if position is None or position >= index or position in consumed:
+            return None
+        if region[position].op is not Op.SHIFT:
+            return None
+        return position
+
+
+def _rewrite_pass(region: List[Instr], names: _NameGen,
+                  uses: Dict[str, int], protected: Set[str]) -> bool:
+    depth = _depths(region)
+    maps = _RegionIndex(region, uses, protected)
+    consumed: Set[int] = set()
+    replacements: Dict[int, List[Instr]] = {}
+
+    for index, instr in enumerate(region):
+        positions = (0, 1) if instr.op is Op.AND else \
+            (0,) if instr.op is Op.ANDN else ()
+        for pos in positions:
+            var = instr.args[pos]
+            shift_idx = maps.sole_use_shift(region, index, var, consumed)
+            if shift_idx is None:
+                continue
+            shift = region[shift_idx]
+            source_depth = depth.get(shift.args[0], 0)
+            other = instr.args[1 - pos]
+            if source_depth <= depth.get(other, 0):
+                continue  # the shift already sits on the shallower operand
+            k = shift.shift
+            counter_shift = Instr(names.fresh(), Op.SHIFT, (other,),
+                                  shift=-k)
+            # For AND either operand may carry the shift; for ANDN the
+            # identity only holds with the shift feeding the left
+            # (non-negated) operand.
+            combined = Instr(names.fresh(), instr.op,
+                             (shift.args[0], counter_shift.dest))
+            final = Instr(instr.dest, Op.SHIFT, (combined.dest,), shift=k)
+            consumed.add(shift_idx)
+            replacements[index] = [counter_shift, combined, final]
+            uses[shift.dest] = 0
+            uses[counter_shift.dest] = 1
+            uses[combined.dest] = 1
+            depth[counter_shift.dest] = depth.get(other, 0) + 1
+            depth[combined.dest] = max(source_depth,
+                                       depth[counter_shift.dest]) + 1
+            depth[instr.dest] = depth[combined.dest] + 1
+            break
+
+    if not replacements and not consumed:
+        return False
+    rebuilt: List[Instr] = []
+    for index, instr in enumerate(region):
+        if index in consumed:
+            continue
+        rebuilt.extend(replacements.get(index, (instr,)))
+    region[:] = rebuilt
+    return True
+
+
+def _coalesce_shifts(region: List[Instr], uses: Dict[str, int],
+                     protected: Set[str]) -> bool:
+    """Fuse sole-use shift-of-shift chains: (x >> a) >> b -> x >> (a+b)."""
+    maps = _RegionIndex(region, uses, protected)
+    consumed: Set[int] = set()
+    replacements: Dict[int, Instr] = {}
+    for index, instr in enumerate(region):
+        if instr.op is not Op.SHIFT:
+            continue
+        inner_idx = maps.sole_use_shift(region, index, instr.args[0],
+                                        consumed)
+        if inner_idx is None or inner_idx in replacements:
+            continue
+        inner = region[inner_idx]
+        total = inner.shift + instr.shift
+        if total == 0:
+            replacements[index] = Instr(instr.dest, Op.COPY,
+                                        (inner.args[0],))
+        else:
+            replacements[index] = Instr(instr.dest, Op.SHIFT,
+                                        (inner.args[0],), shift=total)
+        consumed.add(inner_idx)
+        uses[inner.dest] = 0
+    if not consumed:
+        return False
+    rebuilt = []
+    for index, instr in enumerate(region):
+        if index in consumed:
+            continue
+        rebuilt.append(replacements.get(index, instr))
+    region[:] = rebuilt
+    return True

@@ -1,0 +1,62 @@
+"""Execution schemes and result container.
+
+The five schemes of the paper's Table 3 ablation:
+
+======  ==========================================================
+BASE    sequential block-wise execution; only runs of bitwise
+        instructions are fused (the paper's baseline)
+DTM-    Dependency-Aware Thread-Data Mapping, static analysis only:
+        straight-line segments are fused and windowed; while loops
+        run as sequential passes with materialised loop streams
+DTM     full interleaving: one fused loop, dynamic overlap tracking
+SR      DTM + Shift Rebalancing + barrier scheduling/merging
+ZBS     SR + Zero Block Skipping
+======  ==========================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..bitstream.bitvector import BitVector
+from ..gpu.metrics import KernelMetrics
+
+
+class Scheme(enum.Enum):
+    BASE = "Base"
+    DTM_MINUS = "DTM-"
+    DTM = "DTM"
+    SR = "SR"
+    ZBS = "ZBS"
+
+    @property
+    def interleaved(self) -> bool:
+        return self in (Scheme.DTM, Scheme.SR, Scheme.ZBS)
+
+    @property
+    def rebalanced(self) -> bool:
+        return self in (Scheme.SR, Scheme.ZBS)
+
+    @property
+    def zero_skipping(self) -> bool:
+        return self is Scheme.ZBS
+
+
+#: Ablation order of Table 3 / Figure 12.
+SCHEME_LADDER = (Scheme.BASE, Scheme.DTM_MINUS, Scheme.DTM, Scheme.SR,
+                 Scheme.ZBS)
+
+
+@dataclass
+class ExecutionResult:
+    """Output streams plus the metrics of producing them."""
+
+    outputs: Dict[str, BitVector] = field(default_factory=dict)
+    metrics: KernelMetrics = field(default_factory=KernelMetrics)
+
+    def match_ends(self) -> Dict[str, list]:
+        """Match end positions per output (cursor convention - 1)."""
+        return {name: [p - 1 for p in stream.positions() if p > 0]
+                for name, stream in self.outputs.items()}

@@ -1,0 +1,90 @@
+"""Streaming (chunked) matching.
+
+Deep packet inspection — the paper's motivating deployment — sees its
+input as a stream of packets, not one buffer.  :class:`StreamingMatcher`
+wraps a compiled :class:`BitGenEngine` with carried history: each
+``feed(chunk)`` scans the retained tail of the previous data plus the
+new chunk and reports only the *new* match end positions, in global
+stream coordinates.
+
+Correctness bound: a match whose span exceeds the retained tail can be
+missed when it straddles a chunk boundary.  The constructor sizes the
+tail from the pattern set — for bounded patterns the exact maximum
+match length; unbounded patterns (Kleene stars over the alphabet) fall
+back to ``max_tail_bytes``, which then becomes an explicit guarantee
+("matches up to N bytes are never missed"), the same contract
+stream-mode Hyperscan documents for its bounded-history modes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..engines.hyperscan import max_match_length
+from .engine import BitGenEngine
+
+DEFAULT_MIN_TAIL = 256
+
+
+class StreamingMatcher:
+    """Chunked matcher over one compiled engine."""
+
+    def __init__(self, engine: BitGenEngine,
+                 max_tail_bytes: int = 4096):
+        if engine._nodes is None:
+            raise ValueError("engine was built without pattern ASTs")
+        self.engine = engine
+        bounded: List[int] = []
+        self.has_unbounded = False
+        for node in engine._nodes:
+            longest = max_match_length(node)
+            if longest is None:
+                self.has_unbounded = True
+            else:
+                bounded.append(longest)
+        wanted = max(bounded + [DEFAULT_MIN_TAIL])
+        if self.has_unbounded:
+            wanted = max_tail_bytes
+        #: matches up to this many bytes long are never missed
+        self.guaranteed_span = min(wanted, max_tail_bytes)
+        self._tail = b""
+        self._consumed = 0          # stream bytes before the tail
+        self.chunks_fed = 0
+
+    # -- streaming -----------------------------------------------------------
+
+    def feed(self, chunk: bytes) -> Dict[int, List[int]]:
+        """Scan ``chunk``; returns the new match end positions per
+        pattern, in global stream coordinates."""
+        self.chunks_fed += 1
+        window = self._tail + chunk
+        result = self.engine.match(window)
+        fresh: Dict[int, List[int]] = {}
+        boundary = len(self._tail)
+        for pattern, ends in result.ends.items():
+            fresh[pattern] = [self._consumed + pos for pos in ends
+                              if pos >= boundary]
+        keep = min(len(window), self.guaranteed_span)
+        self._consumed += len(window) - keep
+        self._tail = window[len(window) - keep:]
+        return fresh
+
+    def feed_all(self, chunks: Sequence[bytes]) -> Dict[int, List[int]]:
+        """Feed several chunks; returns merged results."""
+        merged: Dict[int, List[int]] = {i: []
+                                        for i in
+                                        range(self.engine.pattern_count)}
+        for chunk in chunks:
+            for pattern, ends in self.feed(chunk).items():
+                merged[pattern].extend(ends)
+        return merged
+
+    @property
+    def stream_position(self) -> int:
+        """Total bytes consumed so far."""
+        return self._consumed + len(self._tail)
+
+    def reset(self) -> None:
+        self._tail = b""
+        self._consumed = 0
+        self.chunks_fed = 0

@@ -1,0 +1,279 @@
+"""Zero Block Skipping (Section 6).
+
+Intermediate bitstreams are mostly zero in practice (partial regex
+mismatches), and AND/SHIFT chains map zero inputs to zero outputs.
+This pass identifies *zero paths* in each straight-line region and
+inserts goto-style :class:`SkipGuard` statements: when the guarded
+variable's window is all zero, the executor skips the guarded range and
+zero-fills the skipped definitions.
+
+Validation (per the paper): a guard from the path head to some point
+may only skip instructions whose values are provably zero under the
+guard condition, unless their results are dead within the skipped
+range.  Instead of rejecting outright we shrink the range to the
+longest valid prefix — a conservative generalisation of the paper's
+"continue at the next node" retry.  Guards are also attempted every
+``interval`` nodes along a path (Interval-Based Multi-Guard Insertion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
+from ..ir.program import Program
+
+DEFAULT_INTERVAL = 8
+
+
+_ZERO_POSITIONS = {
+    Op.AND: (0, 1),
+    Op.SHIFT: (0,),
+    Op.COPY: (0,),
+    Op.ANDN: (0,),
+}
+
+#: guards per zero path are capped: beyond this, extra interior guards
+#: add runtime reduction cost without exposing more skippable work
+MAX_GUARDS_PER_PATH = 8
+
+
+def zero_consuming_positions(instr: Instr) -> Tuple[int, ...]:
+    """Operand positions whose zero forces the result to zero."""
+    return _ZERO_POSITIONS.get(instr.op, ())
+
+
+def insert_guards(program: Program,
+                  interval: int = DEFAULT_INTERVAL) -> Program:
+    """Return a new program with zero-skip guards inserted."""
+    if interval < 1:
+        raise ValueError("interval must be >= 1")
+    escaping = _escaping_vars(program)
+
+    def visit(stmts: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        region: List[Instr] = []
+        for stmt in stmts:
+            if isinstance(stmt, Instr):
+                region.append(stmt)
+            else:
+                out.extend(_guard_region(region, escaping, interval))
+                region = []
+                if isinstance(stmt, WhileLoop):
+                    out.append(WhileLoop(stmt.cond, visit(stmt.body)))
+                else:
+                    out.append(stmt)
+        out.extend(_guard_region(region, escaping, interval))
+        return out
+
+    result = Program(name=program.name,
+                     statements=visit(program.statements),
+                     outputs=dict(program.outputs), inputs=program.inputs)
+    result.validate()
+    return result
+
+
+def _escaping_vars(program: Program) -> Set[str]:
+    """Variables whose values are observed outside their defining
+    straight-line region: outputs, loop conditions, reassigned
+    (loop-carried) variables, and anything used in another region."""
+    escaping: Set[str] = set(program.outputs.values())
+    region_of_def: Dict[str, int] = {}
+    region_id = 0
+
+    def visit(stmts: Sequence[Stmt]) -> None:
+        nonlocal region_id
+        for stmt in stmts:
+            if isinstance(stmt, Instr):
+                for arg in stmt.args:
+                    if region_of_def.get(arg, region_id) != region_id:
+                        escaping.add(arg)
+                if stmt.dest in region_of_def:
+                    escaping.add(stmt.dest)
+                region_of_def[stmt.dest] = region_id
+            elif isinstance(stmt, WhileLoop):
+                escaping.add(stmt.cond)
+                region_id += 1
+                visit(stmt.body)
+                region_id += 1
+            elif isinstance(stmt, SkipGuard):
+                escaping.add(stmt.cond)
+
+    visit(program.statements)
+    return escaping
+
+
+@dataclass(frozen=True)
+class _Guard:
+    cond: str
+    start: int          # first guarded instruction index (in region)
+    end: int            # last guarded instruction index (inclusive)
+
+
+def _guard_region(region: List[Instr], escaping: Set[str],
+                  interval: int) -> List[Stmt]:
+    if not region:
+        return []
+    guards = _plan_guards(region, escaping, interval)
+    return _materialise(region, guards)
+
+
+def _zero_paths(region: List[Instr]) -> List[Tuple[str, List[int]]]:
+    """Maximal (head variable, instruction index chain) zero paths."""
+    from bisect import bisect_right
+
+    consumers: Dict[str, List[int]] = {}
+    defs_of: Dict[str, List[int]] = {}
+    for index, instr in enumerate(region):
+        for pos in zero_consuming_positions(instr):
+            consumers.setdefault(instr.args[pos], []).append(index)
+        defs_of.setdefault(instr.dest, []).append(index)
+
+    def next_link(var: str, after: int) -> Optional[int]:
+        """First zero-preserving consumer of ``var`` after ``after``
+        that still reads this definition (no redefinition between)."""
+        indices = consumers.get(var, ())
+        cut = bisect_right(indices, after)
+        if cut == len(indices):
+            return None
+        candidate = indices[cut]
+        redefs = defs_of.get(var, ())
+        between = bisect_right(redefs, after)
+        if between < len(redefs) and redefs[between] < candidate:
+            return None
+        return candidate
+
+    paths: List[Tuple[str, List[int]]] = []
+    on_some_path: Set[int] = set()
+    for index, instr in enumerate(region):
+        for pos in zero_consuming_positions(instr):
+            var = instr.args[pos]
+            if index in on_some_path:
+                continue
+            # A chain head: the operand is not itself a zero-preserving
+            # product of an earlier chain member (those are covered by
+            # the chain that produced them).
+            chain = [index]
+            on_some_path.add(index)
+            cursor = index
+            while True:
+                nxt = next_link(region[cursor].dest, cursor)
+                if nxt is None:
+                    break
+                chain.append(nxt)
+                on_some_path.add(nxt)
+                cursor = nxt
+            paths.append((var, chain))
+            break
+    return paths
+
+
+def _liveness(region: List[Instr], escaping: Set[str]) -> List[int]:
+    """``dead_after[i]``: the smallest range end such that skipping the
+    definition at ``i`` with a zero-fill cannot be observed, assuming
+    the value is *not* provably zero — i.e. the last use of this
+    definition before its next redefinition.  Escaping definitions are
+    never safely skippable (``len(region)`` sentinel)."""
+    uses_of: Dict[str, List[int]] = {}
+    defs_of: Dict[str, List[int]] = {}
+    for index, instr in enumerate(region):
+        for arg in instr.args:
+            uses_of.setdefault(arg, []).append(index)
+        defs_of.setdefault(instr.dest, []).append(index)
+
+    never = len(region)
+    dead_after = [0] * len(region)
+    for index, instr in enumerate(region):
+        if instr.dest in escaping:
+            dead_after[index] = never
+            continue
+        later_defs = [d for d in defs_of[instr.dest] if d > index]
+        horizon = later_defs[0] if later_defs else never
+        relevant = [u for u in uses_of.get(instr.dest, ())
+                    if index < u < horizon]
+        dead_after[index] = max(relevant) if relevant else index
+    return dead_after
+
+
+def _plan_guards(region: List[Instr], escaping: Set[str],
+                 interval: int) -> List[_Guard]:
+    guards: List[_Guard] = []
+    seen: Set[Tuple[str, int, int]] = set()
+    dead_after = _liveness(region, escaping)
+    for head_var, chain in _zero_paths(region):
+        stride = max(interval, -(-len(chain) // MAX_GUARDS_PER_PATH))
+        for offset in range(0, len(chain), stride):
+            start = chain[offset]
+            cond = head_var if offset == 0 \
+                else region[chain[offset - 1]].dest
+            end = _longest_valid_end(region, cond, start, chain[-1],
+                                     dead_after)
+            if end is None or end - start < 1:
+                continue
+            key = (cond, start, end)
+            if key in seen:
+                continue
+            seen.add(key)
+            guards.append(_Guard(cond, start, end))
+    return guards
+
+
+def _longest_valid_end(region: List[Instr], cond: str, start: int,
+                       path_end: int,
+                       dead_after: List[int]) -> Optional[int]:
+    """Largest end index such that skipping [start, end] (zero-filling
+    every skipped definition) is semantically safe when ``cond`` is
+    all-zero over the window: every skipped definition is either
+    provably zero under the condition, or dead by the range end.
+    Linear scan: ``required`` tracks the latest liveness horizon of any
+    non-zero definition seen so far."""
+    zero_set: Set[str] = {cond}
+    best: Optional[int] = None
+    required = -1
+    for index in range(start, path_end + 1):
+        instr = region[index]
+        if _forces_zero(instr, zero_set):
+            zero_set.add(instr.dest)
+        else:
+            zero_set.discard(instr.dest)  # redefined to a non-zero value
+            required = max(required, dead_after[index])
+        if required <= index:
+            best = index
+    return best
+
+
+def _forces_zero(instr: Instr, zero_set: Set[str]) -> bool:
+    positions = zero_consuming_positions(instr)
+    if positions:
+        if any(instr.args[pos] in zero_set for pos in positions):
+            return True
+    if instr.op in (Op.OR, Op.XOR):
+        return all(arg in zero_set for arg in instr.args)
+    return False
+
+
+def _materialise(region: List[Instr], guards: List[_Guard]) -> List[Stmt]:
+    """Interleave guards with instructions, converting (start, end)
+    instruction ranges into statement skip counts (guards nested inside
+    a skipped range count toward it)."""
+    starts: Dict[int, List[_Guard]] = {}
+    for guard in guards:
+        starts.setdefault(guard.start, []).append(guard)
+    for bucket in starts.values():
+        # Wider guards first, so inner guards land inside their range.
+        bucket.sort(key=lambda g: -g.end)
+
+    out: List[Stmt] = []
+    position_of: Dict[int, int] = {}
+    pending: List[Tuple[_Guard, int]] = []  # (guard, stmt index of marker)
+    for index, instr in enumerate(region):
+        for guard in starts.get(index, ()):  # wider first
+            out.append(None)  # placeholder patched below
+            pending.append((guard, len(out) - 1))
+        position_of[index] = len(out)
+        out.append(instr)
+    for guard, marker in pending:
+        end_stmt = position_of[guard.end]
+        out[marker] = SkipGuard(guard.cond, end_stmt - marker)
+    return out

@@ -1,0 +1,15 @@
+"""Comparison engines: icgrep, ngAP, and Hyperscan analogues, plus the
+shared engine interface BitGen also implements."""
+
+from .base import Engine, MatchResult
+from .hyperscan import (HyperscanEngine, HyperscanStats, literal_bytes,
+                        required_factor)
+from .icgrep import ICgrepEngine, ICgrepStats
+from .ngap import NgAPEngine, NgAPStats
+from .re2 import RE2Engine, RE2Stats
+
+__all__ = [
+    "Engine", "HyperscanEngine", "HyperscanStats", "ICgrepEngine",
+    "ICgrepStats", "MatchResult", "NgAPEngine", "NgAPStats", "RE2Engine",
+    "RE2Stats", "literal_bytes", "required_factor",
+]

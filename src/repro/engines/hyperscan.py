@@ -1,0 +1,334 @@
+"""Hyperscan-style CPU engine.
+
+Hyperscan (Wang et al., NSDI'19) wins on literal-heavy rule sets by
+*decomposition*: patterns that are plain strings go to a SIMD
+multi-string matcher, and complex patterns are anchored to a required
+literal factor so the expensive automaton only runs near factor hits.
+This engine reproduces that architecture with three exact tiers:
+
+* **pure literals** — matched directly by one Aho–Corasick scan;
+* **confirmable patterns** — a mandatory literal factor *and* a bounded
+  maximum match length: every match contains the factor, so the
+  pattern's own NFA scans only merged windows around factor hits;
+* **full-scan patterns** — no usable factor (or unbounded length with
+  no factor): matched by one combined NFA scan.  Patterns whose factor
+  never occurs in the input are excluded entirely (prefiltering).
+
+All tiers are exact, so outputs match every other engine; the stats
+drive the HS-1T/HS-MT cost model (multi-threaded scaling is modelled in
+``repro.perf`` with the paper's measured 1.76x overall ceiling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..automata.aho_corasick import ACStats, AhoCorasick
+from ..automata.nfa import MultiPatternNFA, NFAStats
+from ..regex import ast
+from ..regex.parser import parse
+from ..regex.simplify import simplify
+from .base import Engine, MatchResult
+
+MIN_FACTOR_LENGTH = 2
+#: confirmation is worthwhile only for reasonably short patterns;
+#: beyond this the windows degenerate into full scans
+MAX_CONFIRM_LENGTH = 512
+#: cap on a line-bounded confirmation window
+MAX_LINE_WINDOW = 4096
+
+
+def literal_bytes(node: ast.Regex) -> Optional[bytes]:
+    """The exact byte string of a pure-literal pattern, else None."""
+    if isinstance(node, ast.Lit) and node.cc.is_single():
+        return bytes([node.cc.single_byte()])
+    if isinstance(node, ast.Seq):
+        parts = []
+        for part in node.parts:
+            sub = literal_bytes(part)
+            if sub is None:
+                return None
+            parts.append(sub)
+        return b"".join(parts)
+    return None
+
+
+def required_factor(node: ast.Regex) -> Optional[bytes]:
+    """A literal substring every match must contain: the longest run of
+    singleton classes among the mandatory top-level concatenation parts."""
+    parts = node.parts if isinstance(node, ast.Seq) else [node]
+    best = b""
+    current = bytearray()
+    for part in parts:
+        byte = None
+        if isinstance(part, ast.Lit) and part.cc.is_single():
+            byte = part.cc.single_byte()
+        if byte is not None:
+            current.append(byte)
+        else:
+            if len(current) > len(best):
+                best = bytes(current)
+            current = bytearray()
+    if len(current) > len(best):
+        best = bytes(current)
+    return best if len(best) >= MIN_FACTOR_LENGTH else None
+
+
+def max_match_length(node: ast.Regex) -> Optional[int]:
+    """Longest possible match in bytes, or None when unbounded."""
+    if isinstance(node, (ast.Empty, ast.Anchor)):
+        return 0
+    if isinstance(node, ast.Lit):
+        return 1
+    if isinstance(node, ast.Seq):
+        total = 0
+        for part in node.parts:
+            sub = max_match_length(part)
+            if sub is None:
+                return None
+            total += sub
+        return total
+    if isinstance(node, ast.Alt):
+        longest = 0
+        for branch in node.branches:
+            sub = max_match_length(branch)
+            if sub is None:
+                return None
+            longest = max(longest, sub)
+        return longest
+    if isinstance(node, ast.Star):
+        inner = max_match_length(node.body)
+        return 0 if inner == 0 else None
+    if isinstance(node, ast.Rep):
+        if node.hi is None:
+            inner = max_match_length(node.body)
+            return 0 if inner == 0 else None
+        inner = max_match_length(node.body)
+        if inner is None:
+            return None
+        return inner * node.hi
+    raise TypeError(f"unknown node {node!r}")
+
+
+def excludes_newline(node: ast.Regex) -> bool:
+    """True when no match of ``node`` can contain a newline byte, so
+    every match is confined to one input line.  This is how unbounded
+    ``.*`` patterns stay confirmable: ``.`` excludes newline."""
+    newline = ord("\n")
+    for sub in node.walk():
+        if isinstance(sub, ast.Lit) and sub.cc.contains(newline):
+            return False
+    return True
+
+
+def merge_intervals(intervals: List[Tuple[int, int]]
+                    ) -> List[Tuple[int, int]]:
+    """Coalesce overlapping/adjacent [start, end) intervals."""
+    intervals.sort()
+    merged: List[Tuple[int, int]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass
+class HyperscanStats:
+    """Work counters for one match run."""
+
+    ac: ACStats = field(default_factory=ACStats)
+    nfa: Optional[NFAStats] = None
+    confirm: NFAStats = field(default_factory=NFAStats)
+    literal_patterns: int = 0
+    confirmable_patterns: int = 0
+    complex_patterns: int = 0
+    prefiltered_out: int = 0
+    nfa_scanned: int = 0
+    confirm_windows: int = 0
+    confirm_bytes: int = 0
+    input_bytes: int = 0
+    ac_nodes: int = 0
+
+    def literal_fraction(self) -> float:
+        total = (self.literal_patterns + self.confirmable_patterns
+                 + self.complex_patterns)
+        if total == 0:
+            return 1.0
+        return self.literal_patterns / total
+
+
+@dataclass
+class _Confirmable:
+    pattern_id: int
+    node: ast.Regex
+    factor: bytes
+    #: bounded maximum match length, or None for line-bounded patterns
+    max_length: Optional[int]
+    slot: int                       # AC pattern slot of the factor
+    nfa: Optional[MultiPatternNFA] = None
+
+
+class HyperscanEngine(Engine):
+    """Decomposition + prefilter + windowed-confirmation matcher."""
+
+    name = "Hyperscan"
+
+    def __init__(self, literal_ids: List[int], literals: List[bytes],
+                 confirmables: List[_Confirmable],
+                 full_ids: List[int], full_nodes: List[ast.Regex],
+                 full_factors: Dict[int, int],
+                 ac_patterns: List[bytes], pattern_count: int):
+        self.literal_ids = literal_ids
+        self.confirmables = confirmables
+        self.full_ids = full_ids
+        self.full_nodes = full_nodes
+        self.full_factors = full_factors  # pattern id -> AC slot
+        self.pattern_count = pattern_count
+        self.ac = AhoCorasick.build(ac_patterns) if ac_patterns else None
+        self._full_nfa_cache: Dict[frozenset, MultiPatternNFA] = {}
+        self.last_stats = HyperscanStats()
+
+    @classmethod
+    def compile(cls, patterns: Sequence[str]) -> "HyperscanEngine":
+        nodes = [simplify(parse(p)) if isinstance(p, str) else simplify(p)
+                 for p in patterns]
+        literal_ids: List[int] = []
+        literals: List[bytes] = []
+        confirmables: List[_Confirmable] = []
+        full_ids: List[int] = []
+        full_nodes: List[ast.Regex] = []
+        pending_factor: Dict[int, bytes] = {}
+
+        for pid, node in enumerate(nodes):
+            text = literal_bytes(node)
+            if text:
+                literal_ids.append(pid)
+                literals.append(text)
+                continue
+            factor = required_factor(node)
+            longest = max_match_length(node)
+            if factor is not None and longest is not None \
+                    and longest <= MAX_CONFIRM_LENGTH:
+                confirmables.append(_Confirmable(pid, node, factor,
+                                                 longest, slot=-1))
+                continue
+            if factor is not None and excludes_newline(node):
+                # Unbounded but newline-free: matches are line-local.
+                confirmables.append(_Confirmable(pid, node, factor,
+                                                 None, slot=-1))
+                continue
+            full_ids.append(pid)
+            full_nodes.append(node)
+            if factor is not None:
+                pending_factor[pid] = factor
+
+        ac_patterns = list(literals)
+        for item in confirmables:
+            item.slot = len(ac_patterns)
+            ac_patterns.append(item.factor)
+        full_factors: Dict[int, int] = {}
+        for pid, factor in pending_factor.items():
+            full_factors[pid] = len(ac_patterns)
+            ac_patterns.append(factor)
+        return cls(literal_ids, literals, confirmables, full_ids,
+                   full_nodes, full_factors, ac_patterns, len(nodes))
+
+    # -- matching ------------------------------------------------------------
+
+    def match(self, data: bytes) -> MatchResult:
+        result = MatchResult(pattern_count=self.pattern_count)
+        stats = HyperscanStats(
+            literal_patterns=len(self.literal_ids),
+            confirmable_patterns=len(self.confirmables),
+            complex_patterns=len(self.full_ids),
+            input_bytes=len(data),
+            ac_nodes=self.ac.node_count if self.ac else 0)
+
+        slot_hits: Dict[int, List[int]] = {}
+        if self.ac is not None:
+            hits, stats.ac = self.ac.scan(data)
+            for slot, end in hits:
+                if slot < len(self.literal_ids):
+                    result.ends[self.literal_ids[slot]].append(end)
+                else:
+                    slot_hits.setdefault(slot, []).append(end)
+        for pid in self.literal_ids:
+            result.ends[pid] = sorted(set(result.ends[pid]))
+
+        self._confirm(data, slot_hits, result, stats)
+        self._full_scan(data, slot_hits, result, stats)
+        self.last_stats = stats
+        return result
+
+    def _confirm(self, data: bytes, slot_hits: Dict[int, List[int]],
+                 result: MatchResult, stats: HyperscanStats) -> None:
+        for item in self.confirmables:
+            hits = slot_hits.get(item.slot)
+            if not hits:
+                stats.prefiltered_out += 1
+                continue
+            windows = merge_intervals([self._window(data, item, end)
+                                       for end in hits])
+            if item.nfa is None:
+                item.nfa = MultiPatternNFA.build([item.node])
+            ends: Set[int] = set()
+            for start, stop in windows:
+                stats.confirm_windows += 1
+                stats.confirm_bytes += stop - start
+                matches, window_stats = item.nfa.run(data[start:stop])
+                _accumulate(stats.confirm, window_stats)
+                ends.update(pos + start for pos in matches[0])
+            result.ends[item.pattern_id] = sorted(ends)
+
+    @staticmethod
+    def _window(data: bytes, item: _Confirmable,
+                end: int) -> Tuple[int, int]:
+        """Confirmation window around a factor hit ending at ``end``."""
+        if item.max_length is not None:
+            return (max(0, end - item.max_length + 1),
+                    min(len(data),
+                        end + item.max_length - len(item.factor) + 1))
+        # Line-bounded: the enclosing line, capped.
+        floor = max(0, end - MAX_LINE_WINDOW)
+        start = data.rfind(b"\n", floor, end) + 1
+        if start == 0 and floor > 0:
+            start = floor
+        stop = data.find(b"\n", end, end + MAX_LINE_WINDOW)
+        if stop == -1:
+            stop = min(len(data), end + MAX_LINE_WINDOW)
+        return (start, stop)
+
+    def _full_scan(self, data: bytes, slot_hits: Dict[int, List[int]],
+                   result: MatchResult, stats: HyperscanStats) -> None:
+        survivors: List[int] = []
+        for pid in self.full_ids:
+            slot = self.full_factors.get(pid)
+            if slot is not None and not slot_hits.get(slot):
+                stats.prefiltered_out += 1
+                continue
+            survivors.append(pid)
+        if not survivors:
+            return
+        key = frozenset(survivors)
+        nfa = self._full_nfa_cache.get(key)
+        if nfa is None:
+            index = {pid: i for i, pid in enumerate(self.full_ids)}
+            nfa = MultiPatternNFA.build([self.full_nodes[index[p]]
+                                         for p in survivors])
+            self._full_nfa_cache[key] = nfa
+        matches, stats.nfa = nfa.run(data)
+        stats.nfa_scanned = len(survivors)
+        for local, pid in enumerate(survivors):
+            result.ends[pid] = sorted(set(matches[local]))
+
+
+def _accumulate(total: NFAStats, part: NFAStats) -> None:
+    total.symbols += part.symbols
+    total.active_state_visits += part.active_state_visits
+    total.transition_lookups += part.transition_lookups
+    total.start_checks += part.start_checks
+    total.matches += part.matches
+    total.max_active = max(total.max_active, part.max_active)

@@ -1,0 +1,68 @@
+"""ngAP-style GPU NFA engine.
+
+The comparison GPU baseline (Ge et al., ASPLOS'24): automata processing
+with a worklist that exposes symbol-level parallelism.  The execution
+model is one state-transition table lookup per (active state, symbol)
+pair — the irregular memory traffic the paper identifies as its
+bottleneck — with GPU utilisation limited by how many worklist entries
+exist at a time (Section 8.1: short worklists on low-activity inputs
+"fail to saturate GPU resources", e.g. ClamAV).
+
+The simulation performs real matching on the combined Glushkov NFA and
+counts the accesses; ``repro.perf.model`` turns them into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..automata.nfa import MultiPatternNFA, NFAStats
+from ..regex.parser import parse
+from .base import Engine, MatchResult
+
+
+@dataclass
+class NgAPStats:
+    """Work counters for one match run."""
+
+    nfa: NFAStats = field(default_factory=NFAStats)
+    state_count: int = 0
+    transition_count: int = 0
+    input_bytes: int = 0
+    #: worklist entries processed (candidate states per symbol)
+    worklist_items: int = 0
+
+    def avg_parallelism(self) -> float:
+        """Average worklist occupancy — the engine's exposed parallelism."""
+        if self.input_bytes == 0:
+            return 0.0
+        return self.worklist_items / self.input_bytes
+
+
+class NgAPEngine(Engine):
+    """Worklist NFA matcher with access accounting."""
+
+    name = "ngAP"
+
+    def __init__(self, nfa: MultiPatternNFA):
+        self.nfa = nfa
+        self.last_stats = NgAPStats()
+
+    @classmethod
+    def compile(cls, patterns: Sequence[str]) -> "NgAPEngine":
+        nodes = [parse(p) if isinstance(p, str) else p for p in patterns]
+        return cls(MultiPatternNFA.build(nodes))
+
+    def match(self, data: bytes) -> MatchResult:
+        matches, stats = self.nfa.run(data)
+        self.last_stats = NgAPStats(
+            nfa=stats,
+            state_count=self.nfa.state_count,
+            transition_count=self.nfa.transition_count(),
+            input_bytes=len(data),
+            worklist_items=stats.active_state_visits)
+        return MatchResult(
+            pattern_count=self.nfa.pattern_count,
+            ends={pid: sorted(set(ends))
+                  for pid, ends in matches.items()})

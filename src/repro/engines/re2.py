@@ -1,0 +1,68 @@
+"""RE2-style DFA engine.
+
+The related-work CPU design point (Section 9: "RE2 avoids [backtracking
+blowup] by compiling regexes into DFAs, ensuring linear-time
+performance"): one subset-construction DFA over the whole pattern set,
+one table lookup per input byte.  Its weakness is exactly what the
+paper cites for multi-regex workloads — the combined automaton can blow
+up exponentially, so construction is budgeted and falls back to NFA
+simulation (mirroring RE2's own DFA-state-cache fallback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..automata.dfa import DFA, DFATooLarge
+from ..automata.nfa import MultiPatternNFA
+from ..regex.parser import parse
+from .base import Engine, MatchResult
+
+
+@dataclass
+class RE2Stats:
+    """Work counters for one match run."""
+
+    dfa_states: int = 0
+    table_steps: int = 0
+    fell_back_to_nfa: bool = False
+    input_bytes: int = 0
+
+
+class RE2Engine(Engine):
+    """Budgeted subset-DFA matcher with NFA fallback."""
+
+    name = "RE2"
+
+    def __init__(self, nfa: MultiPatternNFA, dfa, pattern_count: int):
+        self.nfa = nfa
+        self.dfa = dfa
+        self.pattern_count = pattern_count
+        self.last_stats = RE2Stats()
+
+    @classmethod
+    def compile(cls, patterns: Sequence[str],
+                max_dfa_states: int = 8192) -> "RE2Engine":
+        nodes = [parse(p) if isinstance(p, str) else p for p in patterns]
+        nfa = MultiPatternNFA.build(nodes)
+        try:
+            dfa = DFA.build(nfa, max_states=max_dfa_states)
+        except DFATooLarge:
+            dfa = None
+        return cls(nfa, dfa, len(nodes))
+
+    def match(self, data: bytes) -> MatchResult:
+        if self.dfa is not None:
+            matches = self.dfa.run(data)
+            self.last_stats = RE2Stats(dfa_states=self.dfa.state_count,
+                                       table_steps=len(data),
+                                       input_bytes=len(data))
+        else:
+            matches, _nfa_stats = self.nfa.run(data)
+            self.last_stats = RE2Stats(fell_back_to_nfa=True,
+                                       input_bytes=len(data))
+        return MatchResult(
+            pattern_count=self.pattern_count,
+            ends={pid: sorted(set(ends))
+                  for pid, ends in matches.items()})

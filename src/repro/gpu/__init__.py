@@ -1,0 +1,18 @@
+"""GPU execution substrate: device configs, CTA geometry, memory and
+metric accounting."""
+
+from .config import (ALL_GPUS, H100_NVL, L40S, RTX_3090, XEON_8562Y,
+                     CPUConfig, GPUConfig, gpu_by_name)
+from .machine import DEFAULT_GEOMETRY, CTAGeometry
+from .memory import GlobalMemory, SharedMemory, SharedMemoryOverflow
+from .metrics import KernelMetrics
+from .transpose_kernel import (TransposeResult, model_transpose_time,
+                               run_transpose_kernel)
+
+__all__ = [
+    "ALL_GPUS", "CPUConfig", "CTAGeometry", "DEFAULT_GEOMETRY",
+    "GPUConfig", "GlobalMemory", "H100_NVL", "KernelMetrics", "L40S",
+    "RTX_3090", "SharedMemory", "SharedMemoryOverflow",
+    "TransposeResult", "XEON_8562Y", "gpu_by_name",
+    "model_transpose_time", "run_transpose_kernel",
+]

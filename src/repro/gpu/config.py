@@ -1,0 +1,90 @@
+"""Device configurations.
+
+Published specifications for the devices in the paper's evaluation
+(Section 7): an RTX 3090 as the primary GPU, H100 NVL and L40S for the
+portability study (Figure 15), and the Xeon Platinum 8562Y+ for the CPU
+baselines.  Integer throughput numbers are those the paper itself uses
+(Section 8.3: 17.8 / 33.5 / 45.8 TIOPS ≈ 1 : 1.9 : 2.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """A GPU device model for the analytic throughput model."""
+
+    name: str
+    sm_count: int
+    #: peak integer throughput, tera-ops/second (32-bit)
+    int_tiops: float
+    #: DRAM bandwidth, GB/s
+    dram_bandwidth_gbps: float
+    #: aggregate shared-memory bandwidth, GB/s
+    smem_bandwidth_gbps: float
+    #: device memory capacity, GB
+    memory_gb: float
+    #: boost clock, GHz (latency-bound work scales with clock)
+    clock_ghz: float = 1.70
+    #: marginal cost of one intra-CTA barrier, nanoseconds (threads
+    #: arrive staggered, so part of the latency overlaps compute)
+    barrier_latency_ns: float = 25.0
+    #: per-CTA shared memory capacity, bytes
+    smem_capacity_bytes: int = 96 * 1024
+    #: sustained fraction of peak integer throughput for bitwise kernels
+    compute_efficiency: float = 0.35
+
+    def int_ops_per_second(self) -> float:
+        return self.int_tiops * 1e12 * self.compute_efficiency
+
+    def dram_bytes_per_second(self) -> float:
+        return self.dram_bandwidth_gbps * 1e9
+
+    def smem_bytes_per_second(self) -> float:
+        return self.smem_bandwidth_gbps * 1e9
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """A CPU model for the icgrep / Hyperscan baselines."""
+
+    name: str
+    cores: int
+    #: peak integer throughput, tera-ops/second (SIMD, all cores)
+    int_tiops: float
+    dram_bandwidth_gbps: float
+    #: effective multi-thread scaling ceiling (the paper measures HS-MT
+    #: at only 1.76x HS-1T due to cache contention and imbalance)
+    mt_scaling_ceiling: float = 1.76
+    compute_efficiency: float = 0.35
+
+    def single_core_ops_per_second(self) -> float:
+        return (self.int_tiops * 1e12 / self.cores) * self.compute_efficiency
+
+
+RTX_3090 = GPUConfig(
+    name="RTX 3090", sm_count=82, int_tiops=17.8, clock_ghz=1.70,
+    dram_bandwidth_gbps=936.0, smem_bandwidth_gbps=17800.0, memory_gb=24.0)
+
+H100_NVL = GPUConfig(
+    name="H100 NVL", sm_count=132, int_tiops=33.5, clock_ghz=1.98,
+    dram_bandwidth_gbps=3900.0, smem_bandwidth_gbps=33400.0, memory_gb=94.0)
+
+L40S = GPUConfig(
+    name="L40S", sm_count=142, int_tiops=45.8, clock_ghz=2.52,
+    dram_bandwidth_gbps=864.0, smem_bandwidth_gbps=45800.0, memory_gb=48.0)
+
+XEON_8562Y = CPUConfig(
+    name="Xeon Platinum 8562Y+", cores=32, int_tiops=3.9,
+    dram_bandwidth_gbps=307.0)
+
+ALL_GPUS = (RTX_3090, H100_NVL, L40S)
+
+
+def gpu_by_name(name: str) -> GPUConfig:
+    for gpu in ALL_GPUS:
+        if gpu.name == name:
+            return gpu
+    raise KeyError(f"unknown GPU {name!r}")

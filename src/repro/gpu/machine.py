@@ -1,0 +1,73 @@
+"""CTA geometry and block mapping (Section 3.1).
+
+A bitstream of |S| bits is partitioned into blocks of ``T * W`` bits:
+``T`` threads per CTA, each handling one ``W``-bit word per iteration.
+The paper's configuration is T = 512, W = 32, i.e. 16,384-bit blocks —
+which is also the maximum overlap distance DTM can recompute
+(Section 8.2's limit discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class CTAGeometry:
+    """Thread/word shape of one CTA."""
+
+    threads: int = 512
+    word_bits: int = 32
+
+    def __post_init__(self):
+        if self.threads <= 0 or self.word_bits <= 0:
+            raise ValueError("threads and word_bits must be positive")
+
+    @property
+    def block_bits(self) -> int:
+        return self.threads * self.word_bits
+
+    @property
+    def block_bytes(self) -> int:
+        return self.block_bits // 8
+
+    def block_count(self, stream_bits: int) -> int:
+        """N = ceil(|S| / (T*W)); zero-length streams take one block."""
+        if stream_bits <= 0:
+            return 1
+        return -(-stream_bits // self.block_bits)
+
+    def block_range(self, index: int, stream_bits: int) -> Tuple[int, int]:
+        """[start, end) bit range of block ``index``."""
+        start = index * self.block_bits
+        end = min(start + self.block_bits, stream_bits)
+        return start, end
+
+    def iter_blocks(self, stream_bits: int) -> Iterator[Tuple[int, int, int]]:
+        """Yields (index, start, end) over all blocks of a stream."""
+        for index in range(self.block_count(stream_bits)):
+            start, end = self.block_range(index, stream_bits)
+            yield index, start, end
+
+    def words(self, bits: int) -> int:
+        """Word ops needed for ``bits`` bits of a stream."""
+        if bits <= 0:
+            return 0
+        return -(-bits // self.word_bits)
+
+    def align_down(self, bits: int) -> int:
+        """Round a bit offset down to a word boundary (thread-data
+        mapping shifts in word granularity: T - ceil(Δ/W)·W)."""
+        return (bits // self.word_bits) * self.word_bits
+
+    def align_up(self, bits: int) -> int:
+        return -(-bits // self.word_bits) * self.word_bits
+
+    @property
+    def max_overlap_bits(self) -> int:
+        """One full block: the paper's 16,384-bit DTM overlap limit."""
+        return self.block_bits
+
+
+DEFAULT_GEOMETRY = CTAGeometry()

@@ -1,0 +1,81 @@
+"""Memory models with traffic and footprint accounting.
+
+:class:`GlobalMemory` tracks the DRAM traffic and the footprint of
+materialised intermediate bitstreams — the quantities behind Table 4's
+scheme comparison.  :class:`SharedMemory` enforces a per-CTA capacity
+and tracks the store/load traffic behind Table 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .metrics import KernelMetrics
+
+
+class SharedMemoryOverflow(RuntimeError):
+    """Raised when a barrier plan requires more shared memory than the
+    device provides per CTA."""
+
+
+@dataclass
+class GlobalMemory:
+    """Device global memory for one kernel, with accounting."""
+
+    metrics: KernelMetrics
+    _allocated: Dict[str, int] = field(default_factory=dict)
+    _live_bytes: int = 0
+
+    def read(self, nbytes: int) -> None:
+        self.metrics.dram_read_bytes += nbytes
+
+    def write(self, nbytes: int) -> None:
+        self.metrics.dram_write_bytes += nbytes
+
+    def allocate_stream(self, name: str, nbytes: int) -> None:
+        """Materialise an intermediate bitstream (footprint accounting)."""
+        previous = self._allocated.get(name)
+        if previous is None:
+            self.metrics.intermediate_streams += 1
+            self._live_bytes += nbytes
+        else:
+            self._live_bytes += nbytes - previous
+        self._allocated[name] = nbytes
+        self.metrics.peak_intermediate_bytes = max(
+            self.metrics.peak_intermediate_bytes, self._live_bytes)
+
+    def free_stream(self, name: str) -> None:
+        nbytes = self._allocated.pop(name, 0)
+        self._live_bytes -= nbytes
+
+    @property
+    def live_bytes(self) -> int:
+        return self._live_bytes
+
+
+@dataclass
+class SharedMemory:
+    """Per-CTA shared memory with capacity enforcement."""
+
+    metrics: KernelMetrics
+    capacity_bytes: int = 96 * 1024
+    _used_bytes: int = 0
+    peak_bytes: int = 0
+
+    def reserve(self, nbytes: int) -> None:
+        if self._used_bytes + nbytes > self.capacity_bytes:
+            raise SharedMemoryOverflow(
+                f"needs {self._used_bytes + nbytes} bytes, capacity "
+                f"{self.capacity_bytes}")
+        self._used_bytes += nbytes
+        self.peak_bytes = max(self.peak_bytes, self._used_bytes)
+
+    def release_all(self) -> None:
+        self._used_bytes = 0
+
+    def store(self, nbytes: int) -> None:
+        self.metrics.smem_write_bytes += nbytes
+
+    def load(self, nbytes: int) -> None:
+        self.metrics.smem_read_bytes += nbytes

@@ -1,0 +1,66 @@
+"""The preprocessing transpose kernel (Section 7).
+
+Before the regex kernel runs, "the GPU first launches a preprocessing
+kernel to transpose the input data into bitstreams".  This module
+simulates that S2P (serial-to-parallel) kernel: functionally it is
+``repro.bitstream.transpose``; the accounting models the classic
+three-stage butterfly network (log2(8) pair-swap stages over the byte
+stream, each touching every word once).
+
+The paper measures 0.026 ms per MB on the RTX 3090 (~37 GB/s) and calls
+the overhead negligible; ``benchmarks/bench_transpose.py`` checks both
+properties against this model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..bitstream.bitvector import BitVector
+from ..bitstream.transpose import transpose
+from .config import GPUConfig
+from .machine import CTAGeometry, DEFAULT_GEOMETRY
+from .metrics import KernelMetrics
+
+#: butterfly stages of the S2P network (log2 of the 8 bit planes)
+S2P_STAGES = 3
+#: effective DRAM efficiency of the bit-gather access pattern: S2P's
+#: strided sub-word traffic achieves a small fraction of streaming
+#: bandwidth (set once so 1 MB costs the paper's ~0.026 ms on a 3090)
+S2P_DRAM_EFFICIENCY = 0.08
+#: word operations per stage per word of input (pack, shift, mask, or)
+S2P_OPS_PER_WORD = 4
+
+
+@dataclass
+class TransposeResult:
+    """Transposed basis streams plus the kernel's accounting."""
+
+    basis: List[BitVector]
+    metrics: KernelMetrics
+
+
+def run_transpose_kernel(data: bytes,
+                         geometry: CTAGeometry = DEFAULT_GEOMETRY
+                         ) -> TransposeResult:
+    """Simulate the S2P preprocessing kernel over ``data``."""
+    metrics = KernelMetrics()
+    basis = transpose(data)
+    n = len(data)
+    words = geometry.words(n * 8) or 1
+    metrics.dram_read_bytes = n
+    metrics.dram_write_bytes = n          # 8 planes of n/8 bytes each
+    metrics.thread_word_ops = words * S2P_STAGES * S2P_OPS_PER_WORD
+    metrics.blocks_processed = geometry.block_count(n * 8)
+    metrics.fused_loops = 1
+    return TransposeResult(basis=basis, metrics=metrics)
+
+
+def model_transpose_time(metrics: KernelMetrics, gpu: GPUConfig) -> float:
+    """Seconds for the transpose kernel: a fully parallel streaming
+    kernel bounded by DRAM bandwidth or raw integer throughput."""
+    compute = metrics.thread_word_ops / gpu.int_ops_per_second()
+    memory = metrics.dram_total_bytes() \
+        / (gpu.dram_bytes_per_second() * S2P_DRAM_EFFICIENCY)
+    return max(compute, memory)

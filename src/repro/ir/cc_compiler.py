@@ -1,0 +1,115 @@
+"""Character-class compiler: byte sets → boolean ops over basis bits.
+
+A character class is matched with parallel bitwise logic over the 8
+transposed basis streams (Section 2: 'a' is ``~b0 & b1 & b2 & ~b3 & ~b4
+& ~b5 & ~b6 & b7``).  Arbitrary classes are compiled by Shannon
+expansion over the bit planes, most-significant first, which yields
+compact expressions for the range-shaped classes regexes use.
+
+Subexpressions are memoised here per subcube and value-numbered by the
+builder, so classes shared between regexes in a group are computed once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+from ..regex.charclass import CharClass
+from .program import BASIS_VARS, ProgramBuilder
+
+#: Symbolic boolean constants used during expansion.
+TRUE = True
+FALSE = False
+
+_Expr = Union[bool, str]
+
+
+class CCCompiler:
+    """Compiles character classes into instructions on one builder."""
+
+    def __init__(self, builder: ProgramBuilder):
+        self.builder = builder
+        self._memo: Dict[tuple, _Expr] = {}
+        self._results: Dict[CharClass, str] = {}
+
+    def compile(self, cc: CharClass) -> str:
+        """Emit instructions computing the match stream of ``cc``;
+        returns the result variable."""
+        if cc in self._results:
+            return self._results[cc]
+        expr = self._expand(0, cc._mask())
+        var = self._finalize(cc, expr)
+        self._results[cc] = var
+        return var
+
+    def _finalize(self, cc: CharClass, expr: _Expr) -> str:
+        builder = self.builder
+        if expr is FALSE:
+            var = builder.zeros()
+        elif expr is TRUE:
+            var = builder.text_mask()
+        elif cc.contains(0):
+            # Padding beyond the text reads as 0x00 in the basis streams,
+            # so any class containing NUL must be masked to byte positions.
+            var = builder.and_(expr, builder.text_mask())
+        else:
+            var = expr
+        return var
+
+    def _expand(self, depth: int, submask: int) -> _Expr:
+        """Shannon expansion over bit plane ``depth`` (0 = MSB).
+
+        ``submask`` is the membership mask of the current subcube: bit j
+        set means the byte whose low ``8 - depth`` bits equal j is in the
+        class.
+        """
+        size = 1 << (8 - depth)
+        full = (1 << size) - 1
+        if submask == 0:
+            return FALSE
+        if submask == full:
+            return TRUE
+        key = (depth, submask)
+        if key in self._memo:
+            return self._memo[key]
+
+        half = size // 2
+        low = submask & ((1 << half) - 1)      # bytes with bit ``depth`` = 0
+        high = submask >> half                 # bytes with bit ``depth`` = 1
+        e0 = self._expand(depth + 1, low)
+        e1 = self._expand(depth + 1, high)
+        basis = BASIS_VARS[depth]
+        expr = self._combine(basis, e0, e1)
+        self._memo[key] = expr
+        return expr
+
+    def _combine(self, basis: str, e0: _Expr, e1: _Expr) -> _Expr:
+        """(~basis & e0) | (basis & e1), simplified."""
+        builder = self.builder
+        if e0 is FALSE and e1 is FALSE:
+            return FALSE
+        if e0 is TRUE and e1 is TRUE:
+            return TRUE
+        if e0 is FALSE:
+            if e1 is TRUE:
+                return basis
+            return builder.and_(basis, e1)
+        if e1 is FALSE:
+            if e0 is TRUE:
+                return builder.not_(basis)
+            return builder.andn(e0, basis)
+        if e0 is TRUE:
+            # ~basis | e1
+            return builder.not_(builder.andn(basis, e1))
+        if e1 is TRUE:
+            # basis | e0
+            return builder.or_(basis, e0)
+        if e0 == e1:
+            return e0
+        return builder.or_(builder.andn(e0, basis),
+                           builder.and_(basis, e1))
+
+
+def match_byte_table(cc: CharClass) -> list:
+    """256-entry truth table; used by tests to validate compilation."""
+    return list(cc.table())

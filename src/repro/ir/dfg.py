@@ -1,0 +1,105 @@
+"""Dataflow graphs over straight-line instruction regions.
+
+The compiler passes (overlap analysis, Shift Rebalancing, Zero Block
+Skipping) operate on *regions*: maximal straight-line runs of
+instructions.  Variables may be redefined (loop-carried values), so
+edges connect each use to the most recent prior definition; operands
+with no prior definition in the region are region inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .instructions import Instr
+
+
+@dataclass
+class RegionDFG:
+    """Dataflow graph of one straight-line region."""
+
+    instrs: Sequence[Instr]
+    #: producers[i][j] is the index of the instruction defining operand j
+    #: of instruction i, or None when it is a region input.
+    producers: List[Tuple[Optional[int], ...]] = field(default_factory=list)
+    #: consumers[i] lists (user index, operand position) pairs.
+    consumers: List[List[Tuple[int, int]]] = field(default_factory=list)
+    #: region inputs: variables read before any local definition.
+    external_uses: Dict[str, List[Tuple[int, int]]] = field(
+        default_factory=dict)
+
+    @classmethod
+    def build(cls, instrs: Sequence[Instr]) -> "RegionDFG":
+        dfg = cls(instrs=list(instrs))
+        last_def: Dict[str, int] = {}
+        dfg.consumers = [[] for _ in instrs]
+        for index, instr in enumerate(instrs):
+            producer_row = []
+            for operand_pos, arg in enumerate(instr.args):
+                producer = last_def.get(arg)
+                producer_row.append(producer)
+                if producer is None:
+                    dfg.external_uses.setdefault(arg, []).append(
+                        (index, operand_pos))
+                else:
+                    dfg.consumers[producer].append((index, operand_pos))
+            dfg.producers.append(tuple(producer_row))
+            last_def[instr.dest] = index
+        return dfg
+
+    def depth(self, index: int) -> int:
+        """Longest producer chain length ending at ``index`` (inputs = 0)."""
+        return self._depths()[index]
+
+    def _depths(self) -> List[int]:
+        if not hasattr(self, "_depth_cache"):
+            depths: List[int] = []
+            for index in range(len(self.instrs)):
+                producer_depths = [depths[p] for p in self.producers[index]
+                                   if p is not None]
+                depths.append(1 + max(producer_depths, default=0))
+            self._depth_cache = depths
+        return self._depth_cache
+
+    def critical_path_length(self) -> int:
+        depths = self._depths()
+        return max(depths, default=0)
+
+    def is_live_after(self, index: int, defined_outputs: Sequence[str]) -> bool:
+        """True when instruction ``index``'s value escapes the region:
+        it is an output variable or the last definition of a variable
+        read after the region (conservatively, any final definition)."""
+        var = self.instrs[index].dest
+        for later in range(index + 1, len(self.instrs)):
+            if self.instrs[later].dest == var:
+                return False  # redefined before region end
+        return True if var in defined_outputs else self._is_final_def(index)
+
+    def _is_final_def(self, index: int) -> bool:
+        var = self.instrs[index].dest
+        return all(self.instrs[later].dest != var
+                   for later in range(index + 1, len(self.instrs)))
+
+
+def split_regions(stmts) -> List[List[Instr]]:
+    """Split a statement list into straight-line regions, recursing into
+    while-loop bodies.  Guards terminate nothing (they are hints inside a
+    region), while loops split regions."""
+    from .instructions import SkipGuard, WhileLoop
+
+    regions: List[List[Instr]] = []
+    current: List[Instr] = []
+    for stmt in stmts:
+        if isinstance(stmt, Instr):
+            current.append(stmt)
+        elif isinstance(stmt, WhileLoop):
+            if current:
+                regions.append(current)
+                current = []
+            regions.extend(split_regions(stmt.body))
+        elif isinstance(stmt, SkipGuard):
+            continue
+    if current:
+        regions.append(current)
+    return regions

@@ -1,0 +1,179 @@
+"""Bitstream-program IR (the paper's Listing 2).
+
+A program is a list of *statements*: flat three-address instructions
+(:class:`Instr`) plus structured ``while`` loops (:class:`WhileLoop`).
+Conditions are bitstream variables; a loop continues while its condition
+has at least one set bit (popcount > 0).
+
+``if`` statements never originate from regex lowering (Figure 2 produces
+none); they are introduced only by Zero Block Skipping as goto-style
+:class:`SkipGuard` markers, matching the paper's CUDA ``goto`` insertion
+(Section 6).  Executing a guarded range despite a zero condition never
+changes results, so guards are pure optimisation hints.
+
+Shift semantics follow the paper: a positive distance is the paper's
+``>>`` (advance: moves cursors forward in the text), negative its ``<<``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from ..regex.charclass import CharClass
+
+
+class Op(enum.Enum):
+    """Instruction opcodes."""
+
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    ANDN = "andn"   # a & ~b
+    NOT = "not"
+    SHIFT = "shift"
+    COPY = "copy"
+    CONST = "const"
+    MATCH_CC = "match_cc"
+
+
+#: Opcodes that always map zero inputs to zero outputs (Section 6).
+ZERO_PRESERVING = {Op.AND, Op.ANDN, Op.SHIFT, Op.COPY}
+
+#: Constant stream kinds for Op.CONST.
+CONST_ZERO = "zero"
+CONST_ONES = "ones"
+CONST_START = "start"   # single 1 at position 0 (for the ^ anchor)
+CONST_END = "end"       # single 1 at the final cursor position (for $)
+CONST_TEXT = "text"     # 1 at every byte position, 0 at the final cursor
+
+_CONST_KINDS = (CONST_ZERO, CONST_ONES, CONST_START, CONST_END, CONST_TEXT)
+
+
+@dataclass(frozen=True)
+class Instr:
+    """A flat bitstream instruction: ``dest = op(args)``."""
+
+    dest: str
+    op: Op
+    args: Tuple[str, ...] = ()
+    shift: int = 0
+    cc: Optional[CharClass] = None
+    const: Optional[str] = None
+
+    def __post_init__(self):
+        arity = {Op.AND: 2, Op.OR: 2, Op.XOR: 2, Op.ANDN: 2, Op.NOT: 1,
+                 Op.SHIFT: 1, Op.COPY: 1, Op.CONST: 0, Op.MATCH_CC: 0}
+        if len(self.args) != arity[self.op]:
+            raise ValueError(f"{self.op.value} expects {arity[self.op]} "
+                             f"operands, got {len(self.args)}")
+        if self.op is Op.SHIFT and self.shift == 0:
+            raise ValueError("zero-distance shift; use COPY")
+        if self.op is Op.CONST and self.const not in _CONST_KINDS:
+            raise ValueError(f"bad const kind {self.const!r}")
+        if self.op is Op.MATCH_CC and self.cc is None:
+            raise ValueError("MATCH_CC needs a character class")
+
+    def is_zero_preserving(self) -> bool:
+        return self.op in ZERO_PRESERVING
+
+    def render(self) -> str:
+        if self.op is Op.SHIFT:
+            sym = ">>" if self.shift > 0 else "<<"
+            return f"{self.dest} = {self.args[0]} {sym} {abs(self.shift)}"
+        if self.op is Op.NOT:
+            return f"{self.dest} = ~{self.args[0]}"
+        if self.op is Op.COPY:
+            return f"{self.dest} = {self.args[0]}"
+        if self.op is Op.CONST:
+            return f"{self.dest} = <{self.const}>"
+        if self.op is Op.MATCH_CC:
+            return f"{self.dest} = match({self.cc!r})"
+        if self.op is Op.ANDN:
+            return f"{self.dest} = {self.args[0]} &~ {self.args[1]}"
+        sym = {Op.AND: "&", Op.OR: "|", Op.XOR: "^"}[self.op]
+        return f"{self.dest} = {self.args[0]} {sym} {self.args[1]}"
+
+
+@dataclass
+class WhileLoop:
+    """``while (cond): body`` — runs while ``cond`` has any set bit."""
+
+    cond: str
+    body: List["Stmt"] = field(default_factory=list)
+
+    def render(self, indent: str = "") -> str:
+        lines = [f"{indent}while ({self.cond}):"]
+        for stmt in self.body:
+            lines.append(render_stmt(stmt, indent + "    "))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SkipGuard:
+    """Goto-style zero guard: if ``cond`` is all zero in the current
+    block, skip the next ``skip_count`` statements of the same region."""
+
+    cond: str
+    skip_count: int
+
+    def render(self) -> str:
+        return f"if (!{self.cond}) goto +{self.skip_count}"
+
+
+Stmt = Union[Instr, WhileLoop, SkipGuard]
+
+
+def render_stmt(stmt: Stmt, indent: str = "") -> str:
+    if isinstance(stmt, WhileLoop):
+        return stmt.render(indent)
+    return indent + stmt.render()
+
+
+def stmt_uses(stmt: Stmt) -> Tuple[str, ...]:
+    """Variables read directly by a statement (loop bodies excluded)."""
+    if isinstance(stmt, Instr):
+        return stmt.args
+    if isinstance(stmt, WhileLoop):
+        return (stmt.cond,)
+    return (stmt.cond,)
+
+
+def iter_instrs(stmts: List[Stmt]):
+    """All Instr nodes in a statement list, recursing into loops."""
+    for stmt in stmts:
+        if isinstance(stmt, Instr):
+            yield stmt
+        elif isinstance(stmt, WhileLoop):
+            yield from iter_instrs(stmt.body)
+
+
+def count_ops(stmts: List[Stmt]) -> dict:
+    """Instruction-mix histogram in the paper's Table 1 categories.
+
+    ANDN counts as one ``and`` plus one ``not``; XOR counts as ``or``
+    (both are single-cycle bitwise ops of the same family).
+    """
+    counts = {"and": 0, "or": 0, "not": 0, "shift": 0, "while": 0}
+
+    def visit(items):
+        for stmt in items:
+            if isinstance(stmt, WhileLoop):
+                counts["while"] += 1
+                visit(stmt.body)
+            elif isinstance(stmt, Instr):
+                if stmt.op is Op.AND:
+                    counts["and"] += 1
+                elif stmt.op is Op.ANDN:
+                    counts["and"] += 1
+                    counts["not"] += 1
+                elif stmt.op in (Op.OR, Op.XOR):
+                    counts["or"] += 1
+                elif stmt.op is Op.NOT:
+                    counts["not"] += 1
+                elif stmt.op is Op.SHIFT:
+                    counts["shift"] += 1
+
+    visit(stmts)
+    return counts

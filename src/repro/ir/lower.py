@@ -1,0 +1,154 @@
+"""Lowering regexes to bitstream programs (the paper's Figure 2).
+
+The lowering uses the *cursor* marker convention: a marker bit at
+position *i* means matching may continue by consuming the byte at *i*.
+This is the paper's ends-at convention advanced by one position; it
+handles zero-width prefixes (``a*b``, ``x?y``, anchors) uniformly.
+Streams have length ``n + 1`` so a cursor can rest after the last byte;
+reported match *end* positions are ``cursor - 1``.
+
+Per Figure 2:
+
+* character class: ``M' = advance(M & S_cc, 1)``
+* concatenation: rule chaining
+* alternation: union of branch markers
+* Kleene star: a fixpoint ``while`` loop accumulating reachable cursors
+* bounded repetition ``{n,m}``: ``n`` chained applications, then up to
+  ``m - n`` optional ones OR-ed together
+
+All character classes of a group are compiled up front (as in the
+paper's Listing 3, where ``S1..S4 = match(text_trans, CCs)`` precedes
+the loop) so loop bodies reuse hoisted match streams.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..regex import ast
+from ..regex.nonempty import strip_empty
+from ..regex.simplify import simplify
+from .cc_compiler import CCCompiler
+from .program import Program, ProgramBuilder
+
+
+class LoweringError(ValueError):
+    """Raised when a regex cannot be lowered."""
+
+
+class _Lowerer:
+    def __init__(self, builder: ProgramBuilder):
+        self.builder = builder
+        self.ccs = CCCompiler(builder)
+        self._cc_vars: Dict[object, str] = {}
+
+    def prepare(self, node: ast.Regex) -> None:
+        """Hoist all character-class match streams of ``node``."""
+        for sub in node.walk():
+            if isinstance(sub, ast.Lit):
+                if sub.cc not in self._cc_vars:
+                    self._cc_vars[sub.cc] = self.ccs.compile(sub.cc)
+
+    def lower(self, node: ast.Regex, marker: str) -> str:
+        """Emit instructions matching ``node`` from cursor set ``marker``;
+        returns the resulting cursor-set variable."""
+        builder = self.builder
+        if isinstance(node, ast.Empty):
+            return marker
+        if isinstance(node, ast.Lit):
+            cc_var = self._cc_vars.get(node.cc)
+            if cc_var is None:
+                cc_var = self.ccs.compile(node.cc)
+                self._cc_vars[node.cc] = cc_var
+            return builder.advance(builder.and_(marker, cc_var), 1)
+        if isinstance(node, ast.Seq):
+            for part in node.parts:
+                marker = self.lower(part, marker)
+            return marker
+        if isinstance(node, ast.Alt):
+            result = self.lower(node.branches[0], marker)
+            for branch in node.branches[1:]:
+                result = builder.or_(result, self.lower(branch, marker))
+            return result
+        if isinstance(node, ast.Star):
+            return self._star(node.body, marker)
+        if isinstance(node, ast.Rep):
+            return self._repetition(node, marker)
+        if isinstance(node, ast.Anchor):
+            anchor = (builder.start_marker() if node.kind == ast.Anchor.START
+                      else builder.end_marker())
+            return builder.and_(marker, anchor)
+        raise LoweringError(f"cannot lower {node!r}")
+
+    def _star(self, body: ast.Regex, marker: str) -> str:
+        """Figure 2 (e): fixpoint accumulation of cursors reachable by
+        repeated application of ``body``."""
+        builder = self.builder
+        accum = builder.copy(marker)
+        frontier = builder.copy(marker)
+        with builder.while_loop(frontier):
+            advanced = self.lower(body, frontier)
+            fresh = builder.andn(advanced, accum)
+            builder.assign(frontier, fresh)
+            builder.assign(accum, builder.or_(accum, fresh))
+        return accum
+
+    def _repetition(self, node: ast.Rep, marker: str) -> str:
+        """Figure 2 (d), generalised to arbitrary bodies and open bounds."""
+        builder = self.builder
+        current = marker
+        for _ in range(node.lo):
+            current = self.lower(node.body, current)
+        if node.hi is None:
+            return self._star(node.body, current)
+        result = current
+        for _ in range(node.hi - node.lo):
+            current = self.lower(node.body, current)
+            result = builder.or_(result, current)
+        return result
+
+
+def lower_regex(node: ast.Regex, name: str = "R0",
+                builder: Optional[ProgramBuilder] = None,
+                normalise: bool = True) -> Program:
+    """Lower one regex AST into a complete program."""
+    return lower_group([node], names=[name], builder=builder,
+                       normalise=normalise)
+
+
+def lower_group(nodes: Sequence[ast.Regex],
+                names: Optional[Sequence[str]] = None,
+                builder: Optional[ProgramBuilder] = None,
+                normalise: bool = True) -> Program:
+    """Lower a group of regexes into one shared program (Section 3.1:
+    each CTA runs the program of one regex group).
+
+    Outputs are cursor-set streams, one per regex; match end positions
+    are each set cursor minus one.
+    """
+    if names is None:
+        names = [f"R{i}" for i in range(len(nodes))]
+    if len(names) != len(nodes):
+        raise ValueError("names/nodes length mismatch")
+    if builder is None:
+        builder = ProgramBuilder(name="+".join(names) or "empty_group")
+    lowerer = _Lowerer(builder)
+    prepared = []
+    for node in nodes:
+        if normalise:
+            node = simplify(node)
+        # Only non-empty matches have end positions; strip the empty
+        # match so outputs mark exactly the reportable cursors.
+        stripped = strip_empty(node)
+        prepared.append(simplify(stripped) if stripped is not None else None)
+    for node in prepared:
+        if node is not None:
+            lowerer.prepare(node)
+    initial = builder.ones()
+    for name, node in zip(names, prepared):
+        if node is None:
+            result = builder.zeros()
+        else:
+            result = lowerer.lower(node, initial)
+        builder.mark_output(name, result)
+    return builder.finish()

@@ -1,0 +1,160 @@
+"""Generic bitstream-program cleanups: copy propagation and dead-code
+elimination.
+
+Lowering produces some COPY chains (fixpoint-loop plumbing) and, after
+empty-match stripping, occasional unused subcomputations.  These passes
+shrink programs before the BitGen-specific transformations run; they
+are semantics-preserving and conservative around loop-carried
+(reassigned) variables, whose identity is load-bearing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
+from .program import Program
+
+_MAX_ROUNDS = 16
+
+
+def optimize_program(program: Program) -> Program:
+    """Copy-propagate and eliminate dead code to a fixpoint."""
+    statements = program.statements
+    for _ in range(_MAX_ROUNDS):
+        mutable = _mutable_vars(statements)
+        propagated = _propagate_copies(statements, mutable,
+                                       set(program.outputs.values()))
+        cleaned = _eliminate_dead(propagated,
+                                  set(program.outputs.values()))
+        if _render_all(cleaned) == _render_all(statements):
+            statements = cleaned
+            break
+        statements = cleaned
+    result = Program(name=program.name, statements=statements,
+                     outputs=dict(program.outputs), inputs=program.inputs)
+    result.validate()
+    return result
+
+
+def _render_all(stmts: Sequence[Stmt]) -> str:
+    from .instructions import render_stmt
+
+    return "\n".join(render_stmt(s) for s in stmts)
+
+
+def _mutable_vars(stmts: Sequence[Stmt]) -> Set[str]:
+    defined: Set[str] = set()
+    mutable: Set[str] = set()
+
+    def visit(items):
+        for stmt in items:
+            if isinstance(stmt, Instr):
+                if stmt.dest in defined:
+                    mutable.add(stmt.dest)
+                defined.add(stmt.dest)
+            elif isinstance(stmt, WhileLoop):
+                visit(stmt.body)
+
+    visit(stmts)
+    return mutable
+
+
+def _propagate_copies(stmts: Sequence[Stmt], mutable: Set[str],
+                      outputs: Set[str]) -> List[Stmt]:
+    """Rewrite uses of ``x`` to ``y`` for immutable ``x = COPY(y)`` of
+    immutable ``y``.  The copy itself is removed later by DCE unless it
+    is an output."""
+    alias: Dict[str, str] = {}
+
+    def resolve(name: str) -> str:
+        seen = set()
+        while name in alias and name not in seen:
+            seen.add(name)
+            name = alias[name]
+        return name
+
+    def visit(items) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in items:
+            if isinstance(stmt, Instr):
+                args = tuple(resolve(a) for a in stmt.args)
+                if args != stmt.args:
+                    stmt = Instr(stmt.dest, stmt.op, args,
+                                 shift=stmt.shift, cc=stmt.cc,
+                                 const=stmt.const)
+                if (stmt.op is Op.COPY and stmt.dest not in mutable
+                        and stmt.args[0] not in mutable):
+                    alias[stmt.dest] = stmt.args[0]
+                out.append(stmt)
+            elif isinstance(stmt, WhileLoop):
+                out.append(WhileLoop(resolve(stmt.cond),
+                                     visit(stmt.body)))
+            elif isinstance(stmt, SkipGuard):
+                out.append(SkipGuard(resolve(stmt.cond),
+                                     stmt.skip_count))
+            else:
+                out.append(stmt)
+        return out
+
+    return visit(stmts)
+
+
+def _eliminate_dead(stmts: Sequence[Stmt], outputs: Set[str]) -> List[Stmt]:
+    """Drop instructions whose result is never observed.  Conservative:
+    anything used anywhere (including loop conditions and guards),
+    reassigned, or exported survives.  Guards are rebuilt so their skip
+    counts stay aligned with the surviving statements."""
+    live: Set[str] = set(outputs)
+    mutable = _mutable_vars(stmts)
+
+    def collect(items):
+        for stmt in items:
+            if isinstance(stmt, Instr):
+                live.update(stmt.args)
+            elif isinstance(stmt, WhileLoop):
+                live.add(stmt.cond)
+                collect(stmt.body)
+            elif isinstance(stmt, SkipGuard):
+                live.add(stmt.cond)
+
+    collect(stmts)
+
+    def keep(stmt: Instr) -> bool:
+        return stmt.dest in live or stmt.dest in mutable
+
+    def visit(items) -> List[Stmt]:
+        out: List[Stmt] = []
+        pending: List = []  # [guard, remaining original span, kept count]
+
+        def account(survives: bool) -> None:
+            for entry in pending:
+                if entry[1] > 0:
+                    entry[1] -= 1
+                    if survives:
+                        entry[2] += 1
+
+        for stmt in items:
+            if isinstance(stmt, SkipGuard):
+                account(True)  # nested guards count toward outer spans
+                pending.append([stmt, stmt.skip_count, 0])
+                out.append(None)  # placeholder patched below
+            elif isinstance(stmt, Instr):
+                survives = keep(stmt)
+                account(survives)
+                if survives:
+                    out.append(stmt)
+            elif isinstance(stmt, WhileLoop):
+                account(True)
+                out.append(WhileLoop(stmt.cond, visit(stmt.body)))
+        cursor = 0
+        for index, item in enumerate(out):
+            if item is None:
+                guard, _, kept = pending[cursor]
+                cursor += 1
+                # Zero-span guards are kept as no-ops: dropping one
+                # would desynchronise enclosing guards' skip counts.
+                out[index] = SkipGuard(guard.cond, kept)
+        return out
+
+    return visit(stmts)

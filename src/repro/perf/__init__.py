@@ -1,0 +1,14 @@
+"""Performance modelling and the experiment harness."""
+
+from .harness import (BENCH_GEOMETRY, DEFAULT_INPUT_BYTES, DEFAULT_SCALE,
+                      ENGINE_NAMES, EngineRun, Harness)
+from .model import (Throughput, geometric_mean, model_bitgen,
+                    model_hyperscan, model_icgrep, model_ngap)
+from .report import format_bars, format_table, ratio, to_csv
+
+__all__ = [
+    "BENCH_GEOMETRY", "DEFAULT_INPUT_BYTES", "DEFAULT_SCALE",
+    "ENGINE_NAMES", "EngineRun", "Harness", "Throughput", "format_bars",
+    "format_table", "geometric_mean", "model_bitgen", "model_hyperscan",
+    "model_icgrep", "model_ngap", "ratio", "to_csv",
+]

@@ -1,0 +1,195 @@
+"""Experiment harness.
+
+Runs (application x engine x configuration) cells and returns rows that
+the benchmark scripts print as the paper's tables and figures.  The
+harness owns the *scaling policy*: the paper processes 10^6 bytes per
+application against full rule sets; a pure-Python simulator scales both
+down together (default: 2% of the rules, 64 KiB of input) and shrinks
+the CTA block size so the block count per CTA stays at the paper's
+~62 iterations (Table 5), keeping every per-block effect in play.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import BitGenEngine, BitGenResult
+from ..core.schemes import Scheme
+from ..engines.hyperscan import HyperscanEngine
+from ..engines.icgrep import ICgrepEngine
+from ..engines.ngap import NgAPEngine
+from ..gpu.config import RTX_3090, XEON_8562Y, CPUConfig, GPUConfig
+from ..gpu.machine import CTAGeometry
+from ..gpu.metrics import KernelMetrics
+from ..workloads.apps import (ALL_APPS, FULL_INPUT_BYTES, Workload,
+                              app_by_name)
+from . import model
+from .model import Extrapolation, Throughput
+
+#: benchmark geometry: 1024-bit blocks so a 64 KiB input spans ~64
+#: blocks, mirroring the paper's ~62 iterations over 16,384-bit blocks
+BENCH_GEOMETRY = CTAGeometry(threads=32, word_bits=32)
+
+DEFAULT_SCALE = 0.02
+DEFAULT_INPUT_BYTES = 65536
+
+ENGINE_NAMES = ("BitGen", "HS-1T", "HS-MT", "ngAP", "icgrep")
+
+
+@dataclass
+class EngineRun:
+    """One (app, engine) measurement."""
+
+    app: str
+    engine: str
+    throughput: Throughput
+    match_count: int
+    metrics: Optional[KernelMetrics] = None
+    cta_metrics: Optional[List[KernelMetrics]] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mbps(self) -> float:
+        return self.throughput.mbps
+
+
+class Harness:
+    """Caches workloads and compiled engines across experiment cells."""
+
+    def __init__(self, gpu: GPUConfig = RTX_3090,
+                 cpu: CPUConfig = XEON_8562Y,
+                 geometry: CTAGeometry = BENCH_GEOMETRY,
+                 scale: float = DEFAULT_SCALE,
+                 input_bytes: int = DEFAULT_INPUT_BYTES,
+                 seed: int = 0):
+        self.gpu = gpu
+        self.cpu = cpu
+        self.geometry = geometry
+        self.scale = scale
+        self.input_bytes = input_bytes
+        self.seed = seed
+        self._workloads: Dict[str, Workload] = {}
+        self._bitgen_cache: Dict[Tuple, BitGenEngine] = {}
+
+    # -- workloads ------------------------------------------------------------
+
+    def workload(self, app_name: str) -> Workload:
+        cached = self._workloads.get(app_name)
+        if cached is None:
+            spec = app_by_name(app_name)
+            cached = spec.build(scale=self.scale, seed=self.seed,
+                                input_bytes=int(self.input_bytes
+                                                / self.scale))
+            self._workloads[app_name] = cached
+        return cached
+
+    def cta_count(self, workload: Workload) -> int:
+        """Mirror the paper's fixed 256-CTA launches, scaled down with
+        the rule set so regexes-per-CTA matches the full setting."""
+        scaled = round(256 * len(workload.patterns)
+                       / workload.spec.regex_count)
+        return max(2, min(scaled, len(workload.patterns)))
+
+    def extrapolation(self, workload: Workload) -> Extrapolation:
+        """Scale counted work back to the paper's full setting (full
+        rule set over 10^6 bytes)."""
+        return Extrapolation(
+            pattern_factor=workload.spec.regex_count
+            / max(1, len(workload.patterns)),
+            input_factor=FULL_INPUT_BYTES / max(1, len(workload.data)))
+
+    # -- engines -----------------------------------------------------------------
+
+    def bitgen_engine(self, workload: Workload,
+                      scheme: Scheme = Scheme.ZBS,
+                      merge_size: int = 8,
+                      interval_size: int = 8) -> BitGenEngine:
+        key = (workload.name, scheme, merge_size, interval_size)
+        engine = self._bitgen_cache.get(key)
+        if engine is None:
+            engine = BitGenEngine.compile(
+                workload.nodes, scheme=scheme, geometry=self.geometry,
+                cta_count=self.cta_count(workload),
+                merge_size=merge_size, interval_size=interval_size,
+                loop_fallback=True)
+            self._bitgen_cache[key] = engine
+        return engine
+
+    def run_bitgen(self, app_name: str, scheme: Scheme = Scheme.ZBS,
+                   merge_size: int = 8, interval_size: int = 8,
+                   gpu: Optional[GPUConfig] = None) -> EngineRun:
+        workload = self.workload(app_name)
+        engine = self.bitgen_engine(workload, scheme, merge_size,
+                                    interval_size)
+        result: BitGenResult = engine.match(workload.data)
+        throughput = model.model_bitgen(result.cta_metrics,
+                                        gpu or self.gpu,
+                                        len(workload.data),
+                                        self.extrapolation(workload))
+        return EngineRun(app=app_name,
+                         engine=f"BitGen[{scheme.value}]"
+                         if scheme is not Scheme.ZBS else "BitGen",
+                         throughput=throughput,
+                         match_count=result.match_count(),
+                         metrics=result.metrics,
+                         cta_metrics=result.cta_metrics)
+
+    def run_baseline(self, app_name: str, engine_name: str,
+                     gpu: Optional[GPUConfig] = None) -> EngineRun:
+        workload = self.workload(app_name)
+        extrapolation = self.extrapolation(workload)
+        if engine_name == "ngAP":
+            engine = NgAPEngine.compile(workload.nodes)
+            result = engine.match(workload.data)
+            throughput = model.model_ngap(engine.last_stats,
+                                          gpu or self.gpu, extrapolation)
+            extra = {"avg_parallelism":
+                     engine.last_stats.avg_parallelism()}
+        elif engine_name == "icgrep":
+            engine = ICgrepEngine.compile(workload.nodes)
+            result = engine.match(workload.data)
+            throughput = model.model_icgrep(engine.last_stats, self.cpu,
+                                            extrapolation)
+            extra = {}
+        elif engine_name in ("HS-1T", "HS-MT"):
+            engine = HyperscanEngine.compile(workload.patterns)
+            result = engine.match(workload.data)
+            threads = 1 if engine_name == "HS-1T" else self.cpu.cores
+            throughput = model.model_hyperscan(engine.last_stats,
+                                               self.cpu, threads=threads,
+                                               extrapolation=extrapolation)
+            extra = {"literal_fraction":
+                     engine.last_stats.literal_fraction()}
+        else:
+            raise KeyError(f"unknown engine {engine_name!r}")
+        return EngineRun(app=app_name, engine=engine_name,
+                         throughput=throughput,
+                         match_count=result.match_count(), extra=extra)
+
+    def run(self, app_name: str, engine_name: str) -> EngineRun:
+        if engine_name.startswith("BitGen"):
+            return self.run_bitgen(app_name)
+        return self.run_baseline(app_name, engine_name)
+
+    def run_all(self, apps: Optional[Sequence[str]] = None,
+                engines: Sequence[str] = ENGINE_NAMES) -> List[EngineRun]:
+        apps = list(apps) if apps is not None \
+            else [a.name for a in ALL_APPS]
+        return [self.run(app, engine) for app in apps
+                for engine in engines]
+
+    # -- cross-checking -------------------------------------------------------------
+
+    def verify_engines_agree(self, app_name: str) -> bool:
+        """All engines must report identical matches on this workload
+        (the Section 7 validation step)."""
+        workload = self.workload(app_name)
+        reference = self.bitgen_engine(workload).match(workload.data)
+        for cls in (NgAPEngine, ICgrepEngine):
+            other = cls.compile(workload.nodes).match(workload.data)
+            if not reference.same_matches(other):
+                return False
+        hyperscan = HyperscanEngine.compile(
+            workload.patterns).match(workload.data)
+        return reference.same_matches(hyperscan)

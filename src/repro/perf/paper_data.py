@@ -1,0 +1,139 @@
+"""The paper's published numbers, used for side-by-side comparison in
+benchmark output and EXPERIMENTS.md.
+
+Sources: Table 1 (application statistics), Table 2 (absolute throughput
+and speedups on the RTX 3090), Figure 12 / Table 3 (optimization
+breakdown), Table 4 (DTM memory profile), Table 5 (recompute overhead),
+Table 6 (merge-size profile), Figure 15 (portability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+APPS = ("Brill", "ClamAV", "Dotstar", "Protomata", "Snort", "Yara",
+        "Bro217", "ExactMatch", "Ranges1", "TCP")
+
+
+@dataclass(frozen=True)
+class PaperThroughput:
+    """One Table 2 row, MB/s."""
+
+    bitgen: float
+    hs_1t: float
+    hs_mt: float
+    ngap: float
+    icgrep: float
+
+
+#: Table 2 (RTX 3090 vs Xeon 8562Y+), throughput in MB/s.
+TABLE2: Dict[str, PaperThroughput] = {
+    "Brill": PaperThroughput(85.3, 5.1, 33.4, 3.5, 2.8),
+    "ClamAV": PaperThroughput(1026.8, 244.2, 284.4, 2.6, 37.6),
+    "Dotstar": PaperThroughput(678.9, 249.4, 275.7, 44.9, 28.3),
+    "Protomata": PaperThroughput(15.7, 1.7, 21.1, 6.3, 1.8),
+    "Snort": PaperThroughput(391.8, 79.6, 101.0, 43.0, 14.3),
+    "Yara": PaperThroughput(638.3, 793.7, 847.2, 20.2, 11.3),
+    "Bro217": PaperThroughput(2013.2, 991.8, 991.8, 108.2, 95.5),
+    "ExactMatch": PaperThroughput(1986.5, 3348.2, 3398.7, 99.5, 49.8),
+    "Ranges1": PaperThroughput(1246.1, 352.5, 891.0, 102.2, 48.2),
+    "TCP": PaperThroughput(1678.1, 894.8, 900.1, 103.1, 93.3),
+}
+
+#: Table 2 geometric-mean speedups of BitGen over each baseline.
+TABLE2_GMEAN_SPEEDUPS = {"HS-1T": 3.0, "HS-MT": 1.7, "ngAP": 19.5,
+                         "icgrep": 25.3}
+
+#: Table 1: #Regex, Avg. length, SD., and the instruction-mix columns.
+TABLE1: Dict[str, Dict[str, float]] = {
+    "Brill": {"regexes": 1849, "len_avg": 44.4, "len_sd": 16.9,
+              "and": 82604, "or": 21227, "not": 19124, "shift": 48983,
+              "while": 15028},
+    "ClamAV": {"regexes": 491, "len_avg": 359.7, "len_sd": 310.7,
+               "and": 71135, "or": 4469, "not": 4855, "shift": 45129,
+               "while": 566},
+    "Dotstar": {"regexes": 1279, "len_avg": 52.8, "len_sd": 30.8,
+                "and": 68311, "or": 5600, "not": 4949, "shift": 42598,
+                "while": 183},
+    "Protomata": {"regexes": 2338, "len_avg": 96.5, "len_sd": 36.2,
+                  "and": 63809, "or": 44291, "not": 8772, "shift": 31580,
+                  "while": 305},
+    "Snort": {"regexes": 1873, "len_avg": 50.5, "len_sd": 41.5,
+              "and": 84481, "or": 18608, "not": 10725, "shift": 47560,
+              "while": 4742},
+    "Yara": {"regexes": 3358, "len_avg": 32.5, "len_sd": 24.9,
+             "and": 105612, "or": 8332, "not": 5162, "shift": 76756,
+             "while": 7},
+    "Bro217": {"regexes": 227, "len_avg": 34.1, "len_sd": 27.9,
+               "and": 8918, "or": 1025, "not": 2339, "shift": 2598,
+               "while": 11},
+    "ExactMatch": {"regexes": 298, "len_avg": 52.9, "len_sd": 19.2,
+                   "and": 25582, "or": 1242, "not": 2945, "shift": 12197,
+                   "while": 2},
+    "Ranges1": {"regexes": 298, "len_avg": 54.3, "len_sd": 19.4,
+                "and": 27256, "or": 2263, "not": 3710, "shift": 12421,
+                "while": 238},
+    "TCP": {"regexes": 300, "len_avg": 53.9, "len_sd": 21.4,
+            "and": 26830, "or": 1827, "not": 3363, "shift": 12507,
+            "while": 149},
+}
+
+#: Figure 12: average speedup over the Base scheme after each step.
+FIGURE12_AVG_SPEEDUP = {"DTM-": None, "DTM": None, "SR": 17.6, "ZBS": 24.9}
+#: Figure 12 callouts.
+FIGURE12_NOTES = {
+    "Yara_DTM-": 13.2, "Brill_DTM": 9.8, "Protomata_DTM": 17.8,
+    "Dotstar_ZBS": 34.4,
+}
+
+#: Table 4: per-CTA averages across apps.
+TABLE4 = {
+    "Base": {"loops": 260.7, "intermediates": 317.8, "dram_read_mb": 177.9,
+             "dram_write_mb": 85.2},
+    "DTM-": {"loops": 17.6, "intermediates": 54.2, "dram_read_mb": 124.4,
+             "dram_write_mb": 53.6},
+    "DTM": {"loops": 1.0, "intermediates": 0.0, "dram_read_mb": 0.2,
+            "dram_write_mb": 0.2},
+}
+
+#: Table 5: overlap distances (bits) and recompute.
+TABLE5: Dict[str, Dict[str, float]] = {
+    "Brill": {"static": 3.2, "dyn_avg": 160.1, "dyn_max": 514,
+              "recompute_pct": 1.00, "iters": 63.1},
+    "ClamAV": {"static": 2.9, "dyn_avg": 0.1, "dyn_max": 209,
+               "recompute_pct": 0.01, "iters": 62.2},
+    "Dotstar": {"static": 2.8, "dyn_avg": 0.7, "dyn_max": 72,
+                "recompute_pct": 0.01, "iters": 62.0},
+    "Protomata": {"static": 2.1, "dyn_avg": 346.3, "dyn_max": 11678,
+                  "recompute_pct": 2.13, "iters": 63.4},
+    "Snort": {"static": 3.2, "dyn_avg": 2.5, "dyn_max": 489,
+              "recompute_pct": 0.01, "iters": 62.2},
+    "Yara": {"static": 5.0, "dyn_avg": 0.1, "dyn_max": 8,
+             "recompute_pct": 0.01, "iters": 63.0},
+    "Bro217": {"static": 0.2, "dyn_avg": 0.0, "dyn_max": 0,
+               "recompute_pct": 0.01, "iters": 62.0},
+    "ExactMatch": {"static": 0.8, "dyn_avg": 0.1, "dyn_max": 2,
+                   "recompute_pct": 0.01, "iters": 62.0},
+    "Ranges1": {"static": 0.8, "dyn_avg": 0.9, "dyn_max": 24,
+                "recompute_pct": 0.01, "iters": 62.0},
+    "TCP": {"static": 0.8, "dyn_avg": 0.1, "dyn_max": 30,
+            "recompute_pct": 0.01, "iters": 62.0},
+}
+
+#: Table 6: Shift Rebalancing profile per merge size (per-CTA averages).
+TABLE6 = {
+    1: {"sync": 305.1, "smem_kb": 2, "stall_pct": 49.6, "smem_mb": 70.2},
+    4: {"sync": 87.2, "smem_kb": 8, "stall_pct": 27.4, "smem_mb": 67.9},
+    16: {"sync": 41.4, "smem_kb": 32, "stall_pct": 19.0, "smem_mb": 63.9},
+    32: {"sync": 35.3, "smem_kb": 64, "stall_pct": 17.5, "smem_mb": 61.4},
+}
+
+#: Figure 15: throughput normalised to the RTX 3090.
+FIGURE15 = {
+    "BitGen": {"RTX 3090": 1.0, "H100 NVL": 1.6, "L40S": 2.0},
+    "ngAP": {"RTX 3090": 1.0, "H100 NVL": 1.0, "L40S": 1.4},
+}
+
+#: Section 8.3: theoretical integer throughput ratio 3090 : H100 : L40S.
+FIGURE15_TIOPS_RATIO = (1.0, 1.9, 2.6)

@@ -1,0 +1,74 @@
+"""Table and figure rendering.
+
+Benchmarks print their reproduction of each paper table/figure as
+aligned text (plus optional CSV), side by side with the paper's
+published values where available.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None) -> str:
+    """Monospace-aligned table."""
+    cells = [[_show(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _show(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_bars(values: Dict[str, float], width: int = 40,
+                title: Optional[str] = None,
+                log_floor: float = 0.0) -> str:
+    """ASCII bar chart (the 'figure' renderer)."""
+    lines = []
+    if title:
+        lines.append(title)
+    if not values:
+        return title or ""
+    peak = max(values.values()) or 1.0
+    label_width = max(len(k) for k in values)
+    for key, value in values.items():
+        bar = "#" * max(1 if value > log_floor else 0,
+                        round(value / peak * width))
+        lines.append(f"{key.ljust(label_width)}  {bar} {_show(value)}")
+    return "\n".join(lines)
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        out.write(",".join(_show(cell) for cell in row) + "\n")
+    return out.getvalue()
+
+
+def ratio(measured: float, paper: float) -> str:
+    """'measured (paper P)' annotation used throughout the benches."""
+    return f"{_show(measured)} (paper {_show(paper)})"

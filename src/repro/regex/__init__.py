@@ -1,0 +1,13 @@
+"""Regex frontend: character classes, AST, parser, and normalisation."""
+
+from .ast import (Alt, Anchor, Empty, Lit, Regex, Rep, Seq, Star, alt,
+                  literal, opt, plus, seq)
+from .charclass import CharClass
+from .parser import RegexSyntaxError, parse
+from .simplify import char_length, count_nodes, simplify
+
+__all__ = [
+    "Alt", "Anchor", "CharClass", "Empty", "Lit", "Regex", "RegexSyntaxError",
+    "Rep", "Seq", "Star", "alt", "char_length", "count_nodes", "literal",
+    "opt", "parse", "plus", "seq", "simplify",
+]

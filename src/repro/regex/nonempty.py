@@ -1,0 +1,134 @@
+"""Empty-match stripping.
+
+All-match semantics (Section 2) reports match *end positions*; an end
+position only makes sense for a match that consumed at least one byte.
+This module rewrites a regex ``R`` into ``se(R)``, whose language is
+``L(R)`` minus the empty string, so the lowered cursor-set marks exactly
+the non-empty match ends.
+
+Two mutually recursive transforms:
+
+* ``strip_empty(R)`` — the non-empty part of ``R`` (``None`` when ``R``
+  has no non-empty matches, e.g. anchors or the empty regex).
+* ``zero_width(R)`` — the zero-width part of ``R`` as a regex of anchors
+  and epsilon (``None`` when ``R`` cannot match the empty string).
+  Anchors are preserved because their zero-width matches carry position
+  constraints.
+
+For a concatenation, a non-empty match has a first non-empty component
+``i``; everything before it matched zero-width.  Hence::
+
+    se(p1 .. pk) = | over i:  zw(p1) .. zw(p_{i-1})  se(p_i)  p_{i+1} .. pk
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+
+
+def strip_empty(node: ast.Regex) -> Optional[ast.Regex]:
+    """The regex matching exactly the non-empty matches of ``node``."""
+    if isinstance(node, ast.Lit):
+        return None if node.cc.is_empty() else node
+    if isinstance(node, (ast.Empty, ast.Anchor)):
+        return None
+    if isinstance(node, ast.Alt):
+        branches = [se for b in node.branches
+                    if (se := strip_empty(b)) is not None]
+        if not branches:
+            return None
+        return ast.alt(*branches)
+    if isinstance(node, ast.Seq):
+        return _strip_seq(node.parts)
+    if isinstance(node, ast.Star):
+        body = strip_empty(node.body)
+        if body is None:
+            return None
+        return ast.seq(body, node)
+    if isinstance(node, ast.Rep):
+        return _strip_rep(node)
+    raise TypeError(f"unknown node {node!r}")
+
+
+def zero_width(node: ast.Regex) -> Optional[ast.Regex]:
+    """The zero-width part of ``node``: epsilon/anchor constraints, or
+    ``None`` when ``node`` cannot match the empty string."""
+    if isinstance(node, ast.Lit):
+        return None
+    if isinstance(node, ast.Empty):
+        return node
+    if isinstance(node, ast.Anchor):
+        return node
+    if isinstance(node, ast.Alt):
+        branches = [zw for b in node.branches
+                    if (zw := zero_width(b)) is not None]
+        if not branches:
+            return None
+        # An unconstrained epsilon branch absorbs the rest.
+        if any(isinstance(b, ast.Empty) for b in branches):
+            return ast.Empty()
+        return ast.alt(*branches)
+    if isinstance(node, ast.Seq):
+        parts = []
+        for part in node.parts:
+            zw = zero_width(part)
+            if zw is None:
+                return None
+            if not isinstance(zw, ast.Empty):
+                parts.append(zw)
+        return ast.seq(*parts) if parts else ast.Empty()
+    if isinstance(node, ast.Star):
+        return ast.Empty()
+    if isinstance(node, ast.Rep):
+        if node.lo == 0:
+            return ast.Empty()
+        zw = zero_width(node.body)
+        if zw is None:
+            return None
+        if isinstance(zw, ast.Empty):
+            return ast.Empty()
+        # lo repetitions of a zero-width constraint collapse to one.
+        return zw
+    raise TypeError(f"unknown node {node!r}")
+
+
+def _strip_seq(parts) -> Optional[ast.Regex]:
+    terms = []
+    prefix = []          # zero-width versions of parts before the pivot
+    prefix_alive = True
+    for i, part in enumerate(parts):
+        if prefix_alive:
+            pivot = strip_empty(part)
+            if pivot is not None:
+                term_parts = list(prefix) + [pivot] + list(parts[i + 1:])
+                terms.append(ast.seq(*term_parts))
+        zw = zero_width(part)
+        if zw is None:
+            break       # no later pivot can have an all-zero-width prefix
+        if not isinstance(zw, ast.Empty):
+            prefix.append(zw)
+    if not terms:
+        return None
+    return ast.alt(*terms) if len(terms) > 1 else terms[0]
+
+
+def _strip_rep(node: ast.Rep) -> Optional[ast.Regex]:
+    body_se = strip_empty(node.body)
+    if body_se is None:
+        return None
+    hi_rest = None if node.hi is None else node.hi - 1
+    if node.hi == 0:
+        return None
+    if zero_width(node.body) is not None:
+        # The body can match empty, so any number of leading components
+        # may be skipped: the remainder count starts at zero.
+        lo_rest = 0
+    else:
+        lo_rest = max(node.lo - 1, 0)
+    if hi_rest == 0 or (hi_rest == lo_rest == 0):
+        rest = ast.Empty()
+    else:
+        rest = ast.Rep(node.body, lo_rest, hi_rest)
+    return ast.seq(body_se, rest)

@@ -1,0 +1,296 @@
+"""Recursive-descent parser for the paper's regex grammar (Listing 1).
+
+Supported syntax::
+
+    R ::= CC | RR | R'|'R | R'*' | R'+' | R'?' | R'{n,m}' | '(' R ')'
+    CC ::= 'a' | '[a-z]' | '[^a-z]' | '.' | escapes (\\d \\w \\s \\n \\t ...)
+
+plus the anchors ``^`` and ``$``.  This covers the feature set shared by
+the systems the paper evaluates (Section 7 restricts the benchmark
+regexes to features all systems support).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import ast
+from .charclass import CharClass, DIGIT, SPACE, WORD
+
+
+class RegexSyntaxError(ValueError):
+    """Raised when a regex cannot be parsed."""
+
+    def __init__(self, message: str, pattern: str, pos: int):
+        super().__init__(f"{message} at position {pos} in {pattern!r}")
+        self.pattern = pattern
+        self.pos = pos
+
+
+_ESCAPE_CLASSES = {
+    "d": DIGIT,
+    "D": DIGIT.complement(),
+    "w": WORD,
+    "W": WORD.complement(),
+    "s": SPACE,
+    "S": SPACE.complement(),
+}
+
+_ESCAPE_CHARS = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "f": "\f",
+    "v": "\v",
+    "a": "\a",
+    "0": "\0",
+}
+
+_SPECIAL = set("|*+?{}()[].^$\\")
+
+MAX_REPETITION = 1024
+
+
+class _Parser:
+    def __init__(self, pattern: str):
+        self.pattern = pattern
+        self.pos = 0
+
+    # -- character stream --------------------------------------------------
+
+    def _peek(self) -> Optional[str]:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _next(self) -> str:
+        char = self._peek()
+        if char is None:
+            raise self._error("unexpected end of pattern")
+        self.pos += 1
+        return char
+
+    def _eat(self, char: str) -> bool:
+        if self._peek() == char:
+            self.pos += 1
+            return True
+        return False
+
+    def _expect(self, char: str) -> None:
+        if not self._eat(char):
+            raise self._error(f"expected {char!r}")
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.pattern, self.pos)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> ast.Regex:
+        ignore_case = False
+        if self.pattern.startswith("(?i)"):
+            ignore_case = True
+            self.pos = 4
+        node = self._alternation()
+        if self.pos != len(self.pattern):
+            raise self._error("unexpected character")
+        if ignore_case:
+            node = _fold_case(node)
+        return node
+
+    def _alternation(self) -> ast.Regex:
+        branches = [self._concatenation()]
+        while self._eat("|"):
+            branches.append(self._concatenation())
+        if len(branches) == 1:
+            return branches[0]
+        return ast.alt(*branches)
+
+    def _concatenation(self) -> ast.Regex:
+        parts = []
+        while True:
+            char = self._peek()
+            if char is None or char in "|)":
+                break
+            parts.append(self._repetition())
+        if not parts:
+            return ast.Empty()
+        return ast.seq(*parts)
+
+    def _repetition(self) -> ast.Regex:
+        node = self._atom()
+        while True:
+            char = self._peek()
+            if char == "*":
+                self._next()
+                node = ast.Star(node)
+            elif char == "+":
+                self._next()
+                node = ast.plus(node)
+            elif char == "?":
+                self._next()
+                node = ast.opt(node)
+            elif char == "{":
+                node = self._bounds(node)
+            else:
+                return node
+
+    def _bounds(self, body: ast.Regex) -> ast.Regex:
+        start = self.pos
+        self._expect("{")
+        lo = self._number()
+        if lo is None:
+            # Not a quantifier after all (e.g. literal "{"); rewind.
+            self.pos = start
+            self._next()
+            return ast.seq(body, ast.literal("{"))
+        hi: Optional[int] = lo
+        if self._eat(","):
+            hi = self._number()  # None means unbounded: {n,}
+        self._expect("}")
+        if hi is not None and hi < lo:
+            raise self._error(f"bad repetition bounds {{{lo},{hi}}}")
+        for bound in (lo, hi):
+            if bound is not None and bound > MAX_REPETITION:
+                raise self._error(f"repetition bound {bound} too large")
+        return ast.Rep(body, lo, hi)
+
+    def _number(self) -> Optional[int]:
+        digits = ""
+        while (char := self._peek()) is not None and char.isdigit():
+            digits += self._next()
+        if not digits:
+            return None
+        return int(digits)
+
+    def _atom(self) -> ast.Regex:
+        char = self._peek()
+        if char is None:
+            raise self._error("expected atom")
+        if char == "(":
+            self._next()
+            # Non-capturing groups: this engine never captures, so
+            # "(?:" is an alias for a plain group (common in rule sets).
+            if self._peek() == "?":
+                self._next()
+                self._expect(":")
+            node = self._alternation()
+            self._expect(")")
+            return node
+        if char == "[":
+            return ast.Lit(self._char_class())
+        if char == ".":
+            self._next()
+            return ast.Lit(CharClass.dot())
+        if char == "^":
+            self._next()
+            return ast.Anchor(ast.Anchor.START)
+        if char == "$":
+            self._next()
+            return ast.Anchor(ast.Anchor.END)
+        if char == "\\":
+            return ast.Lit(self._escape())
+        if char in "*+?{":
+            # A bare "{" with no preceding atom is treated as a literal.
+            if char == "{":
+                self._next()
+                return ast.literal("{")
+            raise self._error(f"quantifier {char!r} with nothing to repeat")
+        if char in ")|":
+            raise self._error(f"unexpected {char!r}")
+        self._next()
+        return ast.Lit(CharClass.of_char(char))
+
+    def _escape(self) -> CharClass:
+        self._expect("\\")
+        char = self._next()
+        if char in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[char]
+        if char in _ESCAPE_CHARS:
+            return CharClass.of_char(_ESCAPE_CHARS[char])
+        if char == "x":
+            high = self._next()
+            low = self._next()
+            try:
+                return CharClass.single(int(high + low, 16))
+            except ValueError:
+                raise self._error(f"bad hex escape \\x{high}{low}") from None
+        if char in _SPECIAL or not char.isalnum():
+            return CharClass.of_char(char)
+        raise self._error(f"unknown escape \\{char}")
+
+    def _char_class(self) -> CharClass:
+        self._expect("[")
+        negate = self._eat("^")
+        cc = CharClass.empty()
+        first = True
+        while True:
+            char = self._peek()
+            if char is None:
+                raise self._error("unterminated character class")
+            if char == "]" and not first:
+                self._next()
+                break
+            cc = cc.union(self._class_member())
+            first = False
+        if negate:
+            cc = cc.complement()
+        return cc
+
+    def _class_member(self) -> CharClass:
+        lo = self._class_char()
+        if lo is None:
+            # An escape class like \d inside [...] contributes its whole set.
+            return self._escape()
+        if self._peek() == "-" and self.pos + 1 < len(self.pattern) \
+                and self.pattern[self.pos + 1] != "]":
+            self._next()
+            hi = self._class_char()
+            if hi is None:
+                raise self._error("bad range endpoint")
+            if hi < lo:
+                raise self._error("reversed character range")
+            return CharClass(((lo, hi),))
+        return CharClass.single(lo)
+
+    def _class_char(self) -> Optional[int]:
+        """A single byte inside [...]; None when the next token is a set escape."""
+        char = self._next()
+        if char != "\\":
+            return ord(char)
+        esc = self._peek()
+        if esc in _ESCAPE_CLASSES:
+            self.pos -= 1  # let _escape() consume the backslash
+            return None
+        self.pos -= 1
+        cc = self._escape()
+        return cc.single_byte()
+
+
+def _fold_case(node: ast.Regex) -> ast.Regex:
+    """Widen every character class to both cases (the ``(?i)`` flag)."""
+    if isinstance(node, ast.Lit):
+        folded = node.cc
+        for byte in list(node.cc.bytes()):
+            char = chr(byte)
+            if char.isalpha() and char.swapcase() != char:
+                folded = folded.union(CharClass.of_char(char.swapcase()))
+        return ast.Lit(folded)
+    if isinstance(node, ast.Seq):
+        return ast.seq(*(_fold_case(p) for p in node.parts))
+    if isinstance(node, ast.Alt):
+        return ast.alt(*(_fold_case(b) for b in node.branches))
+    if isinstance(node, ast.Star):
+        return ast.Star(_fold_case(node.body))
+    if isinstance(node, ast.Rep):
+        return ast.Rep(_fold_case(node.body), node.lo, node.hi)
+    return node
+
+
+def parse(pattern: str) -> ast.Regex:
+    """Parse ``pattern`` into a regex AST.
+
+    Supports the paper's grammar plus escapes, anchors, non-capturing
+    groups ``(?:...)``, and a leading ``(?i)`` case-insensitivity flag.
+    Raises :class:`RegexSyntaxError` on malformed input.
+    """
+    return _Parser(pattern).parse()

@@ -1,0 +1,31 @@
+"""Regex reversal.
+
+``reverse(R)`` matches exactly the reversed strings of ``L(R)``.  Used
+for match-*start* recovery: the paper's all-match semantics reports end
+positions (a 1 at position *i* means a match ends at *i*); running the
+reversed pattern over the reversed input yields the start positions by
+the mirror argument.  Anchors swap roles (``^`` becomes ``$``).
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def reverse(node: ast.Regex) -> ast.Regex:
+    """The reversal of ``node``: L(reverse(R)) = { w[::-1] : w in L(R) }."""
+    if isinstance(node, (ast.Empty, ast.Lit)):
+        return node
+    if isinstance(node, ast.Anchor):
+        flipped = ast.Anchor.END if node.kind == ast.Anchor.START \
+            else ast.Anchor.START
+        return ast.Anchor(flipped)
+    if isinstance(node, ast.Seq):
+        return ast.seq(*(reverse(part) for part in reversed(node.parts)))
+    if isinstance(node, ast.Alt):
+        return ast.alt(*(reverse(branch) for branch in node.branches))
+    if isinstance(node, ast.Star):
+        return ast.Star(reverse(node.body))
+    if isinstance(node, ast.Rep):
+        return ast.Rep(reverse(node.body), node.lo, node.hi)
+    raise TypeError(f"unknown node {node!r}")

@@ -1,0 +1,81 @@
+"""AST normalisation.
+
+Rewrites that shrink the tree before lowering: merging character classes
+under alternation, flattening nested sequences/alternations, collapsing
+degenerate repetitions, and removing epsilon where it is absorbed.  The
+bitstream program sizes in Table 1 are measured after these rewrites,
+as Parabix applies equivalent normalisation before code generation.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+
+def simplify(node: ast.Regex) -> ast.Regex:
+    """Return a semantically equal, normalised AST."""
+    node = _rewrite(node)
+    return node
+
+
+def _rewrite(node: ast.Regex) -> ast.Regex:
+    if isinstance(node, ast.Seq):
+        parts = [_rewrite(p) for p in node.parts]
+        return ast.seq(*parts)
+    if isinstance(node, ast.Alt):
+        branches = [_rewrite(b) for b in node.branches]
+        return _merge_alt(branches)
+    if isinstance(node, ast.Star):
+        body = _rewrite(node.body)
+        if isinstance(body, (ast.Star, ast.Empty)):
+            # (R*)* == R*;  ()* == ()
+            return body if isinstance(body, ast.Star) else ast.Empty()
+        if isinstance(body, ast.Rep) and body.lo == 0:
+            # (R{0,m})* == R*
+            return ast.Star(_rewrite(body.body))
+        return ast.Star(body)
+    if isinstance(node, ast.Rep):
+        body = _rewrite(node.body)
+        if node.lo == 0 and node.hi == 0:
+            return ast.Empty()
+        if node.lo == 1 and node.hi == 1:
+            return body
+        if node.lo == 0 and node.hi is None:
+            return ast.Star(body)
+        if isinstance(body, ast.Empty):
+            return ast.Empty()
+        return ast.Rep(body, node.lo, node.hi)
+    return node
+
+
+def _merge_alt(branches: list) -> ast.Regex:
+    """Merge Lit branches of an alternation into one character class."""
+    lits = [b for b in branches if isinstance(b, ast.Lit)]
+    others = [b for b in branches if not isinstance(b, ast.Lit)]
+    merged = []
+    if lits:
+        cc = lits[0].cc
+        for lit in lits[1:]:
+            cc = cc.union(lit.cc)
+        merged.append(ast.Lit(cc))
+    merged.extend(others)
+    if len(merged) == 1:
+        return merged[0]
+    return ast.alt(*merged)
+
+
+def count_nodes(node: ast.Regex) -> int:
+    """Number of AST nodes (used by grouping heuristics and stats)."""
+    return sum(1 for _ in node.walk())
+
+
+def char_length(node: ast.Regex) -> int:
+    """Approximate pattern 'character length' used for CTA load balancing
+    (Section 7 groups regexes by total character length)."""
+    total = 0
+    for sub in node.walk():
+        if isinstance(sub, ast.Lit):
+            total += 1
+        elif isinstance(sub, ast.Rep):
+            total += max(sub.lo, 1)
+    return total

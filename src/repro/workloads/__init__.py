@@ -1,0 +1,13 @@
+"""Benchmark workloads: the ten evaluated applications, regex-set
+generators, and input synthesis."""
+
+from .apps import (ALL_APPS, APPS_BY_NAME, FULL_INPUT_BYTES, AppSpec,
+                   Workload, app_by_name)
+from .generators import sample_match, target_length
+from .inputs import BACKGROUNDS, build_input, plant_matches
+
+__all__ = [
+    "ALL_APPS", "APPS_BY_NAME", "AppSpec", "BACKGROUNDS",
+    "FULL_INPUT_BYTES", "Workload", "app_by_name", "build_input",
+    "plant_matches", "sample_match", "target_length",
+]

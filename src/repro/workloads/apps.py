@@ -1,0 +1,141 @@
+"""The ten evaluated applications (Table 1).
+
+Each :class:`AppSpec` carries the published statistics of the original
+rule set (pattern count, length mean/SD), the structural generator that
+reproduces its character, the input texture, and its planted-match
+density.  ``build(scale=...)`` instantiates a deterministic scaled-down
+workload: pattern count and input size shrink together so benchmark
+runtimes stay tractable in a pure-Python simulator, while per-pattern
+structure — which drives every effect the paper measures — is
+unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..regex import ast
+from ..regex.parser import parse
+from . import generators as gen
+from .inputs import build_input
+
+#: the paper's input size (Section 7: 10^6 bytes per application)
+FULL_INPUT_BYTES = 1_000_000
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """One benchmark application."""
+
+    name: str
+    regex_count: int           # Table 1 "#Regex"
+    length_mean: float         # Table 1 "Avg."
+    length_sd: float           # Table 1 "SD."
+    generator: Callable[[random.Random, int], str]
+    background: str
+    match_density: float       # planted matches per KiB
+    description: str = ""
+
+    def build(self, scale: float = 1.0, input_bytes: int = FULL_INPUT_BYTES,
+              seed: int = 0) -> "Workload":
+        """Deterministically instantiate this application."""
+        rng = random.Random((zlib.crc32(self.name.encode()) ^ seed)
+                            & 0xFFFFFFFF)
+        count = max(2, int(self.regex_count * scale))
+        patterns: List[str] = []
+        while len(patterns) < count:
+            length = gen.target_length(rng, self.length_mean,
+                                       self.length_sd)
+            pattern = self.generator(rng, length)
+            patterns.append(pattern)
+        nodes = [parse(p) for p in patterns]
+        size = max(1024, int(input_bytes * scale)) if scale < 1.0 \
+            else input_bytes
+        data = build_input(rng, size, self.background, nodes,
+                           self.match_density)
+        return Workload(spec=self, patterns=patterns, nodes=nodes,
+                        data=data)
+
+
+@dataclass
+class Workload:
+    """An instantiated application: patterns plus input stream."""
+
+    spec: AppSpec
+    patterns: List[str]
+    nodes: List[ast.Regex]
+    data: bytes
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+
+BRILL = AppSpec(
+    name="Brill", regex_count=1849, length_mean=44.4, length_sd=16.9,
+    generator=gen.brill_pattern, background="text", match_density=6.0,
+    description="POS-tagging rules: alternation and Kleene heavy "
+                "(control-intensive; most while loops in Table 1)")
+
+CLAMAV = AppSpec(
+    name="ClamAV", regex_count=491, length_mean=359.7, length_sd=310.7,
+    generator=gen.hex_signature_pattern, background="binary",
+    match_density=0.02,
+    description="virus byte signatures: very long literals with bounded "
+                "gaps; match-sparse scanning")
+
+DOTSTAR = AppSpec(
+    name="Dotstar", regex_count=1279, length_mean=52.8, length_sd=30.8,
+    generator=gen.dotstar_pattern, background="text", match_density=0.3,
+    description="literal fragments separated by .* / bounded gaps")
+
+PROTOMATA = AppSpec(
+    name="Protomata", regex_count=2338, length_mean=96.5, length_sd=36.2,
+    generator=gen.protein_pattern, background="protein", match_density=4.0,
+    description="protein motifs: class/alternation heavy (most ORs)")
+
+SNORT = AppSpec(
+    name="Snort", regex_count=1873, length_mean=50.5, length_sd=41.5,
+    generator=gen.snort_pattern, background="network", match_density=1.0,
+    description="intrusion-detection content rules")
+
+YARA = AppSpec(
+    name="Yara", regex_count=3358, length_mean=32.5, length_sd=24.9,
+    generator=gen.yara_pattern, background="binary", match_density=0.05,
+    description="malware strings: literal/shift heavy, almost no loops")
+
+BRO217 = AppSpec(
+    name="Bro217", regex_count=227, length_mean=34.1, length_sd=27.9,
+    generator=gen.bro_pattern, background="network", match_density=0.5,
+    description="Zeek HTTP signatures")
+
+EXACTMATCH = AppSpec(
+    name="ExactMatch", regex_count=298, length_mean=52.9, length_sd=19.2,
+    generator=gen.literal_pattern, background="text", match_density=0.1,
+    description="pure string literals")
+
+RANGES1 = AppSpec(
+    name="Ranges1", regex_count=298, length_mean=54.3, length_sd=19.4,
+    generator=gen.ranged_pattern, background="text", match_density=0.5,
+    description="literals with character ranges")
+
+TCP = AppSpec(
+    name="TCP", regex_count=300, length_mean=53.9, length_sd=21.4,
+    generator=gen.tcp_pattern, background="network", match_density=0.5,
+    description="TCP-stream signatures")
+
+ALL_APPS: Sequence[AppSpec] = (BRILL, CLAMAV, DOTSTAR, PROTOMATA, SNORT,
+                               YARA, BRO217, EXACTMATCH, RANGES1, TCP)
+
+APPS_BY_NAME: Dict[str, AppSpec] = {app.name: app for app in ALL_APPS}
+
+
+def app_by_name(name: str) -> AppSpec:
+    try:
+        return APPS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; known: "
+                       f"{sorted(APPS_BY_NAME)}") from None

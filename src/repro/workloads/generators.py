@@ -1,0 +1,297 @@
+"""Seeded regex-set generators.
+
+The paper's benchmarks come from AutomataZoo, ANMLzoo, and the Becchi
+Regex suite; those rule sets are not redistributable here, so each
+application is represented by a deterministic generator matched to its
+published statistics (Table 1: pattern count, length mean/SD) and to
+the *structural* character that drives the paper's effects: literal
+density (Yara, ExactMatch, ClamAV), character-class density (Protomata,
+Ranges1), ``.*`` gaps (Dotstar), and control-flow density (Brill).
+
+Every generator takes a seeded ``random.Random`` plus a target length
+and returns a pattern string in the supported grammar.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Optional
+
+from ..regex import ast
+
+LOWER = string.ascii_lowercase
+WORDCHARS = string.ascii_lowercase + string.ascii_uppercase + string.digits
+HEX = "0123456789abcdef"
+PROTEIN = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def literal_pattern(rng: random.Random, length: int,
+                    alphabet: str = LOWER) -> str:
+    """A plain string pattern (ExactMatch, and the literal parts of
+    Yara/ClamAV signatures)."""
+    length = max(1, length)
+    return "".join(rng.choice(alphabet) for _ in range(length))
+
+
+def byte_literal(rng: random.Random, count: int) -> str:
+    r"""``count`` random bytes as an escaped pattern (``\xNN`` form)."""
+    return "".join(f"\\x{rng.randrange(256):02x}" for _ in range(count))
+
+
+def hex_signature_pattern(rng: random.Random, length: int,
+                          gap_probability: float = 0.08) -> str:
+    """ClamAV-style virus signature: a long byte-sequence literal with
+    occasional bounded wildcard gaps (ClamAV's ``{n-m}``).  ``length``
+    counts signature hex digits, i.e. two per byte, matching how
+    Table 1 measures ClamAV pattern lengths."""
+    parts: List[str] = []
+    remaining = max(4, int(length * 0.7))
+    while remaining > 0:
+        run = min(remaining, rng.randint(2, 8))
+        parts.append(byte_literal(rng, run))
+        remaining -= run
+        if remaining > 2 and rng.random() < gap_probability:
+            lo = rng.randint(0, 2)
+            hi = lo + rng.randint(1, 3)
+            parts.append(f"[^\\n]{{{lo},{hi}}}")
+            remaining -= 1
+    return "".join(parts)
+
+
+def ranged_pattern(rng: random.Random, length: int) -> str:
+    """Ranges1-style: literals interspersed with character ranges."""
+    out: List[str] = []
+    budget = max(2, length)
+    while budget > 0:
+        roll = rng.random()
+        if roll < 0.6:
+            out.append(rng.choice(LOWER))
+            budget -= 1
+        elif roll < 0.85:
+            lo = rng.choice(LOWER[:20])
+            hi = chr(min(ord(lo) + rng.randint(1, 5), ord("z")))
+            out.append(f"[{lo}-{hi}]")
+            budget -= 5
+        elif roll < 0.96:
+            klass = "".join(rng.sample(LOWER, rng.randint(2, 4)))
+            out.append(f"[{klass}]")
+            budget -= len(klass) + 2
+        else:
+            out.append(rng.choice(LOWER) + "+")
+            budget -= 2
+    return "".join(out)
+
+
+def dotstar_pattern(rng: random.Random, length: int,
+                    star_probability: float = 0.15) -> str:
+    """Dotstar-suite style: literal fragments separated by ``.*`` or by
+    bounded any-character gaps."""
+    fragments = rng.randint(2, 3)
+    frag_len = max(2, length // fragments - 2)
+    parts: List[str] = []
+    for index in range(fragments):
+        parts.append(literal_pattern(rng, frag_len + rng.randint(-1, 1)))
+        if index + 1 < fragments:
+            if rng.random() < star_probability:
+                parts.append(".*")
+            else:
+                lo = rng.randint(0, 2)
+                parts.append(f".{{{lo},{lo + rng.randint(1, 4)}}}")
+    return "".join(parts)
+
+
+def protein_pattern(rng: random.Random, length: int) -> str:
+    """Protomata-style protein motif: amino-acid classes, alternation,
+    and bounded repetition (PROSITE signatures)."""
+    out: List[str] = []
+    budget = max(3, length)
+    while budget > 0:
+        roll = rng.random()
+        if roll < 0.35:
+            out.append(rng.choice(PROTEIN))
+            budget -= 1
+        elif roll < 0.75:
+            klass = "".join(rng.sample(PROTEIN, rng.randint(2, 5)))
+            out.append(f"[{klass}]")
+            budget -= len(klass) + 2
+        elif roll < 0.9:
+            a = rng.choice(PROTEIN)
+            b = rng.choice(PROTEIN)
+            out.append(f"({a}|{b})")
+            budget -= 5
+        else:
+            lo = rng.randint(1, 3)
+            rep = f"{rng.choice(PROTEIN)}{{{lo},{lo + rng.randint(0, 2)}}}"
+            out.append(rep)
+            budget -= len(rep)
+    return "".join(out)
+
+
+def brill_pattern(rng: random.Random, length: int) -> str:
+    """Brill-style tagging rule: word fragments, alternations over short
+    words, and Kleene groups — the control-flow-heavy workload."""
+    words = ["the", "a", "an", "to", "of", "in", "is", "was", "on", "at"]
+    out: List[str] = []
+    budget = max(4, length)
+    stars = 0
+    while budget > 0:
+        roll = rng.random()
+        if roll < 0.35:
+            fragment = literal_pattern(rng, rng.randint(2, 5))
+            out.append(fragment)
+            budget -= len(fragment)
+        elif roll < 0.6:
+            a, b = rng.sample(words, 2)
+            out.append(f"({a}|{b})")
+            budget -= len(a) + len(b) + 3
+        elif roll < 0.9 or stars >= 3:
+            out.append("[a-z]")
+            budget -= 5
+        else:
+            group = literal_pattern(rng, rng.randint(1, 2))
+            out.append(f"({group})*")
+            budget -= len(group) + 3
+            stars += 1
+    return "".join(out)
+
+
+def snort_pattern(rng: random.Random, length: int) -> str:
+    """Snort-style content rule: keyword literal + classes + optional
+    repetition tail."""
+    keywords = ["GET", "POST", "HTTP", "admin", "login", "passwd", "cmd",
+                "exec", "shell", "root", "select", "union"]
+    out: List[str] = [rng.choice(keywords)]
+    budget = max(3, length - len(out[0]))
+    while budget > 0:
+        roll = rng.random()
+        if roll < 0.55:
+            fragment = literal_pattern(rng, rng.randint(2, 5),
+                                       WORDCHARS + "._-/=")
+            out.append(fragment)
+            budget -= len(fragment)
+        elif roll < 0.75:
+            out.append("[a-zA-Z0-9]")
+            budget -= 10
+        elif roll < 0.95:
+            lo = rng.randint(1, 3)
+            gap = f"[^\\n]{{{lo},{lo + 2}}}"
+            out.append(gap)
+            budget -= len(gap)
+        else:
+            out.append("(/|%2f)*")
+            budget -= 8
+    return "".join(out)
+
+
+def yara_pattern(rng: random.Random, length: int) -> str:
+    """Yara-style malware string: byte-sequence literal with occasional
+    one-byte wildcard classes, and essentially no loops (Table 1: 7
+    whiles in 3358 patterns).  ``length`` counts hex digits (two per
+    byte), as in Table 1."""
+    out: List[str] = []
+    budget = max(2, length) // 2
+    while budget > 0:
+        if rng.random() < 0.9:
+            run = min(budget, rng.randint(1, 4))
+            out.append(byte_literal(rng, run))
+            budget -= run
+        else:
+            a, b = rng.randrange(256), rng.randrange(256)
+            out.append(f"[\\x{a:02x}\\x{b:02x}]")
+            budget -= 1
+    return "".join(out)
+
+
+def bro_pattern(rng: random.Random, length: int) -> str:
+    """Bro/Zeek HTTP signature: header-ish literal with classes."""
+    heads = ["User-Agent", "Host", "Cookie", "GET /", "POST /", "Referer"]
+    out = [rng.choice(heads)]
+    budget = max(2, length - len(out[0]))
+    while budget > 0:
+        if rng.random() < 0.6:
+            fragment = literal_pattern(rng, rng.randint(1, 4))
+            out.append(fragment)
+            budget -= len(fragment)
+        else:
+            out.append("[a-z0-9]")
+            budget -= 8
+    return "".join(out)
+
+
+def tcp_pattern(rng: random.Random, length: int) -> str:
+    """TCP-suite style: mixed literal/class with rare unbounded parts."""
+    out: List[str] = []
+    budget = max(2, length)
+    while budget > 0:
+        roll = rng.random()
+        if roll < 0.5:
+            fragment = literal_pattern(rng, rng.randint(2, 5))
+            out.append(fragment)
+            budget -= len(fragment)
+        elif roll < 0.88:
+            out.append("[0-9a-f]")
+            budget -= 7
+        elif roll < 0.97:
+            out.append(f"{rng.choice(LOWER)}{{2,4}}")
+            budget -= 7
+        else:
+            out.append(f"({rng.choice(LOWER)})+")
+            budget -= 4
+    return "".join(out)
+
+
+def target_length(rng: random.Random, mean: float, sd: float) -> int:
+    """Draw a pattern length near the published mean/SD (clamped)."""
+    return max(2, min(int(rng.gauss(mean, sd)), int(mean + 3 * sd)))
+
+
+def sample_match(rng: random.Random, node: ast.Regex,
+                 max_star: int = 3) -> Optional[bytes]:
+    """A random byte string matching ``node`` (for planting matches in
+    inputs).  None when the node cannot match (empty class)."""
+    if isinstance(node, ast.Empty):
+        return b""
+    if isinstance(node, ast.Anchor):
+        return b""
+    if isinstance(node, ast.Lit):
+        choices = list(node.cc.bytes())
+        if not choices:
+            return None
+        return bytes([rng.choice(choices)])
+    if isinstance(node, ast.Seq):
+        out = bytearray()
+        for part in node.parts:
+            piece = sample_match(rng, part, max_star)
+            if piece is None:
+                return None
+            out.extend(piece)
+        return bytes(out)
+    if isinstance(node, ast.Alt):
+        branches = list(node.branches)
+        rng.shuffle(branches)
+        for branch in branches:
+            piece = sample_match(rng, branch, max_star)
+            if piece is not None:
+                return piece
+        return None
+    if isinstance(node, ast.Star):
+        reps = rng.randint(0, max_star)
+        out = bytearray()
+        for _ in range(reps):
+            piece = sample_match(rng, node.body, max_star)
+            if piece is None:
+                break
+            out.extend(piece)
+        return bytes(out)
+    if isinstance(node, ast.Rep):
+        hi = node.lo + max_star if node.hi is None else node.hi
+        reps = rng.randint(node.lo, max(node.lo, min(hi, node.lo + max_star)))
+        out = bytearray()
+        for _ in range(reps):
+            piece = sample_match(rng, node.body, max_star)
+            if piece is None:
+                return None if reps > 0 and node.lo > 0 else bytes(out)
+            out.extend(piece)
+        return bytes(out)
+    raise TypeError(f"unknown node {node!r}")

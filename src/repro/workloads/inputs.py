@@ -1,0 +1,110 @@
+"""Input-stream synthesis.
+
+Each application gets an input of the right *texture* (English-ish text,
+binary payloads, protein sequences, network traffic) with matches of the
+pattern set planted at a controlled density, so match-dependent effects
+(worklist activity for ngAP, zero-block sparsity for ZBS) behave like
+the real suites: scanning workloads (ClamAV, Yara) are match-sparse,
+text workloads (Brill) are match-dense.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..regex import ast
+from .generators import PROTEIN, sample_match
+
+
+def text_background(rng: random.Random, size: int) -> bytes:
+    """English-like word soup, line-structured like real corpora
+    (lines bound how far ``.*`` chains can run)."""
+    words = ["the", "quick", "brown", "fox", "jumps", "over", "lazy",
+             "dog", "and", "cat", "runs", "to", "a", "house", "was",
+             "on", "in", "of", "is", "at"]
+    out = bytearray()
+    line_len = 0
+    while len(out) < size:
+        out.extend(rng.choice(words).encode())
+        line_len += 1
+        if line_len >= rng.randint(8, 14):
+            out.append(ord("\n"))
+            line_len = 0
+        else:
+            out.append(ord(" "))
+    return bytes(out[:size])
+
+
+def binary_background(rng: random.Random, size: int) -> bytes:
+    """Printable-biased binary payloads (executables are not uniform)."""
+    out = bytearray()
+    while len(out) < size:
+        if rng.random() < 0.7:
+            out.append(rng.randrange(0x20, 0x7f))
+        else:
+            out.append(rng.randrange(256))
+    return bytes(out[:size])
+
+
+def hexish_background(rng: random.Random, size: int) -> bytes:
+    return bytes(rng.choice(b"0123456789abcdef") for _ in range(size))
+
+
+def protein_background(rng: random.Random, size: int) -> bytes:
+    return bytes(ord(rng.choice(PROTEIN)) for _ in range(size))
+
+
+def network_background(rng: random.Random, size: int) -> bytes:
+    """HTTP-flavoured request lines."""
+    verbs = [b"GET", b"POST", b"PUT"]
+    paths = [b"/index.html", b"/api/v1/items", b"/images/logo.png",
+             b"/search?q=test", b"/static/app.js"]
+    headers = [b"Host: example.com", b"User-Agent: Mozilla/5.0",
+               b"Accept: */*", b"Cookie: session=deadbeef"]
+    out = bytearray()
+    while len(out) < size:
+        out.extend(rng.choice(verbs) + b" " + rng.choice(paths)
+                   + b" HTTP/1.1\n")
+        for _ in range(rng.randint(1, 3)):
+            out.extend(rng.choice(headers) + b"\n")
+        out.append(ord("\n"))
+    return bytes(out[:size])
+
+
+BACKGROUNDS = {
+    "text": text_background,
+    "binary": binary_background,
+    "hex": hexish_background,
+    "protein": protein_background,
+    "network": network_background,
+}
+
+
+def plant_matches(rng: random.Random, background: bytes,
+                  nodes: Sequence[ast.Regex],
+                  density: float) -> bytes:
+    """Overwrite the background with substrings matching random patterns,
+    roughly ``density`` planted matches per kilobyte."""
+    if not nodes or density <= 0 or not background:
+        return background
+    data = bytearray(background)
+    plant_count = max(1, int(len(background) / 1024 * density))
+    for _ in range(plant_count):
+        node = rng.choice(nodes)
+        piece = sample_match(rng, node)
+        if not piece or len(piece) >= len(data):
+            continue
+        offset = rng.randrange(0, len(data) - len(piece))
+        data[offset:offset + len(piece)] = piece
+    return bytes(data)
+
+
+def build_input(rng: random.Random, size: int, background: str,
+                nodes: Sequence[ast.Regex] = (),
+                density: float = 0.0) -> bytes:
+    """Background of the given texture with planted matches."""
+    maker = BACKGROUNDS.get(background)
+    if maker is None:
+        raise KeyError(f"unknown background {background!r}")
+    return plant_matches(rng, maker(rng, size), list(nodes), density)

@@ -1,0 +1,105 @@
+"""Subset DFA and Aho–Corasick tests."""
+
+import random
+
+import pytest
+
+from repro.automata.aho_corasick import AhoCorasick
+from repro.automata.dfa import DFA, DFATooLarge
+from repro.automata.nfa import MultiPatternNFA
+from repro.regex.parser import parse
+
+from ..conftest import oracle_end_positions, random_text
+
+
+def dfa_ends(patterns, data):
+    nfa = MultiPatternNFA.build([parse(p) for p in patterns])
+    dfa = DFA.build(nfa)
+    return {pid: sorted(set(ends))
+            for pid, ends in dfa.run(data).items()}
+
+
+def test_dfa_single_literal():
+    assert dfa_ends(["cat"], b"bobcat catcat")[0] == [5, 9, 12]
+
+
+def test_dfa_matches_nfa():
+    patterns = ["a(b|c)*d", "ab", "c+"]
+    rng = random.Random(3)
+    nfa = MultiPatternNFA.build([parse(p) for p in patterns])
+    dfa = DFA.build(nfa)
+    for _ in range(10):
+        data = random_text(rng, 40, "abcd")
+        nfa_matches, _ = nfa.run(data)
+        dfa_matches = dfa.run(data)
+        for pid in range(len(patterns)):
+            assert sorted(set(nfa_matches[pid])) == \
+                sorted(set(dfa_matches[pid]))
+
+
+def test_dfa_vs_oracle():
+    rng = random.Random(5)
+    for pattern in ["ab|ba", "a{2,3}b", "[ab]c"]:
+        data = random_text(rng, 30, "abc")
+        assert dfa_ends([pattern], data)[0] == \
+            oracle_end_positions(pattern, data)
+
+
+def test_dfa_state_budget():
+    # The classic (a|b)*a(a|b)^k needs ~2^k subset states.
+    nfa = MultiPatternNFA.build([parse("[ab]*a[ab]{8}")])
+    with pytest.raises(DFATooLarge):
+        DFA.build(nfa, max_states=16)
+
+
+def test_ac_basic():
+    ac = AhoCorasick.build([b"he", b"she", b"his", b"hers"])
+    hits, stats = ac.scan(b"ushers")
+    assert set(hits) == {(1, 3), (0, 3), (3, 5)}
+    assert stats.symbols == 6
+    assert stats.outputs_emitted == 3
+
+
+def test_ac_overlapping_patterns():
+    ac = AhoCorasick.build([b"aa", b"aaa"])
+    hits, _ = ac.scan(b"aaaa")
+    assert set(hits) == {(0, 1), (0, 2), (1, 2), (0, 3), (1, 3)}
+
+
+def test_ac_single_char():
+    ac = AhoCorasick.build([b"a"])
+    hits, _ = ac.scan(b"banana")
+    assert [pos for _, pos in hits] == [1, 3, 5]
+
+
+def test_ac_rejects_empty_pattern():
+    with pytest.raises(ValueError):
+        AhoCorasick.build([b""])
+
+
+def test_ac_no_matches():
+    ac = AhoCorasick.build([b"xyz"])
+    hits, stats = ac.scan(b"aaaa")
+    assert hits == []
+    assert stats.goto_lookups == 4
+
+
+def test_ac_vs_naive():
+    rng = random.Random(11)
+    patterns = [b"ab", b"ba", b"aab", b"bbb", b"abab"]
+    ac = AhoCorasick.build(patterns)
+    for _ in range(20):
+        data = random_text(rng, 50, "ab")
+        hits, _ = ac.scan(data)
+        naive = set()
+        for pid, pat in enumerate(patterns):
+            for start in range(len(data) - len(pat) + 1):
+                if data[start:start + len(pat)] == pat:
+                    naive.add((pid, start + len(pat) - 1))
+        assert set(hits) == naive
+
+
+def test_ac_binary_patterns():
+    ac = AhoCorasick.build([bytes([0, 255]), bytes([1, 2, 3])])
+    hits, _ = ac.scan(bytes([0, 255, 1, 2, 3]))
+    assert set(hits) == {(0, 1), (1, 4)}

@@ -1,0 +1,102 @@
+"""Glushkov construction and NFA simulation vs oracle and vs bitstreams."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.automata.glushkov import Glushkov, UnsupportedFeature
+from repro.automata.nfa import MultiPatternNFA, match_ends
+from repro.ir.interpreter import run_regexes
+from repro.regex.parser import parse
+
+from ..conftest import oracle_end_positions, random_text
+
+
+def nfa_ends(pattern: str, data: bytes):
+    return match_ends([parse(pattern)], data)[0]
+
+
+def test_glushkov_literal():
+    auto = Glushkov.build(parse("cat"))
+    assert auto.state_count == 4  # initial + 3 positions
+    assert auto.first == {1}
+    assert auto.accepting == {3}
+    assert auto.follow[1] == {2}
+    assert auto.follow[2] == {3}
+    assert auto.follow[3] == set()
+
+
+def test_glushkov_star_loops_back():
+    auto = Glushkov.build(parse("(ab)*"))
+    assert auto.nullable
+    # b's follow loops back to a
+    assert auto.follow[2] == {1}
+
+
+def test_glushkov_alternation():
+    auto = Glushkov.build(parse("ab|cd"))
+    assert auto.first == {1, 3}
+    assert auto.accepting == {2, 4}
+
+
+def test_glushkov_rejects_anchors():
+    with pytest.raises(UnsupportedFeature):
+        Glushkov.build(parse("^ab"))
+
+
+def test_nfa_simple_match():
+    assert nfa_ends("cat", b"bobcat") == [5]
+
+
+def test_nfa_figure3():
+    assert nfa_ends("(abc)|d", b"abcdabce") == [2, 3, 6]
+
+
+def test_nfa_multi_pattern_ids():
+    ends = match_ends([parse("ab"), parse("bc")], b"abc")
+    assert ends[0] == [1]
+    assert ends[1] == [2]
+
+
+def test_nfa_stats_counters():
+    nfa = MultiPatternNFA.build([parse("a+b")])
+    _, stats = nfa.run(b"aaab")
+    assert stats.symbols == 4
+    assert stats.transition_lookups > 0
+    assert stats.matches == 1
+    assert stats.max_active >= 1
+
+
+def test_nfa_counts_duplicate_report_states():
+    # same end position from two patterns
+    ends = match_ends([parse("ab"), parse("[ab]b")], b"ab")
+    assert ends[0] == [1]
+    assert ends[1] == [1]
+
+
+@pytest.mark.parametrize("pattern", [
+    "a", "ab", "a*b", "(ab)*c", "a|bc", "a+", "a?b", "[a-c]+d",
+    "a{2,3}", "(a|b){2}c", "(ab|a)b", "x(yz)*", "[^a]b", "(ab*)+",
+    "a(b|c)*d", "a{2,}b",
+])
+def test_nfa_vs_oracle(pattern):
+    rng = random.Random(77)
+    for _ in range(5):
+        data = random_text(rng, rng.randrange(0, 30), "abcd")
+        got = nfa_ends(pattern, data)
+        want = oracle_end_positions(pattern, data)
+        assert got == want, f"{pattern!r} on {data!r}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from([
+    "a", "(a|b)*c", "ab|ba", "a(ba)*b", "[abc]{2}", "c(a|b)+",
+    "(a|b)(c|d)", "ab{2,4}", "(abc)|(cba)",
+]), st.integers(min_value=0, max_value=2**32))
+def test_nfa_agrees_with_bitstream_engine(pattern, seed):
+    """Cross-validation: two independent algorithms, same answers."""
+    rng = random.Random(seed)
+    data = random_text(rng, rng.randrange(0, 50), "abcd")
+    assert nfa_ends(pattern, data) == run_regexes([pattern], data)["R0"]

@@ -1,0 +1,145 @@
+"""BitVector unit and property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitstream.bitvector import BitVector
+
+
+def test_zeros_ones():
+    z = BitVector.zeros(10)
+    o = BitVector.ones(10)
+    assert not z.any()
+    assert o.popcount() == 10
+    assert (~z) == o
+
+
+def test_from_string_and_back():
+    v = BitVector.from_string("1.01.")
+    assert v.positions() == [0, 3]
+    assert v.to_string() == "1..1."
+    assert BitVector.from_string(v.to_string()) == v
+
+
+def test_from_positions():
+    v = BitVector.from_positions([0, 3, 7], 8)
+    assert v.positions() == [0, 3, 7]
+    with pytest.raises(ValueError):
+        BitVector.from_positions([8], 8)
+
+
+def test_width_enforced():
+    with pytest.raises(ValueError):
+        BitVector(0b100, 2)
+    with pytest.raises(ValueError):
+        BitVector(-1, 4)
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        BitVector.zeros(4) & BitVector.zeros(5)
+
+
+def test_advance_positive_moves_forward():
+    # paper's >>: result[i] = S[i-k]
+    v = BitVector.from_string("1...")
+    assert v.advance(1) == BitVector.from_string(".1..")
+    assert v.advance(3) == BitVector.from_string("...1")
+    assert v.advance(4) == BitVector.zeros(4)
+
+
+def test_advance_negative_moves_backward():
+    v = BitVector.from_string("...1")
+    assert v.advance(-1) == BitVector.from_string("..1.")
+    assert v.advance(-3) == BitVector.from_string("1...")
+    assert v.advance(-4) == BitVector.zeros(4)
+
+
+def test_advance_zero_identity():
+    v = BitVector.from_string("1.1.")
+    assert v.advance(0) == v
+
+
+def test_andn():
+    a = BitVector.from_string("11..")
+    b = BitVector.from_string("1.1.")
+    assert a.andn(b) == BitVector.from_string(".1..")
+
+
+def test_logic_ops():
+    a = BitVector.from_string("110.")
+    b = BitVector.from_string("1.1.")
+    assert (a & b).to_string() == "1..."
+    assert (a | b).to_string() == "111."
+    assert (a ^ b).to_string() == ".11."
+
+
+def test_test_and_getitem():
+    v = BitVector.from_string(".1.")
+    assert not v[0] and v[1] and not v[2]
+    with pytest.raises(IndexError):
+        v.test(3)
+
+
+def test_slice():
+    v = BitVector.from_string("10110101")
+    assert v.slice(2, 6) == BitVector.from_string("1101")
+    assert v.slice(0, 0).length == 0
+    with pytest.raises(ValueError):
+        v.slice(5, 3)
+
+
+def test_any_in_range():
+    v = BitVector.from_string("...1....")
+    assert v.any_in_range(3, 4)
+    assert v.any_in_range(0, 8)
+    assert not v.any_in_range(4, 8)
+    assert not v.any_in_range(0, 3)
+
+
+def test_empty_vector():
+    v = BitVector.zeros(0)
+    assert not v.any()
+    assert v.positions() == []
+    assert (~v).length == 0
+
+
+bit_vectors = st.integers(min_value=1, max_value=200).flatmap(
+    lambda n: st.tuples(st.integers(min_value=0, max_value=(1 << n) - 1),
+                        st.just(n))).map(lambda t: BitVector(*t))
+
+
+@given(bit_vectors)
+def test_double_complement(v):
+    assert ~~v == v
+
+
+@given(bit_vectors)
+def test_positions_roundtrip(v):
+    assert BitVector.from_positions(v.positions(), v.length) == v
+
+
+@given(bit_vectors, st.integers(min_value=-64, max_value=64))
+def test_advance_matches_positionwise(v, k):
+    shifted = v.advance(k)
+    expected = {p + k for p in v.positions() if 0 <= p + k < v.length}
+    assert set(shifted.positions()) == expected
+
+
+@given(bit_vectors, st.integers(min_value=0, max_value=16),
+       st.integers(min_value=0, max_value=16))
+def test_advance_composes(v, j, k):
+    assert v.advance(j).advance(k) == v.advance(j + k)
+
+
+@given(bit_vectors)
+def test_demorgan(v):
+    w = ~v
+    assert ~(v & w) == (~v | ~w)
+    assert ~(v | w) == (~v & ~w)
+
+
+@given(bit_vectors)
+def test_popcount_equals_positions(v):
+    assert v.popcount() == len(v.positions())

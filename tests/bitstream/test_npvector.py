@@ -1,0 +1,93 @@
+"""NumPy backend must be bit-identical to the big-integer backend."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitstream.bitvector import BitVector
+from repro.bitstream.npvector import NPBitVector
+
+
+def pair(bits: int, length: int):
+    reference = BitVector(bits, length)
+    return reference, NPBitVector.from_bitvector(reference)
+
+
+def test_roundtrip():
+    reference, vector = pair(0b1011001, 9)
+    assert vector.to_bitvector() == reference
+    assert vector.positions() == reference.positions()
+
+
+def test_constructors():
+    assert NPBitVector.zeros(70).to_bitvector() == BitVector.zeros(70)
+    assert NPBitVector.ones(70).to_bitvector() == BitVector.ones(70)
+    assert NPBitVector.from_positions([0, 64, 69], 70).positions() == \
+        [0, 64, 69]
+
+
+def test_empty():
+    vector = NPBitVector.zeros(0)
+    assert not vector.any()
+    assert vector.popcount() == 0
+    assert vector.advance(3).length == 0
+
+
+def test_word_count_enforced():
+    import numpy as np
+
+    with pytest.raises(ValueError):
+        NPBitVector(np.zeros(1, dtype=np.uint64), 200)
+
+
+def test_tail_masking():
+    vector = NPBitVector.ones(65)
+    assert vector.popcount() == 65
+    assert (~NPBitVector.zeros(65)).popcount() == 65
+
+
+bit_vectors = st.integers(min_value=1, max_value=300).flatmap(
+    lambda n: st.tuples(st.integers(min_value=0, max_value=(1 << n) - 1),
+                        st.just(n)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(bit_vectors, bit_vectors)
+def test_binary_ops_equivalent(a, b):
+    length = min(a[1], b[1])
+    ref_a = BitVector(a[0] & ((1 << length) - 1), length)
+    ref_b = BitVector(b[0] & ((1 << length) - 1), length)
+    np_a = NPBitVector.from_bitvector(ref_a)
+    np_b = NPBitVector.from_bitvector(ref_b)
+    assert (np_a & np_b).to_bitvector() == (ref_a & ref_b)
+    assert (np_a | np_b).to_bitvector() == (ref_a | ref_b)
+    assert (np_a ^ np_b).to_bitvector() == (ref_a ^ ref_b)
+    assert np_a.andn(np_b).to_bitvector() == ref_a.andn(ref_b)
+    assert (~np_a).to_bitvector() == ~ref_a
+
+
+@settings(max_examples=60, deadline=None)
+@given(bit_vectors, st.integers(min_value=-130, max_value=130))
+def test_advance_equivalent(a, distance):
+    reference = BitVector(*a)
+    vector = NPBitVector.from_bitvector(reference)
+    assert vector.advance(distance).to_bitvector() == \
+        reference.advance(distance)
+
+
+@settings(max_examples=40, deadline=None)
+@given(bit_vectors)
+def test_queries_equivalent(a):
+    reference = BitVector(*a)
+    vector = NPBitVector.from_bitvector(reference)
+    assert vector.any() == reference.any()
+    assert vector.popcount() == reference.popcount()
+    assert vector.positions() == reference.positions()
+
+
+def test_cross_word_shift_exact():
+    reference = BitVector.from_positions([63], 130)
+    vector = NPBitVector.from_bitvector(reference)
+    assert vector.advance(1).positions() == [64]
+    assert vector.advance(65).positions() == [128]
+    assert vector.advance(-63).positions() == [0]

@@ -1,0 +1,38 @@
+"""Shared fixtures and the brute-force match oracle."""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Dict, List, Sequence
+
+import pytest
+
+
+def oracle_end_positions(pattern: str, data: bytes) -> List[int]:
+    """All-match semantics oracle: position i is reported when some
+    non-empty substring ending at i fully matches ``pattern``.
+
+    Uses Python's ``re`` with fullmatch over every substring — O(n^2)
+    but independent of every implementation under test.
+    """
+    text = data.decode("latin-1")
+    compiled = re.compile(pattern, re.DOTALL if False else 0)
+    ends = []
+    n = len(text)
+    for end in range(1, n + 1):
+        for start in range(end - 1, -1, -1):
+            if compiled.fullmatch(text, start, end):
+                ends.append(end - 1)
+                break
+    return ends
+
+
+def random_text(rng: random.Random, length: int,
+                alphabet: str = "abcd") -> bytes:
+    return "".join(rng.choice(alphabet) for _ in range(length)).encode()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xB17C0DE)

@@ -1,0 +1,86 @@
+"""Codegen details: emitted source structure across constructs."""
+
+import re
+
+from repro.core.barriers import plan_barriers
+from repro.core.codegen import render_kernel, render_module
+from repro.core.rebalance import rebalance_program
+from repro.core.zeroskip import insert_guards
+from repro.ir.instructions import Instr, Op, SkipGuard
+from repro.ir.lower import lower_regex
+from repro.ir.program import Program, ProgramBuilder
+from repro.regex.parser import parse
+
+
+def test_all_opcodes_render():
+    builder = ProgramBuilder("ops")
+    a = builder.match_cc(parse("a").cc)
+    b = builder.not_(a)
+    c = builder.or_(a, b)
+    d = builder.xor(c, a)
+    e = builder.andn(d, b)
+    f = builder.advance(e, 2)
+    g = builder.advance(f, -1)
+    builder.mark_output("R", g)
+    source = render_kernel(builder.finish())
+    assert "~" in source
+    assert "|" in source and "^" in source and "& ~" in source
+    assert "funnelshift_r" in source
+    assert "funnelshift_l" in source
+
+
+def test_const_expressions():
+    builder = ProgramBuilder("consts")
+    builder.mark_output("Z", builder.zeros())
+    builder.mark_output("O", builder.ones())
+    builder.mark_output("T", builder.text_mask())
+    source = render_kernel(builder.finish())
+    assert "0u" in source
+    assert "~0u" in source
+    assert "text_mask" in source
+
+
+def test_while_renders_as_block_any_loop():
+    source = render_kernel(lower_regex(parse("a(b)*c")))
+    assert source.count("while (block_any(") == 1
+    assert source.count("{") == source.count("}")
+
+
+def test_shared_goto_targets_merge_labels():
+    # Two guards ending at the same statement share one label.
+    program = Program("guards", [
+        Instr("a", Op.CONST, const="ones"),
+        SkipGuard("a", 2),
+        Instr("b", Op.NOT, ("a",)),
+        SkipGuard("b", 1),
+        Instr("c", Op.NOT, ("b",)),
+        Instr("d", Op.NOT, ("c",)),
+    ], {"R": "d"})
+    program.validate()
+    source = render_kernel(program)
+    gotos = re.findall(r"goto (L\d+);", source)
+    labels = re.findall(r"(L\d+):;", source)
+    assert len(gotos) == 2
+    assert set(gotos) <= set(labels)
+
+
+def test_merged_sync_annotation():
+    program = rebalance_program(lower_regex(parse("abcde")))
+    plan = plan_barriers(program, merge_size=16)
+    source = render_kernel(program, plan=plan)
+    assert "merged" in source
+
+
+def test_outputs_written():
+    program = lower_regex(parse("ab"), name="R7")
+    source = render_kernel(program)
+    assert "out_R7[" in source
+
+
+def test_module_roundtrip_counts():
+    programs = [lower_regex(parse(p), name=f"R{i}")
+                for i, p in enumerate(["ab", "cd", "e(f)*g"])]
+    source = render_module(programs)
+    assert source.count("__device__ void group_") == 3
+    assert source.count("case ") == 3
+    assert "__global__" in source

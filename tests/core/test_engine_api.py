@@ -1,0 +1,162 @@
+"""BitGenEngine public API, grouping, and codegen tests."""
+
+import pytest
+
+from repro.core import (BitGenEngine, Scheme, group_regexes, imbalance,
+                        render_kernel, render_module)
+from repro.core.barriers import plan_barriers
+from repro.core.rebalance import rebalance_program
+from repro.gpu.machine import CTAGeometry
+from repro.ir.lower import lower_regex
+from repro.regex.parser import parse
+
+
+# -- grouping (Section 7) -------------------------------------------------------
+
+def test_grouping_balances_lengths():
+    nodes = [parse("a" * n) for n in (50, 40, 30, 20, 10, 5, 5)]
+    groups = group_regexes(nodes, 3)
+    assert len(groups) == 3
+    assert sum(len(g) for g in groups) == len(nodes)
+    assert imbalance(groups) < 1.5
+
+
+def test_grouping_single_group():
+    nodes = [parse("ab"), parse("cd")]
+    groups = group_regexes(nodes, 1)
+    assert len(groups) == 1
+    assert sorted(groups[0].indices) == [0, 1]
+
+
+def test_grouping_more_groups_than_regexes():
+    nodes = [parse("ab")]
+    groups = group_regexes(nodes, 8)
+    assert len(groups) == 1
+
+
+def test_grouping_preserves_indices():
+    nodes = [parse(p) for p in ("aaaa", "b", "cc")]
+    groups = group_regexes(nodes, 2)
+    seen = sorted(i for g in groups for i in g.indices)
+    assert seen == [0, 1, 2]
+
+
+def test_grouping_rejects_bad_count():
+    with pytest.raises(ValueError):
+        group_regexes([parse("a")], 0)
+
+
+# -- engine API --------------------------------------------------------------------
+
+def test_engine_quickstart_flow():
+    engine = BitGenEngine.compile(["a(bc)*d", "colou?r"])
+    result = engine.match(b"abcbcd has colour and color")
+    assert result.ends[0] == [5]
+    assert result.ends[1] == [16, 26]
+    assert result.match_count() == 3
+    assert result.matched_patterns() == [0, 1]
+
+
+def test_engine_accepts_ast_nodes():
+    engine = BitGenEngine.compile([parse("cat")])
+    assert engine.match(b"bobcat").ends[0] == [5]
+
+
+def test_engine_pattern_indices_stable_across_grouping():
+    patterns = [f"{c}x" for c in "abcdefgh"]
+    engine = BitGenEngine.compile(patterns, cta_count=3)
+    result = engine.match(b"ax bx cx dx ex fx gx hx")
+    for index in range(len(patterns)):
+        assert len(result.ends[index]) == 1, patterns[index]
+
+
+def test_engine_metrics_per_cta():
+    engine = BitGenEngine.compile(["ab", "cd", "ef"], cta_count=3)
+    result = engine.match(b"ab cd ef" * 10)
+    assert len(result.cta_metrics) == len(engine.groups)
+    assert result.metrics.thread_word_ops == sum(
+        m.thread_word_ops for m in result.cta_metrics)
+
+
+def test_engine_scheme_selection():
+    for scheme in Scheme:
+        engine = BitGenEngine.compile(["abc"], scheme=scheme)
+        assert engine.match(b"abc").ends[0] == [2]
+
+
+def test_engine_program_stats():
+    engine = BitGenEngine.compile(["a(bc)*d", "ef"])
+    stats = engine.program_stats()
+    assert stats["shift"] > 0
+    assert stats["while"] == 1
+    assert stats["and"] > 0
+
+
+def test_empty_matches_result():
+    engine = BitGenEngine.compile(["xyz"])
+    result = engine.match(b"aaaa")
+    assert result.match_count() == 0
+    assert result.matched_patterns() == []
+
+
+def test_same_matches_comparison():
+    a = BitGenEngine.compile(["ab"], scheme=Scheme.BASE).match(b"abab")
+    b = BitGenEngine.compile(["ab"], scheme=Scheme.ZBS).match(b"abab")
+    assert a.same_matches(b)
+
+
+# -- codegen -----------------------------------------------------------------------
+
+def test_render_kernel_structure():
+    program = lower_regex(parse("a(bc)*d"))
+    source = render_kernel(program, cta_index=0)
+    assert "__device__ void group_0" in source
+    assert "while (block_any(" in source
+    assert "__syncthreads();" in source
+    assert "funnelshift_r" in source
+
+
+def test_render_kernel_sync_count_matches_plan():
+    program = rebalance_program(lower_regex(parse("abcd")))
+    plan = plan_barriers(program, merge_size=8)
+    source = render_kernel(program, plan=plan)
+    syncs = source.count("__syncthreads();")
+    assert syncs == 2 * plan.group_count
+
+
+def test_render_kernel_guards_become_gotos():
+    from repro.core.zeroskip import insert_guards
+
+    program = insert_guards(lower_regex(parse("abcdef")))
+    source = render_kernel(program)
+    assert "goto L" in source
+    # every goto has a matching label
+    import re
+
+    gotos = set(re.findall(r"goto (L\d+);", source))
+    labels = set(re.findall(r"(L\d+):;", source))
+    assert gotos <= labels
+
+
+def test_render_module_dispatch():
+    programs = [lower_regex(parse(p), name=f"R{i}")
+                for i, p in enumerate(["ab", "cd"])]
+    source = render_module(programs)
+    assert "__global__ void bitgen_kernel" in source
+    assert "case 0: group_0" in source
+    assert "case 1: group_1" in source
+
+
+def test_engine_render_kernels():
+    engine = BitGenEngine.compile(["abc", "a(bc)*d"], cta_count=2)
+    source = engine.render_kernels()
+    assert source.count("__device__") == len(engine.groups)
+
+
+def test_match_many_streams():
+    engine = BitGenEngine.compile(["ab", "cd"])
+    results = engine.match_many([b"ab", b"cd cd", b""])
+    assert len(results) == 3
+    assert results[0].ends[0] == [1]
+    assert results[1].ends[1] == [1, 4]
+    assert results[2].match_count() == 0

@@ -1,0 +1,129 @@
+"""Overlap-distance analysis (Section 4.2) unit tests."""
+
+import pytest
+
+from repro.core.overlap import (RuntimeTracker, analyze_static, propagate,
+                                region_bounds)
+from repro.ir.instructions import Instr, Op
+from repro.ir.lower import lower_regex
+from repro.ir.program import ProgramBuilder
+from repro.regex.parser import parse
+
+
+def shift(dest, src, k):
+    return Instr(dest, Op.SHIFT, (src,), shift=k)
+
+
+def band(dest, a, b):
+    return Instr(dest, Op.AND, (a, b))
+
+
+def test_single_right_shift():
+    _, lb, la = region_bounds([shift("x", "b0", 1)])
+    assert (lb, la) == (1, 0)
+
+
+def test_single_left_shift():
+    _, lb, la = region_bounds([shift("x", "b0", -3)])
+    assert (lb, la) == (0, 3)
+
+
+def test_two_right_shifts_accumulate():
+    # Figure 7 (a): two right shifts along one path -> Delta = 2
+    env, lb, la = region_bounds([
+        shift("B5", "B1", 1),
+        band("B6", "B2", "B5"),
+        shift("B7", "B6", 1),
+        band("B4", "B3", "B7"),
+    ])
+    assert env["B4"] == (2, 0)
+    assert (lb, la) == (2, 0)
+
+
+def test_right_then_left_shift():
+    # Paper: b = a >> 1; c = b << 2 gives delta sequence {0, 1, -1},
+    # Delta = 2 (our split: lookback 0, lookahead 2 at the endpoint,
+    # with the intermediate's lookback 1 also covered by the region max)
+    env, lb, la = region_bounds([
+        shift("b", "a", 1),
+        shift("c", "b", -2),
+    ])
+    assert env["c"] == (0, 2)
+    assert lb == 1  # the intermediate b still needs 1 bit of lookback
+    assert la == 2
+
+
+def test_binop_takes_max():
+    env, lb, la = region_bounds([
+        shift("x", "b0", 3),
+        shift("y", "b1", -1),
+        band("z", "x", "y"),
+    ])
+    assert env["z"] == (3, 1)
+
+
+def test_const_and_cc_have_zero_bounds():
+    builder = ProgramBuilder("t")
+    ones = builder.ones()
+    program = builder.program
+    instr = program.statements[0]
+    assert propagate(instr, lambda n: (9, 9)) == (0, 0)
+
+
+def test_analyze_static_straight_line():
+    program = lower_regex(parse("abc"))
+    static = analyze_static(program)
+    # Cursor convention: one advance per literal, so /abc/ needs 3
+    assert static.lookback == 3
+    assert static.lookahead == 0
+    assert not static.has_dynamic
+
+
+def test_analyze_static_flags_loops():
+    program = lower_regex(parse("a(bc)*d"))
+    static = analyze_static(program)
+    assert static.has_dynamic
+    assert static.lookback >= 1
+
+
+def test_analyze_static_no_shifts():
+    # a|b merges into one class: a single cursor advance, no loop
+    program = lower_regex(parse("a|b"))
+    static = analyze_static(program)
+    assert static.delta == 1
+    assert static.lookahead == 0
+    assert not static.has_dynamic
+
+
+def test_runtime_tracker_accumulates_in_loops():
+    tracker = RuntimeTracker(["b0"])
+    tracker.record(shift("f", "b0", 1))
+    # simulate three loop iterations of f = f >> 1
+    for _ in range(3):
+        tracker.record(shift("f", "f", 1))
+    assert tracker.lookup("f") == (4, 0)
+    assert tracker.max_lookback == 4
+
+
+def test_runtime_tracker_cancellation():
+    tracker = RuntimeTracker(["b0"])
+    tracker.record(shift("x", "b0", 2))
+    tracker.record(shift("y", "x", -2))
+    assert tracker.lookup("y") == (0, 2)
+    # max_lookback remembers the transient requirement of x
+    assert tracker.max_lookback == 2
+    assert tracker.max_lookahead == 2
+
+
+def test_entry_bounds_respected():
+    env, lb, la = region_bounds([shift("x", "v", 1)],
+                                entry={"v": (5, 0)})
+    assert env["x"] == (6, 0)
+    assert lb == 6
+
+
+def test_bounded_repetition_static_delta():
+    program = lower_regex(parse("a{4}"))
+    static = analyze_static(program)
+    assert static.lookback == 4
+    assert not static.has_dynamic

@@ -1,0 +1,144 @@
+"""The cornerstone validation: every execution scheme must produce the
+reference interpreter's exact match output, on every input — the
+optimizations are never allowed to change results (Section 7: results
+are validated against icgrep's reference output)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SCHEME_LADDER, BitGenEngine, Scheme
+from repro.gpu.machine import CTAGeometry
+from repro.ir.interpreter import run_regexes
+
+from ..conftest import random_text
+
+TINY = CTAGeometry(threads=8, word_bits=4)      # 32-bit blocks
+SMALL = CTAGeometry(threads=16, word_bits=8)    # 128-bit blocks
+
+PATTERNS = [
+    "a(bc)*d", "(abc)|d", "cat", "[a-c]+x", "ab{2,4}c", "x(yz)*w",
+    "a|b|cd", "(a|b)(c|d)e", "ca?t", "[^ab]c",
+]
+
+
+def reference(patterns, data):
+    return run_regexes(patterns, data)
+
+
+def run_scheme(patterns, data, scheme, geometry, **options):
+    engine = BitGenEngine.compile(patterns, scheme=scheme,
+                                  geometry=geometry, **options)
+    return engine.match(data)
+
+
+@pytest.mark.parametrize("scheme", SCHEME_LADDER, ids=lambda s: s.value)
+def test_scheme_matches_reference_directed(scheme):
+    data = (b"abcbcd abcd cat abbbc aax abcx xyzyzw cattle " * 8)
+    ref = reference(PATTERNS, data)
+    result = run_scheme(PATTERNS, data, scheme, TINY, cta_count=3)
+    for index in range(len(PATTERNS)):
+        assert result.ends[index] == ref[f"R{index}"], \
+            f"{scheme.value} diverged on {PATTERNS[index]!r}"
+
+
+@pytest.mark.parametrize("scheme", SCHEME_LADDER, ids=lambda s: s.value)
+def test_scheme_on_empty_and_tiny_inputs(scheme):
+    for data in (b"", b"a", b"ab", b"abc"):
+        ref = reference(PATTERNS, data)
+        result = run_scheme(PATTERNS, data, scheme, TINY)
+        for index in range(len(PATTERNS)):
+            assert result.ends[index] == ref[f"R{index}"]
+
+
+@pytest.mark.parametrize("scheme", SCHEME_LADDER, ids=lambda s: s.value)
+def test_block_boundary_straddling(scheme):
+    # Place matches exactly across the 32-bit block boundary.
+    data = b"x" * 29 + b"abcd" + b"x" * 29 + b"cat" + b"x" * 10
+    patterns = ["abcd", "cat", "a(bc)*d"]
+    ref = reference(patterns, data)
+    result = run_scheme(patterns, data, scheme, TINY)
+    for index in range(len(patterns)):
+        assert result.ends[index] == ref[f"R{index}"]
+
+
+@pytest.mark.parametrize("scheme", [Scheme.DTM, Scheme.SR, Scheme.ZBS],
+                         ids=lambda s: s.value)
+def test_star_chain_crossing_blocks(scheme):
+    # A Kleene chain spanning a block boundary exercises dynamic overlap.
+    data = b"x" * 20 + b"a" + b"bc" * 4 + b"d" + b"x" * 20
+    ref = reference(["a(bc)*d"], data)
+    result = run_scheme(["a(bc)*d"], data, scheme, TINY)
+    assert result.ends[0] == ref["R0"]
+    assert result.metrics.dynamic_overlap_max > 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.sampled_from(SCHEME_LADDER))
+def test_random_equivalence_property(seed, scheme):
+    rng = random.Random(seed)
+    patterns = rng.sample(PATTERNS, 4)
+    data = random_text(rng, rng.randrange(0, 200), "abcdxyz ")
+    ref = reference(patterns, data)
+    result = run_scheme(patterns, data, scheme, TINY, cta_count=2)
+    for index in range(len(patterns)):
+        assert result.ends[index] == ref[f"R{index}"], \
+            f"{scheme.value} diverged: {patterns[index]!r} on {data!r}"
+
+
+@pytest.mark.parametrize("merge_size", [1, 2, 4, 16])
+def test_merge_size_never_changes_results(merge_size):
+    data = b"abcbcd cat abcx " * 12
+    ref = reference(PATTERNS, data)
+    result = run_scheme(PATTERNS, data, Scheme.SR, TINY,
+                        merge_size=merge_size)
+    for index in range(len(PATTERNS)):
+        assert result.ends[index] == ref[f"R{index}"]
+
+
+@pytest.mark.parametrize("interval", [1, 2, 4, 8])
+def test_interval_size_never_changes_results(interval):
+    data = b"qqqq abcbcd qq cat qqq abcx " * 12
+    ref = reference(PATTERNS, data)
+    result = run_scheme(PATTERNS, data, Scheme.ZBS, TINY,
+                        interval_size=interval)
+    for index in range(len(PATTERNS)):
+        assert result.ends[index] == ref[f"R{index}"]
+
+
+def test_geometries_agree():
+    data = b"abcbcdxcat" * 40
+    patterns = ["a(bc)*d", "cat"]
+    ref = reference(patterns, data)
+    for geometry in (TINY, SMALL, CTAGeometry(threads=32, word_bits=32)):
+        result = run_scheme(patterns, data, Scheme.ZBS, geometry)
+        for index in range(len(patterns)):
+            assert result.ends[index] == ref[f"R{index}"]
+
+
+def test_zbs_actually_skips_on_sparse_input():
+    data = b"q" * 2000 + b"abcd" + b"q" * 2000
+    result = run_scheme(["a(bc)*d", "cat"], data, Scheme.ZBS, TINY)
+    assert result.metrics.guard_hits > 0
+    assert result.metrics.skipped_word_ops > 0
+
+
+def test_interleaved_has_no_intermediate_streams():
+    data = b"abcbcd" * 100
+    result = run_scheme(PATTERNS, data, Scheme.DTM, TINY)
+    assert result.metrics.intermediate_streams == 0
+    base = run_scheme(PATTERNS, data, Scheme.BASE, TINY)
+    assert base.metrics.intermediate_streams > 0
+    assert base.metrics.dram_total_bytes() > \
+        result.metrics.dram_total_bytes()
+
+
+def test_sr_reduces_barriers():
+    data = b"abcbcd cat abcx " * 30
+    patterns = ["abcdefgh", "catalogue", "xylophone"]  # long literals
+    dtm = run_scheme(patterns, data, Scheme.DTM, TINY)
+    sr = run_scheme(patterns, data, Scheme.SR, TINY, merge_size=16)
+    assert sr.metrics.barriers < dtm.metrics.barriers

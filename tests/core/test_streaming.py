@@ -1,0 +1,112 @@
+"""Streaming matcher: chunked results must equal one-shot results."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitGenEngine
+from repro.core.streaming import StreamingMatcher
+from repro.gpu.machine import CTAGeometry
+
+from ..conftest import random_text
+
+TINY = CTAGeometry(threads=16, word_bits=8)
+
+
+def chunked(data: bytes, sizes):
+    out = []
+    cursor = 0
+    for size in sizes:
+        out.append(data[cursor:cursor + size])
+        cursor += size
+    out.append(data[cursor:])
+    return [c for c in out if True]  # keep empty chunks too
+
+
+def one_shot(engine, data):
+    return engine.match(data).ends
+
+
+def test_single_feed_equals_one_shot():
+    engine = BitGenEngine.compile(["cat", "ab+c"], geometry=TINY)
+    matcher = StreamingMatcher(engine)
+    data = b"a cat abbbc cat"
+    assert matcher.feed(data) == one_shot(engine, data)
+
+
+def test_boundary_straddling_match_found():
+    engine = BitGenEngine.compile(["needle"], geometry=TINY)
+    matcher = StreamingMatcher(engine)
+    first = matcher.feed(b"hay nee")
+    second = matcher.feed(b"dle hay")
+    assert first[0] == []
+    assert second[0] == [9]
+
+
+def test_no_duplicate_reports_across_chunks():
+    engine = BitGenEngine.compile(["aa"], geometry=TINY)
+    matcher = StreamingMatcher(engine)
+    totals = matcher.feed_all([b"aaa", b"aaa"])
+    reference = one_shot(engine, b"aaaaaa")
+    assert totals[0] == reference[0]
+
+
+def test_stream_position_tracks_bytes():
+    engine = BitGenEngine.compile(["x"], geometry=TINY)
+    matcher = StreamingMatcher(engine)
+    matcher.feed(b"abc")
+    matcher.feed(b"defgh")
+    assert matcher.stream_position == 8
+
+
+def test_guaranteed_span_from_bounded_patterns():
+    engine = BitGenEngine.compile(["a{300}b{300}"], geometry=TINY)
+    matcher = StreamingMatcher(engine, max_tail_bytes=8192)
+    assert matcher.guaranteed_span >= 600
+    assert not matcher.has_unbounded
+
+
+def test_unbounded_patterns_use_cap():
+    engine = BitGenEngine.compile(["a(bc)*d"], geometry=TINY)
+    matcher = StreamingMatcher(engine, max_tail_bytes=512)
+    assert matcher.has_unbounded
+    assert matcher.guaranteed_span == 512
+
+
+def test_reset():
+    engine = BitGenEngine.compile(["ab"], geometry=TINY)
+    matcher = StreamingMatcher(engine)
+    matcher.feed(b"ab")
+    matcher.reset()
+    assert matcher.feed(b"ab")[0] == [1]
+    assert matcher.chunks_fed == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32),
+       st.lists(st.integers(min_value=0, max_value=23), min_size=1,
+                max_size=6))
+def test_chunked_equals_one_shot_property(seed, sizes):
+    rng = random.Random(seed)
+    patterns = ["cat", "ab+c", "x(yz)*w", "[0-9]{2}"]
+    data = random_text(rng, rng.randrange(0, 100), "abcxyzw019 t")
+    engine = BitGenEngine.compile(patterns, geometry=TINY,
+                                  loop_fallback=True)
+    matcher = StreamingMatcher(engine)
+    streamed = matcher.feed_all(chunked(data, sizes))
+    reference = one_shot(engine, data)
+    for index in range(len(patterns)):
+        assert streamed[index] == reference[index], \
+            f"pattern {index} with chunking {sizes} on {data!r}"
+
+
+def test_long_stream_many_small_chunks():
+    engine = BitGenEngine.compile(["virus[0-9]"], geometry=TINY)
+    matcher = StreamingMatcher(engine)
+    payload = (b"x" * 97 + b"virus7") * 20
+    streamed = []
+    for offset in range(0, len(payload), 13):
+        streamed.extend(matcher.feed(payload[offset:offset + 13])[0])
+    assert streamed == one_shot(engine, payload)[0]

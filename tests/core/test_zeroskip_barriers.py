@@ -1,0 +1,168 @@
+"""Zero Block Skipping and barrier planning/merging tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.barriers import plan_barriers
+from repro.core.rebalance import rebalance_program
+from repro.core.zeroskip import insert_guards, zero_consuming_positions
+from repro.ir.instructions import Instr, Op, SkipGuard, iter_instrs
+from repro.ir.interpreter import Interpreter
+from repro.ir.lower import lower_group, lower_regex
+from repro.regex.parser import parse
+
+from ..conftest import random_text
+
+
+def guards_of(program):
+    out = []
+
+    def visit(stmts):
+        for stmt in stmts:
+            if isinstance(stmt, SkipGuard):
+                out.append(stmt)
+            elif hasattr(stmt, "body"):
+                visit(stmt.body)
+
+    visit(program.statements)
+    return out
+
+
+# -- zero paths / guard insertion -----------------------------------------------
+
+def test_zero_consuming_positions():
+    assert zero_consuming_positions(Instr("d", Op.AND, ("a", "b"))) == (0, 1)
+    assert zero_consuming_positions(
+        Instr("d", Op.SHIFT, ("a",), shift=1)) == (0,)
+    assert zero_consuming_positions(Instr("d", Op.ANDN, ("a", "b"))) == (0,)
+    assert zero_consuming_positions(Instr("d", Op.OR, ("a", "b"))) == ()
+    assert zero_consuming_positions(Instr("d", Op.NOT, ("a",))) == ()
+
+
+def test_guards_inserted_on_literal_chain():
+    program = lower_regex(parse("abcdef"))
+    guarded = insert_guards(program, interval=4)
+    assert guards_of(guarded), "a literal chain is one long zero path"
+    guarded.validate()
+
+
+def test_guard_semantics_preserved_when_honoured():
+    program = insert_guards(lower_regex(parse("abcdef")))
+    data = b"zzzz abcdef zzz abcde"
+    plain = Interpreter(honour_guards=False).run(program, data)
+    honoured = Interpreter(honour_guards=True).run(program, data)
+    assert plain["R0"] == honoured["R0"]
+
+
+def test_interval_one_inserts_more_guards():
+    program = lower_regex(parse("abcdefgh"))
+    sparse = guards_of(insert_guards(program, interval=8))
+    dense = guards_of(insert_guards(program, interval=1))
+    assert len(dense) > len(sparse)
+
+
+def test_guards_never_span_while_loops():
+    program = insert_guards(lower_regex(parse("a(bc)*d(ef)*g")))
+    program.validate()  # validate() rejects guards spanning loops
+
+
+def test_no_guard_skips_escaping_values():
+    # The or-combination of branches must not be skipped away.
+    program = insert_guards(lower_regex(parse("(abc)|d")), interval=1)
+    data = b"zzdzz abc"
+    plain = Interpreter(honour_guards=False).run(program, data)
+    honoured = Interpreter(honour_guards=True).run(program, data)
+    assert plain["R0"] == honoured["R0"]
+
+
+GUARD_PATTERNS = ["abcdef", "(abc)|d", "a(bc)*d", "ab(cd|ce)f", "a{4}b",
+                  "[xy]abc", "ab|ba|ac", "a(b|c)(d|e)f"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(GUARD_PATTERNS), st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=2**32))
+def test_guard_equivalence_property(pattern, interval, seed):
+    rng = random.Random(seed)
+    data = random_text(rng, rng.randrange(0, 60), "abcdefz")
+    program = insert_guards(lower_regex(parse(pattern)), interval=interval)
+    plain = Interpreter(honour_guards=False).run(program, data)
+    honoured = Interpreter(honour_guards=True).run(program, data)
+    assert plain["R0"] == honoured["R0"], f"{pattern!r} on {data!r}"
+
+
+def test_guards_compose_with_rebalancing():
+    program = lower_group([parse("abcdef"), parse("a(bc)*d")])
+    transformed = insert_guards(rebalance_program(program))
+    transformed.validate()
+    data = b"zz abcdef abcbcd zz"
+    plain = Interpreter(honour_guards=False).run(transformed, data)
+    honoured = Interpreter(honour_guards=True).run(transformed, data)
+    for name in transformed.outputs:
+        assert plain[name] == honoured[name]
+
+
+# -- barrier planning ---------------------------------------------------------
+
+def count_shifts(program):
+    return sum(1 for i in iter_instrs(program.statements)
+               if i.op is Op.SHIFT)
+
+
+def test_merge_size_one_no_merging():
+    program = lower_regex(parse("abcdef"))
+    plan = plan_barriers(program, merge_size=1)
+    assert plan.group_count == plan.shift_count == count_shifts(program)
+
+
+def test_merging_reduces_groups_after_rebalance():
+    program = rebalance_program(lower_regex(parse("abcdefgh")))
+    unmerged = plan_barriers(program, merge_size=1)
+    merged = plan_barriers(program, merge_size=8)
+    assert merged.group_count < unmerged.group_count
+    assert merged.shift_count == unmerged.shift_count
+
+
+def test_merged_shifts_share_leader():
+    program = rebalance_program(lower_regex(parse("abcd")))
+    plan = plan_barriers(program, merge_size=8)
+    leaders = 0
+    for instr in iter_instrs(program.statements):
+        if instr.op is Op.SHIFT:
+            info = plan.lookup(instr)
+            assert info is not None
+            leaders += info.is_leader
+    assert leaders == plan.group_count
+
+
+def test_dependent_shifts_not_merged():
+    # A shift consuming the previous shift group's output cannot merge.
+    program = lower_regex(parse("abc"))  # chain: each shift depends on prior AND
+    plan = plan_barriers(program, merge_size=8)
+    assert plan.group_count == plan.shift_count
+
+
+def test_redundant_copy_removal_counts_stores_once():
+    # After rebalancing /abb/, both shifts apply to the same stream.
+    program = rebalance_program(lower_regex(parse("abb")))
+    plan = plan_barriers(program, merge_size=8)
+    assert plan.max_group_stores <= 2
+
+
+def test_store_budget_limits_merging():
+    program = rebalance_program(lower_regex(parse("abcdefghij")))
+    tight = plan_barriers(program, merge_size=32,
+                          smem_capacity_bytes=2048, block_bytes=2048)
+    loose = plan_barriers(program, merge_size=32,
+                          smem_capacity_bytes=64 * 2048, block_bytes=2048)
+    assert tight.group_count >= loose.group_count
+    assert tight.max_group_stores <= 1
+
+
+def test_plan_invalid_merge_size():
+    program = lower_regex(parse("ab"))
+    with pytest.raises(ValueError):
+        plan_barriers(program, merge_size=0)

@@ -1,0 +1,144 @@
+"""Baseline engines: exactness (all engines agree) and engine-specific
+behaviour (decomposition, prefiltering, access accounting)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitGenEngine
+from repro.engines import (HyperscanEngine, ICgrepEngine, NgAPEngine,
+                           literal_bytes, required_factor)
+from repro.regex.parser import parse
+
+from ..conftest import oracle_end_positions, random_text
+
+PATTERNS = ["cat", "a(bc)*d", "(abc)|d", "[a-c]+x", "ab{2,4}c", "dog",
+            "c(a|o)t", "xy+z"]
+
+ENGINES = [ICgrepEngine, NgAPEngine, HyperscanEngine, BitGenEngine]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINES,
+                         ids=lambda c: c.name)
+def test_engine_vs_oracle(engine_cls):
+    data = b"the cat sat on abcbcd, a dog saw (abc) d! abbbc xyyyz coat"
+    engine = engine_cls.compile(PATTERNS)
+    result = engine.match(data)
+    for index, pattern in enumerate(PATTERNS):
+        want = oracle_end_positions(pattern, data)
+        assert sorted(result.ends[index]) == want, pattern
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32))
+def test_all_engines_agree_property(seed):
+    rng = random.Random(seed)
+    data = random_text(rng, rng.randrange(0, 120), "abcdxyzt ")
+    results = [cls.compile(PATTERNS).match(data) for cls in ENGINES]
+    for other in results[1:]:
+        assert results[0].same_matches(other), \
+            f"engines disagree on {data!r}"
+
+
+def test_engines_empty_input():
+    for cls in ENGINES:
+        result = cls.compile(PATTERNS).match(b"")
+        assert result.match_count() == 0
+
+
+# -- icgrep ---------------------------------------------------------------------
+
+def test_icgrep_stats_populated():
+    engine = ICgrepEngine.compile(["a(bc)*d"])
+    engine.match(b"abcbcd" * 4)
+    stats = engine.last_stats
+    assert stats.instructions_executed > 0
+    assert stats.simd_word_ops >= stats.instructions_executed
+    assert stats.loop_iterations >= 2
+    assert stats.input_bytes == 24
+
+
+def test_icgrep_simd_width_scales_words():
+    wide = ICgrepEngine.compile(["abc"], simd_bits=512)
+    narrow = ICgrepEngine.compile(["abc"], simd_bits=128)
+    data = b"abc" * 400
+    wide.match(data)
+    narrow.match(data)
+    assert narrow.last_stats.simd_word_ops > wide.last_stats.simd_word_ops
+
+
+# -- ngAP -------------------------------------------------------------------------
+
+def test_ngap_counts_lookups():
+    engine = NgAPEngine.compile(["abc", "abd"])
+    engine.match(b"ababcabd")
+    stats = engine.last_stats
+    assert stats.nfa.transition_lookups > 0
+    assert stats.state_count == 6
+    assert stats.input_bytes == 8
+    assert stats.avg_parallelism() >= 1.0
+
+
+def test_ngap_low_activity_input_has_short_worklist():
+    engine = NgAPEngine.compile(["virus", "troja"])
+    clean = b"the quick brown fox jumps over ..." * 4
+    engine.match(clean)
+    # Only start states are ever candidates on non-matching input.
+    assert engine.last_stats.avg_parallelism() <= 3.0
+
+
+# -- Hyperscan decomposition ----------------------------------------------------
+
+def test_literal_bytes_extraction():
+    assert literal_bytes(parse("cat")) == b"cat"
+    assert literal_bytes(parse("a")) == b"a"
+    assert literal_bytes(parse("ca?t")) is None
+    assert literal_bytes(parse("[ab]c")) is None
+
+
+def test_required_factor_extraction():
+    assert required_factor(parse("abc[0-9]def?")) == b"abc"
+    assert required_factor(parse("x(y|z)longlit")) == b"longlit"
+    assert required_factor(parse("(a|b)(c|d)")) is None
+    assert required_factor(parse("a[0-9]b")) is None  # runs of length 1
+
+
+def test_hyperscan_classifies_patterns():
+    engine = HyperscanEngine.compile(["cat", "dog", "a(bc)*d", "ab[0-9]+"])
+    assert engine.match(b"cat dog abcd ab7").match_count() == 4
+    stats = engine.last_stats
+    assert stats.literal_patterns == 2
+    # ab[0-9]+ is unbounded but newline-free: line-confirmable tier
+    assert stats.confirmable_patterns == 1
+    assert stats.complex_patterns == 1
+
+
+def test_hyperscan_prefilter_excludes_patterns():
+    engine = HyperscanEngine.compile(["needle[0-9]*x", "cat"])
+    engine.match(b"haystack without the n-word, just a cat")
+    stats = engine.last_stats
+    assert stats.prefiltered_out == 1
+    assert stats.nfa is None or stats.nfa_scanned == 0
+
+
+def test_hyperscan_prefilter_keeps_matching_patterns():
+    engine = HyperscanEngine.compile(["needle[0-9]+"])
+    result = engine.match(b"a needle42 in a haystack")
+    assert result.ends[0] == [8, 9]  # needle4, needle42
+    assert engine.last_stats.prefiltered_out == 0
+
+
+def test_hyperscan_pure_literal_set_never_builds_nfa():
+    engine = HyperscanEngine.compile(["alpha", "beta", "gamma"])
+    engine.match(b"alpha beta gamma" * 10)
+    assert engine.last_stats.nfa is None
+    assert engine.last_stats.literal_fraction() == 1.0
+
+
+def test_hyperscan_overlapping_literal_matches():
+    engine = HyperscanEngine.compile(["aa", "aaa"])
+    result = engine.match(b"aaaa")
+    assert result.ends[0] == [1, 2, 3]
+    assert result.ends[1] == [2, 3]

@@ -1,0 +1,88 @@
+"""Hyperscan windowed confirmation: interval merging, line bounding,
+and boundary exactness."""
+
+import random
+
+import pytest
+
+from repro.engines.hyperscan import (HyperscanEngine, excludes_newline,
+                                     max_match_length, merge_intervals)
+from repro.regex.parser import parse
+
+from ..conftest import oracle_end_positions
+
+
+def test_merge_intervals():
+    assert merge_intervals([(5, 9), (0, 3), (2, 6)]) == [(0, 9)]
+    assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+    assert merge_intervals([]) == []
+    assert merge_intervals([(1, 4), (4, 6)]) == [(1, 6)]
+
+
+def test_max_match_length():
+    assert max_match_length(parse("abc")) == 3
+    assert max_match_length(parse("a{2,5}b")) == 6
+    assert max_match_length(parse("ab|cdef")) == 4
+    assert max_match_length(parse("a*")) is None
+    assert max_match_length(parse("a{2,}")) is None
+    assert max_match_length(parse("()*")) == 0
+
+
+def test_excludes_newline():
+    assert excludes_newline(parse("abc.*def"))       # dot excludes \n
+    assert not excludes_newline(parse("ab\\ncd"))
+    assert not excludes_newline(parse("ab[^x]cd"))   # [^x] includes \n
+
+
+def test_confirmation_window_exact_at_edges():
+    # Matches at the very start and very end of the input.
+    engine = HyperscanEngine.compile(["ab[0-9]cd"])
+    for data in (b"ab5cd tail", b"head ab5cd", b"ab5cd"):
+        want = oracle_end_positions("ab[0-9]cd", data)
+        assert sorted(engine.match(data).ends[0]) == want, data
+
+
+def test_line_window_confirmation_correct():
+    # Unbounded .* pattern, matches confined to lines.
+    pattern = "start.*end"
+    engine = HyperscanEngine.compile([pattern])
+    data = b"x start middle end y\nstart\nnope end\nstart end"
+    assert sorted(engine.match(data).ends[0]) == \
+        oracle_end_positions(pattern, data)
+    assert engine.last_stats.confirmable_patterns == 1
+
+
+def test_line_window_does_not_cross_newlines():
+    engine = HyperscanEngine.compile(["ab.*cd"])
+    data = b"ab\ncd"          # split across lines: no match
+    assert engine.match(data).ends[0] == []
+
+
+def test_overlapping_windows_merge():
+    engine = HyperscanEngine.compile(["ab[0-9]{0,3}ab"])
+    data = b"ab1ab2ab3ab"     # dense hits -> merged windows, exact ends
+    want = oracle_end_positions("ab[0-9]{0,3}ab", data)
+    assert sorted(engine.match(data).ends[0]) == want
+    assert engine.last_stats.confirm_windows >= 1
+
+
+def test_confirm_bytes_less_than_full_scan_on_sparse_input():
+    engine = HyperscanEngine.compile(["needle[0-9]{2}tail"])
+    data = b"x" * 5000 + b"needle42tail" + b"x" * 5000
+    result = engine.match(data)
+    assert result.ends[0] == [5011]
+    stats = engine.last_stats
+    assert stats.confirm_bytes < len(data) // 10, \
+        "confirmation touches a tiny fraction of a sparse input"
+
+
+def test_randomised_confirmation_equivalence(rng):
+    patterns = ["ab[0-9]{1,2}cd", "x.*y", "foo[a-z]bar"]
+    engine = HyperscanEngine.compile(patterns)
+    for _ in range(15):
+        n = rng.randrange(0, 120)
+        data = bytes(rng.choice(b"abcdxy019 fo\n") for _ in range(n))
+        result = engine.match(data)
+        for index, pattern in enumerate(patterns):
+            assert sorted(result.ends[index]) == \
+                oracle_end_positions(pattern, data), (pattern, data)

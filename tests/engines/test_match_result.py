@@ -1,0 +1,34 @@
+"""MatchResult container semantics."""
+
+from repro.engines.base import MatchResult
+
+
+def test_defaults_fill_all_patterns():
+    result = MatchResult(pattern_count=3)
+    assert result.ends == {0: [], 1: [], 2: []}
+    assert result.match_count() == 0
+
+
+def test_match_count_and_matched_patterns():
+    result = MatchResult(pattern_count=3,
+                         ends={0: [1, 5], 2: [9]})
+    assert result.match_count() == 3
+    assert result.matched_patterns() == [0, 2]
+
+
+def test_same_matches_ignores_order_and_duplicates():
+    a = MatchResult(pattern_count=1, ends={0: [3, 1, 3]})
+    b = MatchResult(pattern_count=1, ends={0: [1, 3]})
+    assert a.same_matches(b)
+
+
+def test_same_matches_detects_differences():
+    a = MatchResult(pattern_count=1, ends={0: [1]})
+    b = MatchResult(pattern_count=1, ends={0: [2]})
+    assert not a.same_matches(b)
+
+
+def test_same_matches_pattern_count_mismatch():
+    a = MatchResult(pattern_count=1)
+    b = MatchResult(pattern_count=2)
+    assert not a.same_matches(b)

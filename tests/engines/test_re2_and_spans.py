@@ -1,0 +1,118 @@
+"""RE2-style engine, regex reversal, and match-start recovery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BitGenEngine
+from repro.engines.re2 import RE2Engine
+from repro.regex.parser import parse
+from repro.regex.reverse import reverse
+
+from ..conftest import random_text
+
+
+def oracle_start_positions(pattern, data):
+    import re
+
+    compiled = re.compile(pattern)
+    text = data.decode("latin-1")
+    starts = []
+    for start in range(len(text)):
+        for end in range(start + 1, len(text) + 1):
+            if compiled.fullmatch(text, start, end):
+                starts.append(start)
+                break
+    return starts
+
+
+# -- RE2 -------------------------------------------------------------------------
+
+def test_re2_simple():
+    engine = RE2Engine.compile(["cat", "a+b"])
+    result = engine.match(b"cat aab")
+    assert result.ends[0] == [2]
+    assert result.ends[1] == [6]
+    assert engine.last_stats.dfa_states > 0
+    assert not engine.last_stats.fell_back_to_nfa
+
+
+def test_re2_fallback_on_blowup():
+    engine = RE2Engine.compile(["[ab]*a[ab]{10}"], max_dfa_states=64)
+    assert engine.dfa is None
+    data = b"ab" * 20 + b"a" + b"b" * 10
+    result = engine.match(data)
+    assert engine.last_stats.fell_back_to_nfa
+    assert result.match_count() > 0
+
+
+def test_re2_agrees_with_bitgen():
+    patterns = ["a(bc)*d", "cat|dog", "[0-9]+"]
+    rng = random.Random(2)
+    for _ in range(10):
+        data = random_text(rng, 60, "abcd019 tog")
+        a = RE2Engine.compile(patterns).match(data)
+        b = BitGenEngine.compile(patterns).match(data)
+        assert a.same_matches(b), data
+
+
+# -- reversal -----------------------------------------------------------------------
+
+def test_reverse_literal():
+    assert reverse(parse("abc")) == parse("cba")
+
+
+def test_reverse_nested():
+    assert reverse(parse("ab(cd)*ef")) == parse("fe(dc)*ba")
+
+
+def test_reverse_alt_and_rep():
+    assert reverse(parse("(ab|cd){2,3}x")) == parse("x(ba|dc){2,3}")
+
+
+def test_reverse_anchors_swap():
+    node = reverse(parse("^ab$"))
+    rendered = parse("^ba$")
+    assert node == rendered
+
+
+def test_reverse_involution():
+    for pattern in ["a(bc)*d", "x|yz", "a{2,}b?"]:
+        node = parse(pattern)
+        assert reverse(reverse(node)) == node
+
+
+# -- match starts ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("pattern,data", [
+    ("cat", b"bobcat cat"),
+    ("a(bc)*d", b"xabcbcd ad"),
+    ("a+b", b"aaab ab"),
+    ("(ab|ba)c", b"abc bac"),
+])
+def test_match_starts_directed(pattern, data):
+    engine = BitGenEngine.compile([pattern])
+    starts = engine.match_starts(data).ends[0]
+    assert starts == oracle_start_positions(pattern, data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.sampled_from(["ab", "a*b", "(ab)+", "a(b|c)d", "[ab]{2}"]),
+       st.integers(min_value=0, max_value=2**32))
+def test_match_starts_property(pattern, seed):
+    rng = random.Random(seed)
+    data = random_text(rng, rng.randrange(0, 40), "abcd")
+    engine = BitGenEngine.compile([pattern])
+    assert engine.match_starts(data).ends[0] == \
+        oracle_start_positions(pattern, data)
+
+
+def test_starts_and_ends_consistent():
+    engine = BitGenEngine.compile(["cat"])
+    data = b"a cat and a catalogue"
+    ends = engine.match(data).ends[0]
+    starts = engine.match_starts(data).ends[0]
+    assert len(ends) == len(starts) == 2
+    assert all(s + 2 == e for s, e in zip(starts, ends))

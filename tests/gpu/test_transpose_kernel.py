@@ -1,0 +1,55 @@
+"""Preprocessing transpose kernel: functional + accounting tests."""
+
+import pytest
+
+from repro.bitstream.transpose import transpose
+from repro.gpu.config import H100_NVL, RTX_3090
+from repro.gpu.transpose_kernel import (S2P_STAGES, TransposeResult,
+                                        model_transpose_time,
+                                        run_transpose_kernel)
+
+
+def test_functional_equals_direct_transpose():
+    data = b"The quick brown fox"
+    result = run_transpose_kernel(data)
+    assert result.basis == transpose(data)
+
+
+def test_metrics_scale_with_input():
+    small = run_transpose_kernel(b"x" * 1024).metrics
+    large = run_transpose_kernel(b"x" * 4096).metrics
+    assert large.dram_read_bytes == 4 * small.dram_read_bytes
+    assert large.thread_word_ops == 4 * small.thread_word_ops
+
+
+def test_reads_equal_writes():
+    metrics = run_transpose_kernel(b"abc" * 100).metrics
+    # 8 planes of n/8 bytes each: total output bytes == input bytes
+    assert metrics.dram_read_bytes == metrics.dram_write_bytes == 300
+
+
+def test_empty_input():
+    result = run_transpose_kernel(b"")
+    assert result.metrics.dram_read_bytes == 0
+    assert all(b.length == 0 for b in result.basis)
+
+
+def test_model_time_positive_and_monotone():
+    small = run_transpose_kernel(b"x" * 1024).metrics
+    large = run_transpose_kernel(b"x" * 65536).metrics
+    t_small = model_transpose_time(small, RTX_3090)
+    t_large = model_transpose_time(large, RTX_3090)
+    assert 0 < t_small < t_large
+
+
+def test_model_paper_calibration():
+    metrics = run_transpose_kernel(b"x" * (1 << 20)).metrics
+    seconds = model_transpose_time(metrics, RTX_3090)
+    # Section 7: ~0.026 ms per MB on the RTX 3090
+    assert seconds * 1e3 == pytest.approx(0.026, rel=0.15)
+
+
+def test_faster_on_higher_bandwidth_gpu():
+    metrics = run_transpose_kernel(b"x" * (1 << 20)).metrics
+    assert model_transpose_time(metrics, H100_NVL) < \
+        model_transpose_time(metrics, RTX_3090)

@@ -1,0 +1,78 @@
+"""End-to-end integration tests across the whole system."""
+
+import random
+
+import pytest
+
+from repro.core import SCHEME_LADDER, BitGenEngine, Scheme
+from repro.engines import HyperscanEngine, ICgrepEngine, NgAPEngine
+from repro.gpu.machine import CTAGeometry
+from repro.workloads import ALL_APPS, app_by_name
+
+SMALL = CTAGeometry(threads=16, word_bits=8)
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+def test_every_app_every_engine_agrees(app):
+    """The Section 7 validation, per application: all four engines
+    report identical matches on a scaled workload."""
+    workload = app.build(scale=0.005, seed=11)
+    data = workload.data[:6000]
+    reference = BitGenEngine.compile(workload.nodes, geometry=SMALL,
+                                     loop_fallback=True).match(data)
+    for cls in (NgAPEngine, ICgrepEngine):
+        other = cls.compile(workload.nodes).match(data)
+        assert reference.same_matches(other), \
+            f"{cls.name} disagrees on {app.name}"
+    hyperscan = HyperscanEngine.compile(workload.patterns).match(data)
+    assert reference.same_matches(hyperscan), \
+        f"Hyperscan disagrees on {app.name}"
+
+
+@pytest.mark.parametrize("app", ["Brill", "Dotstar", "Snort"],
+                         ids=str)
+def test_scheme_ladder_on_real_workloads(app):
+    """All five schemes agree on loop-heavy application workloads."""
+    workload = app_by_name(app).build(scale=0.004, seed=13)
+    data = workload.data[:5000]
+    results = []
+    for scheme in SCHEME_LADDER:
+        engine = BitGenEngine.compile(workload.nodes, scheme=scheme,
+                                      geometry=SMALL, cta_count=3,
+                                      loop_fallback=True)
+        results.append(engine.match(data))
+    for other in results[1:]:
+        assert results[0].same_matches(other)
+
+
+def test_incremental_compile_and_rematch():
+    """One engine, many inputs: compile once, match repeatedly."""
+    engine = BitGenEngine.compile(["ab+c", "xyz"], geometry=SMALL)
+    rng = random.Random(4)
+    for _ in range(8):
+        data = bytes(rng.choice(b"abcxyz ") for _ in range(300))
+        result = engine.match(data)
+        check = ICgrepEngine.compile(["ab+c", "xyz"]).match(data)
+        assert result.same_matches(check)
+
+
+def test_kernel_source_emitted_for_real_workload():
+    workload = app_by_name("TCP").build(scale=0.01, seed=2)
+    engine = BitGenEngine.compile(workload.nodes, cta_count=2)
+    source = engine.render_kernels()
+    assert source.count("__device__") == len(engine.groups)
+    assert "__syncthreads" in source
+
+
+def test_metrics_are_internally_consistent():
+    workload = app_by_name("Yara").build(scale=0.005, seed=5)
+    engine = BitGenEngine.compile(workload.nodes, geometry=SMALL,
+                                  cta_count=3)
+    result = engine.match(workload.data[:4000])
+    metrics = result.metrics
+    assert metrics.blocks_processed > 0
+    assert metrics.output_bits > 0
+    assert metrics.thread_word_ops > 0
+    assert 0 <= metrics.recompute_fraction() < 1
+    assert metrics.guard_hits <= metrics.guard_checks
+    assert metrics.fused_loops == len(engine.groups)

@@ -1,0 +1,99 @@
+"""Character-class compiler: compiled boolean ops must equal membership."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bitstream.bitvector import BitVector
+from repro.ir.cc_compiler import CCCompiler
+from repro.ir.interpreter import Interpreter, make_environment
+from repro.ir.program import ProgramBuilder
+from repro.regex.charclass import CharClass
+
+
+def compile_and_run(cc: CharClass, data: bytes) -> BitVector:
+    builder = ProgramBuilder("cc_test")
+    compiler = CCCompiler(builder)
+    var = compiler.compile(cc)
+    builder.mark_output("cc", var)
+    program = builder.finish()
+    return Interpreter().run(program, data)["cc"]
+
+
+def expected_stream(cc: CharClass, data: bytes) -> BitVector:
+    positions = [i for i, byte in enumerate(data) if cc.contains(byte)]
+    return BitVector.from_positions(positions, len(data) + 1)
+
+
+ALL_BYTES = bytes(range(256))
+
+
+def test_single_char():
+    assert compile_and_run(CharClass.of_char("a"), b"banana") == \
+        expected_stream(CharClass.of_char("a"), b"banana")
+
+
+def test_range_class():
+    cc = CharClass.range("a", "z")
+    data = b"Hello, World! 123"
+    assert compile_and_run(cc, data) == expected_stream(cc, data)
+
+
+def test_negated_class_handles_padding():
+    # [^a] contains NUL, so the final cursor slot must stay 0.
+    cc = CharClass.of_char("a").complement()
+    data = b"aba"
+    result = compile_and_run(cc, data)
+    assert result == expected_stream(cc, data)
+    assert not result.test(len(data))  # no phantom match at the cursor slot
+
+
+def test_any_byte_class():
+    cc = CharClass.any_byte()
+    data = b"xyz"
+    result = compile_and_run(cc, data)
+    assert result.positions() == [0, 1, 2]
+
+
+def test_empty_class():
+    assert not compile_and_run(CharClass.empty(), b"abc").any()
+
+
+def test_exhaustive_over_all_bytes():
+    for cc in [CharClass.of_char("a"), CharClass.range("0", "9"),
+               CharClass(((0, 10), (250, 255))),
+               CharClass.dot(), CharClass.of_chars("\x00\xff")]:
+        assert compile_and_run(cc, ALL_BYTES) == expected_stream(cc, ALL_BYTES)
+
+
+def test_shared_subexpressions_deduplicated():
+    builder = ProgramBuilder("cse")
+    compiler = CCCompiler(builder)
+    v1 = compiler.compile(CharClass.of_char("a"))
+    v2 = compiler.compile(CharClass.of_char("a"))
+    assert v1 == v2
+    # 'a' (0x61) and 'q' (0x71) share their low four bit planes, so the
+    # Shannon suffix expressions are reused.
+    baseline = builder.program.instruction_count()
+    compiler.compile(CharClass.of_char("q"))
+    grown = builder.program.instruction_count() - baseline
+    fresh_builder = ProgramBuilder("solo")
+    CCCompiler(fresh_builder).compile(CharClass.of_char("q"))
+    solo = fresh_builder.program.instruction_count()
+    assert grown < solo
+
+
+@given(st.sets(st.integers(min_value=0, max_value=255), max_size=30))
+def test_arbitrary_classes(values):
+    cc = CharClass(tuple((v, v) for v in values))
+    data = bytes(random.Random(42).randrange(256) for _ in range(64))
+    assert compile_and_run(cc, data) == expected_stream(cc, data)
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+def test_arbitrary_ranges(a, b):
+    lo, hi = min(a, b), max(a, b)
+    cc = CharClass(((lo, hi),))
+    assert compile_and_run(cc, ALL_BYTES) == expected_stream(cc, ALL_BYTES)

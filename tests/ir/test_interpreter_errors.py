@@ -1,0 +1,77 @@
+"""Interpreter error paths and constant-stream semantics."""
+
+import pytest
+
+from repro.bitstream.bitvector import BitVector
+from repro.ir.instructions import (CONST_END, CONST_ONES, CONST_START,
+                                   CONST_TEXT, CONST_ZERO, Instr, Op,
+                                   WhileLoop)
+from repro.ir.interpreter import (ExecutionError, Interpreter,
+                                  const_stream, eval_instr,
+                                  make_environment)
+from repro.ir.program import Program
+from repro.regex.charclass import CharClass
+
+
+def test_const_streams():
+    assert const_stream(CONST_ZERO, 5) == BitVector.zeros(5)
+    assert const_stream(CONST_ONES, 5) == BitVector.ones(5)
+    assert const_stream(CONST_START, 5).positions() == [0]
+    assert const_stream(CONST_END, 5).positions() == [4]
+    # text mask: all byte positions, not the final cursor slot
+    assert const_stream(CONST_TEXT, 5).positions() == [0, 1, 2, 3]
+
+
+def test_const_stream_unknown_kind():
+    with pytest.raises(ExecutionError):
+        const_stream("nope", 4)
+
+
+def test_environment_has_basis_and_padding():
+    env = make_environment(b"ab")
+    assert set(env) == {f"b{i}" for i in range(8)}
+    assert all(v.length == 3 for v in env.values())  # n + 1 cursor slot
+
+
+def test_undefined_variable():
+    program = Program("bad", [Instr("x", Op.NOT, ("ghost",))], {})
+    with pytest.raises(ExecutionError, match="undefined"):
+        # bypass validate() to hit the runtime check
+        Interpreter()._exec_block(program.statements,
+                                  make_environment(b"a"), 2)
+
+
+def test_match_cc_multibyte_rejected():
+    instr = Instr("x", Op.MATCH_CC, cc=CharClass.range("a", "z"))
+    with pytest.raises(ExecutionError, match="singleton"):
+        eval_instr(instr, make_environment(b"abc"), 4)
+
+
+def test_match_cc_empty_class_is_zero():
+    instr = Instr("x", Op.MATCH_CC, cc=CharClass.empty())
+    assert not eval_instr(instr, make_environment(b"abc"), 4).any()
+
+
+def test_match_cc_singleton_matches():
+    instr = Instr("x", Op.MATCH_CC, cc=CharClass.of_char("b"))
+    value = eval_instr(instr, make_environment(b"abcb"), 5)
+    assert value.positions() == [1, 3]
+
+
+def test_while_divergence_detected():
+    program = Program("spin", [
+        Instr("c", Op.CONST, const=CONST_ONES),
+        WhileLoop("c", [Instr("junk", Op.NOT, ("c",))]),
+    ], {"R": "c"})
+    with pytest.raises(ExecutionError, match="exceeded"):
+        Interpreter(max_loop_iterations=5).run(program, b"abcdef")
+
+
+def test_instruction_counter():
+    program = Program("count", [
+        Instr("a", Op.CONST, const=CONST_ONES),
+        Instr("b", Op.NOT, ("a",)),
+    ], {"R": "b"})
+    interp = Interpreter()
+    interp.run(program, b"xy")
+    assert interp.instructions_executed == 2

@@ -1,0 +1,167 @@
+"""End-to-end lowering + reference interpretation vs the brute-force oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.interpreter import Interpreter, match_positions, run_regexes
+from repro.ir.lower import lower_group, lower_regex
+from repro.regex.parser import parse
+
+from ..conftest import oracle_end_positions, random_text
+
+
+def bitgen_ends(pattern: str, data: bytes):
+    return run_regexes([pattern], data)["R0"]
+
+
+def check_against_oracle(pattern: str, data: bytes):
+    got = bitgen_ends(pattern, data)
+    want = oracle_end_positions(pattern, data)
+    assert got == want, (
+        f"pattern={pattern!r} data={data!r}: got {got}, want {want}")
+
+
+# -- paper examples -----------------------------------------------------------
+
+def test_paper_cat_example():
+    # Section 2: /cat/ on "bobcat" -> S_cat = 000001
+    assert bitgen_ends("cat", b"bobcat") == [5]
+
+
+def test_paper_figure3_example():
+    # Figure 3: /(abc)|d/ on "abcdabce" matches at positions 2, 3, 6
+    assert bitgen_ends("(abc)|d", b"abcdabce") == [2, 3, 6]
+
+
+def test_paper_listing3_example():
+    # Listing 3: /a(bc)*d/
+    assert bitgen_ends("a(bc)*d", b"adxabcbcd") == [1, 8]
+
+
+# -- directed coverage ---------------------------------------------------------
+
+DIRECTED_CASES = [
+    ("a", b"banana"),
+    ("ab", b"ababab"),
+    ("a*b", b"aaab b"),
+    ("(ab)*c", b"ababc c abc"),
+    ("a|bc", b"xabcx"),
+    ("a+", b"aaa"),
+    ("a?b", b"ab b"),
+    ("[a-c]+d", b"abcd bd xd"),
+    ("a{2,3}", b"aaaa"),
+    ("a{2,}", b"aaaa"),
+    ("a{3}", b"aaaa"),
+    ("(a|b){2}c", b"abc bac aac"),
+    (".a", b"xa\na"),
+    ("a.c", b"abc a\nc axc"),
+    ("(ab|a)b", b"abb ab"),
+    ("x(yz)*", b"xyzyz x"),
+    ("[^a]b", b"ab bb cb"),
+    ("(a*)(b*)", b"aabb"),
+    ("(ab*)+", b"abbab"),
+    ("a(b|c)*d", b"abcbcd ad axd"),
+]
+
+
+@pytest.mark.parametrize("pattern,data", DIRECTED_CASES,
+                         ids=[p for p, _ in DIRECTED_CASES])
+def test_directed_vs_oracle(pattern, data):
+    check_against_oracle(pattern, data)
+
+
+def test_empty_input():
+    assert bitgen_ends("a", b"") == []
+    assert bitgen_ends("a*", b"") == []
+
+
+def test_empty_regex_matches_nothing_nonempty():
+    # The empty regex only makes empty matches, which are not reported.
+    assert bitgen_ends("", b"abc") == []
+
+
+def test_anchors_start():
+    outs = run_regexes(["^ab"], b"abab")
+    assert outs["R0"] == [1]
+
+
+def test_anchors_end():
+    outs = run_regexes(["ab$"], b"abab")
+    assert outs["R0"] == [3]
+
+
+def test_anchors_both():
+    assert run_regexes(["^abc$"], b"abc")["R0"] == [2]
+    assert run_regexes(["^abc$"], b"xabc")["R0"] == []
+
+
+def test_multi_regex_group_shares_ccs():
+    group = lower_group([parse("abc"), parse("abd"), parse("a[bc]e")])
+    outputs = Interpreter().run(group, b"abc abd abe ace")
+    ends = match_positions(outputs)
+    assert ends["R0"] == [2]
+    assert ends["R1"] == [6]
+    assert ends["R2"] == [10, 14]
+
+
+def test_group_smaller_than_separate_programs():
+    patterns = ["abc", "abd", "abe"]
+    group = lower_group([parse(p) for p in patterns])
+    separate = sum(lower_regex(parse(p)).instruction_count()
+                   for p in patterns)
+    assert group.instruction_count() < separate
+
+
+def test_binary_bytes():
+    data = bytes([0, 1, 2, 0xFF, 0, 1])
+    outs = run_regexes([r"\x00\x01"], data)
+    assert outs["R0"] == [1, 5]
+
+
+def test_long_star_chain():
+    data = b"a" + b"bc" * 50 + b"d"
+    assert bitgen_ends("a(bc)*d", data) == [len(data) - 1]
+
+
+def test_loop_iteration_counts_recorded():
+    interp = Interpreter()
+    program = lower_regex(parse("a(bc)*d"))
+    interp.run(program, b"a" + b"bc" * 10 + b"d")
+    assert interp.loop_iteration_counts
+    assert max(interp.loop_iteration_counts) >= 10
+
+
+# -- randomized property tests ---------------------------------------------------
+
+PATTERN_POOL = [
+    "a", "ab", "a*", "(ab)*a", "a|b", "[ab]c", "a+b", "a?b?c",
+    "(a|b)*c", "a{1,3}b", "ab|ba", "a(ba)*b", "[abc]{2}", "(ab|ba)*c",
+    "c(a|b)+", "a.b", "(a|b)(c|d)", "ab{2,4}", "(abc)|(cba)", "a[^b]c",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.sampled_from(PATTERN_POOL), st.integers(min_value=0, max_value=2**32))
+def test_random_inputs_vs_oracle(pattern, seed):
+    rng = random.Random(seed)
+    data = random_text(rng, rng.randrange(0, 40), "abcd")
+    check_against_oracle(pattern, data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(alphabet="abc", max_size=25))
+def test_literal_patterns_any_text(text):
+    rng = random.Random(1234)
+    data = random_text(rng, 30, "abc")
+    pattern = "abc"
+    check_against_oracle(pattern, data)
+
+
+def test_validate_accepts_lowered_programs():
+    for pattern in PATTERN_POOL:
+        program = lower_regex(parse(pattern))
+        program.validate()
+        assert program.render()

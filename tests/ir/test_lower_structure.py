@@ -1,0 +1,93 @@
+"""Structural checks on lowered programs (the paper's Figure 2 /
+Listing 3 shapes)."""
+
+import pytest
+
+from repro.ir.instructions import Instr, Op, WhileLoop, iter_instrs
+from repro.ir.lower import LoweringError, lower_group, lower_regex
+from repro.regex.parser import parse
+
+
+def ops_of(program):
+    return [i.op for i in iter_instrs(program.statements)]
+
+
+def test_single_char_shape():
+    # match(cc) ops + one AND with the initial marker + one advance
+    program = lower_regex(parse("a"))
+    ops = ops_of(program)
+    assert ops.count(Op.SHIFT) == 1
+    assert program.while_count() == 0
+
+
+def test_listing3_star_shape():
+    # /a(bc)*d/: one while loop whose body applies two shifted ANDs
+    # (the two character classes of the star body) plus the fixpoint
+    # bookkeeping (ANDN of the accumulator, OR accumulate, two copies).
+    program = lower_regex(parse("a(bc)*d"))
+    loops = [s for s in program.statements if isinstance(s, WhileLoop)]
+    assert len(loops) == 1
+    body_ops = [i.op for i in iter_instrs(loops[0].body)]
+    assert body_ops.count(Op.SHIFT) == 2
+    assert Op.ANDN in body_ops
+    assert body_ops.count(Op.COPY) == 2   # frontier and accumulator
+
+
+def test_bounded_repetition_unrolls():
+    # R{2,4}: 2 mandatory + 2 optional applications, OR-accumulated
+    two_to_four = lower_regex(parse("a{2,4}"))
+    exact_two = lower_regex(parse("a{2}"))
+    assert ops_of(two_to_four).count(Op.SHIFT) == 4
+    assert ops_of(exact_two).count(Op.SHIFT) == 2
+    assert ops_of(two_to_four).count(Op.OR) - \
+        ops_of(exact_two).count(Op.OR) == 2
+
+
+def test_open_bound_becomes_star():
+    program = lower_regex(parse("a{2,}"))
+    assert program.while_count() == 1
+
+
+def test_anchor_uses_const_streams():
+    program = lower_regex(parse("^a$"))
+    consts = {i.const for i in iter_instrs(program.statements)
+              if i.op is Op.CONST}
+    assert "start" in consts
+    assert "end" in consts
+
+
+def test_alternation_is_or():
+    program = lower_regex(parse("ab|cd"))
+    assert Op.OR in ops_of(program)
+
+
+def test_group_outputs_named_by_index():
+    program = lower_group([parse("a"), parse("b")], names=["R3", "R9"])
+    assert set(program.outputs) == {"R3", "R9"}
+
+
+def test_group_name_mismatch_rejected():
+    with pytest.raises(ValueError):
+        lower_group([parse("a")], names=["R0", "R1"])
+
+
+def test_shared_class_lowered_once():
+    # both regexes use [0-9]; the match stream must be computed once
+    program = lower_group([parse("[0-9]a"), parse("[0-9]b")])
+    single = lower_group([parse("[0-9]a")])
+    other = lower_group([parse("[0-9]b")])
+    assert program.instruction_count() < \
+        single.instruction_count() + other.instruction_count()
+
+
+def test_programs_validate_for_benchmark_generators():
+    import random
+
+    from repro.workloads import generators as gen
+
+    rng = random.Random(3)
+    for maker in (gen.brill_pattern, gen.snort_pattern,
+                  gen.protein_pattern, gen.dotstar_pattern):
+        program = lower_group([parse(maker(rng, 30)) for _ in range(3)])
+        program.validate()
+        assert program.outputs

@@ -1,0 +1,171 @@
+"""Program representation, builder CSE, validation, and DFG tests."""
+
+import pytest
+
+from repro.ir.dfg import RegionDFG, split_regions
+from repro.ir.instructions import (CONST_ONES, Instr, Op, SkipGuard,
+                                   WhileLoop, count_ops)
+from repro.ir.lower import lower_regex
+from repro.ir.program import Program, ProgramBuilder
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+
+
+# -- instruction construction -----------------------------------------------------
+
+def test_instr_arity_checked():
+    with pytest.raises(ValueError):
+        Instr("x", Op.AND, ("a",))
+    with pytest.raises(ValueError):
+        Instr("x", Op.NOT, ("a", "b"))
+
+
+def test_zero_shift_rejected():
+    with pytest.raises(ValueError):
+        Instr("x", Op.SHIFT, ("a",), shift=0)
+
+
+def test_bad_const_kind():
+    with pytest.raises(ValueError):
+        Instr("x", Op.CONST, const="whatever")
+
+
+def test_match_cc_needs_class():
+    with pytest.raises(ValueError):
+        Instr("x", Op.MATCH_CC)
+
+
+def test_render_forms():
+    assert Instr("x", Op.SHIFT, ("a",), shift=2).render() == "x = a >> 2"
+    assert Instr("x", Op.SHIFT, ("a",), shift=-2).render() == "x = a << 2"
+    assert Instr("x", Op.ANDN, ("a", "b")).render() == "x = a &~ b"
+    assert SkipGuard("c", 3).render() == "if (!c) goto +3"
+
+
+def test_count_ops_categories():
+    stmts = [Instr("a", Op.ANDN, ("b0", "b1")),
+             Instr("b", Op.XOR, ("a", "b0")),
+             WhileLoop("b", [Instr("b", Op.SHIFT, ("b",), shift=1)])]
+    counts = count_ops(stmts)
+    assert counts == {"and": 1, "or": 1, "not": 1, "shift": 1, "while": 1}
+
+
+# -- builder CSE --------------------------------------------------------------------
+
+def test_builder_dedups_pure_expressions():
+    builder = ProgramBuilder("cse")
+    x = builder.and_("b0", "b1")
+    y = builder.and_("b1", "b0")   # AND is commutative in the key
+    assert x == y
+    z = builder.or_("b0", "b1")
+    assert z != x
+
+
+def test_builder_does_not_dedupe_mutable():
+    builder = ProgramBuilder("mut")
+    a = builder.copy(builder.ones())
+    x = builder.not_(a)
+    builder.assign(a, x)
+    y = builder.not_(a)
+    assert x != y, "values of reassigned variables are iteration-local"
+
+
+def test_builder_cache_not_poisoned_by_loop_definitions():
+    builder = ProgramBuilder("loop")
+    cond = builder.copy(builder.ones())
+    with builder.while_loop(cond):
+        inner = builder.and_("b0", "b1")
+        builder.assign(cond, builder.zeros())
+    outer = builder.and_("b0", "b1")
+    # The loop-internal value may never execute; the top-level use must
+    # get its own definition.
+    assert outer != inner
+    builder.mark_output("R", outer)
+    builder.finish().validate()
+
+
+# -- validation ----------------------------------------------------------------------
+
+def test_validate_undefined_operand():
+    program = Program("bad", [Instr("x", Op.NOT, ("ghost",))], {})
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_validate_undefined_output():
+    program = Program("bad", [], {"R": "ghost"})
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_validate_guard_overruns():
+    program = Program("bad", [
+        Instr("a", Op.CONST, const=CONST_ONES),
+        SkipGuard("a", 5),
+    ], {})
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_validate_guard_over_loop():
+    program = Program("bad", [
+        Instr("a", Op.CONST, const=CONST_ONES),
+        SkipGuard("a", 1),
+        WhileLoop("a", []),
+    ], {})
+    with pytest.raises(ValueError):
+        program.validate()
+
+
+def test_render_and_variables():
+    program = lower_regex(parse("a(b)*c"))
+    text = program.render()
+    assert "while (" in text
+    assert "# output R0" in text
+    names = program.variables()
+    assert len(names) == len(set(names))
+
+
+# -- region DFG ---------------------------------------------------------------------
+
+def region_of(pattern):
+    program = lower_regex(parse(pattern))
+    regions = split_regions(program.statements)
+    return max(regions, key=len)
+
+
+def test_split_regions_boundaries():
+    program = lower_regex(parse("a(b)*c"))
+    regions = split_regions(program.statements)
+    assert len(regions) >= 3  # before loop, body, after loop
+
+
+def test_dfg_producers_and_consumers():
+    instrs = [Instr("a", Op.NOT, ("b0",)),
+              Instr("b", Op.SHIFT, ("a",), shift=1),
+              Instr("c", Op.AND, ("a", "b"))]
+    dfg = RegionDFG.build(instrs)
+    assert dfg.producers[0] == (None,)          # region input
+    assert dfg.producers[1] == (0,)
+    assert dfg.producers[2] == (0, 1)
+    assert (2, 0) in dfg.consumers[0]
+    assert dfg.external_uses == {"b0": [(0, 0)]}
+
+
+def test_dfg_depth_and_critical_path():
+    instrs = [Instr("a", Op.NOT, ("b0",)),
+              Instr("b", Op.NOT, ("a",)),
+              Instr("c", Op.NOT, ("b1",))]
+    dfg = RegionDFG.build(instrs)
+    assert dfg.depth(0) == 1
+    assert dfg.depth(1) == 2
+    assert dfg.depth(2) == 1
+    assert dfg.critical_path_length() == 2
+
+
+def test_dfg_redefinition_uses_latest():
+    instrs = [Instr("a", Op.NOT, ("b0",)),
+              Instr("a", Op.NOT, ("b1",)),
+              Instr("c", Op.NOT, ("a",))]
+    dfg = RegionDFG.build(instrs)
+    assert dfg.producers[2] == (1,)

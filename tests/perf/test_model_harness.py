@@ -1,0 +1,185 @@
+"""Performance model and harness tests."""
+
+import pytest
+
+from repro.core.schemes import Scheme
+from repro.engines.hyperscan import HyperscanStats
+from repro.engines.icgrep import ICgrepStats
+from repro.engines.ngap import NgAPStats
+from repro.gpu.config import H100_NVL, L40S, RTX_3090, XEON_8562Y
+from repro.gpu.metrics import KernelMetrics
+from repro.perf.model import (Extrapolation, geometric_mean, model_bitgen,
+                              model_hyperscan, model_icgrep, model_ngap)
+from repro.perf.harness import Harness
+from repro.perf.report import format_bars, format_table, to_csv
+
+
+def make_cta(ops=1_000_000, barriers=100, dram=1000, smem=2000):
+    metrics = KernelMetrics()
+    metrics.thread_word_ops = ops
+    metrics.barriers = barriers
+    metrics.dram_read_bytes = dram
+    metrics.smem_write_bytes = smem
+    return metrics
+
+
+# -- model ---------------------------------------------------------------------
+
+def test_bitgen_more_work_is_slower():
+    fast = model_bitgen([make_cta(ops=1_000_000)], RTX_3090, 1 << 20)
+    slow = model_bitgen([make_cta(ops=10_000_000)], RTX_3090, 1 << 20)
+    assert slow.seconds > fast.seconds
+    assert slow.mbps < fast.mbps
+
+
+def test_bitgen_barriers_cost_time():
+    quiet = model_bitgen([make_cta(barriers=10)], RTX_3090, 1 << 20)
+    noisy = model_bitgen([make_cta(barriers=10_000)], RTX_3090, 1 << 20)
+    assert noisy.seconds > quiet.seconds
+
+
+def test_bitgen_parallel_ctas_amortise():
+    one = model_bitgen([make_cta()], RTX_3090, 1 << 20)
+    many = model_bitgen([make_cta() for _ in range(32)], RTX_3090,
+                        1 << 20)
+    # 32 CTAs on 82 SMs run in one wave: same time, not 32x.
+    assert many.seconds == pytest.approx(one.seconds, rel=0.01)
+
+
+def test_bitgen_waves_beyond_sm_count():
+    one_wave = model_bitgen([make_cta() for _ in range(82)], RTX_3090,
+                            1 << 20)
+    two_waves = model_bitgen([make_cta() for _ in range(164)], RTX_3090,
+                             1 << 20)
+    assert two_waves.seconds == pytest.approx(2 * one_wave.seconds,
+                                              rel=0.05)
+
+
+def test_bitgen_faster_on_faster_gpu():
+    metrics = [make_cta() for _ in range(100)]
+    base = model_bitgen(metrics, RTX_3090, 1 << 20)
+    h100 = model_bitgen(metrics, H100_NVL, 1 << 20)
+    l40s = model_bitgen(metrics, L40S, 1 << 20)
+    assert h100.seconds < base.seconds
+    assert l40s.seconds < h100.seconds  # L40S has more integer compute
+
+
+def test_bitgen_input_extrapolation_scales_compute():
+    metrics = [make_cta(ops=10_000_000, barriers=0)]
+    base = model_bitgen(metrics, RTX_3090, 1 << 16)
+    scaled = model_bitgen(metrics, RTX_3090, 1 << 16,
+                          Extrapolation(input_factor=16))
+    assert scaled.seconds == pytest.approx(16 * base.seconds, rel=0.01)
+    assert scaled.mbps == pytest.approx(base.mbps, rel=0.01)
+
+
+def test_ngap_low_occupancy_is_latency_bound():
+    def stats(occ):
+        s = NgAPStats()
+        s.nfa.symbols = 1000
+        s.nfa.transition_lookups = occ * 1000
+        s.state_count = 500_000  # big automaton: cache-missing
+        s.input_bytes = 1000
+        return s
+
+    sparse = model_ngap(stats(1), RTX_3090)
+    dense = model_ngap(stats(100), RTX_3090)
+    assert sparse.seconds > dense.seconds, \
+        "short worklists cannot hide lookup latency (Section 8.1)"
+
+
+def test_ngap_huge_occupancy_is_work_bound():
+    s = NgAPStats()
+    s.nfa.symbols = 1000
+    s.nfa.transition_lookups = 5000 * 1000
+    s.state_count = 500_000
+    s.input_bytes = 1000
+    moderate = s
+    assert model_ngap(moderate, RTX_3090).seconds > 0
+
+
+def test_icgrep_scales_with_ops():
+    a = ICgrepStats(simd_word_ops=1_000_000, input_bytes=1 << 20)
+    b = ICgrepStats(simd_word_ops=4_000_000, input_bytes=1 << 20)
+    assert model_icgrep(b, XEON_8562Y).seconds == pytest.approx(
+        4 * model_icgrep(a, XEON_8562Y).seconds)
+
+
+def test_hyperscan_mt_faster_but_bounded():
+    stats = HyperscanStats(input_bytes=1 << 20)
+    stats.ac.goto_lookups = 1 << 20
+    single = model_hyperscan(stats, XEON_8562Y, threads=1)
+    multi = model_hyperscan(stats, XEON_8562Y, threads=32)
+    assert multi.seconds < single.seconds
+    # AC-bound work barely scales (the paper's 1.76x overall ceiling).
+    assert single.seconds / multi.seconds < 2.0
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+
+# -- harness -----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def harness():
+    return Harness(scale=0.01)
+
+
+def test_harness_workload_cached(harness):
+    a = harness.workload("TCP")
+    b = harness.workload("TCP")
+    assert a is b
+
+
+def test_harness_all_engines_run(harness):
+    for engine in ("BitGen", "HS-1T", "HS-MT", "ngAP", "icgrep"):
+        run = harness.run("TCP", engine)
+        assert run.mbps > 0
+        assert run.throughput.seconds > 0
+
+
+def test_harness_engines_agree(harness):
+    assert harness.verify_engines_agree("TCP")
+    assert harness.verify_engines_agree("ExactMatch")
+
+
+def test_harness_scheme_runs(harness):
+    zbs = harness.run_bitgen("TCP", Scheme.ZBS)
+    base = harness.run_bitgen("TCP", Scheme.BASE)
+    assert zbs.match_count == base.match_count
+    assert zbs.mbps > base.mbps, "optimised scheme is modelled faster"
+
+
+def test_harness_unknown_engine(harness):
+    with pytest.raises(KeyError):
+        harness.run_baseline("TCP", "GNU grep")
+
+
+def test_extrapolation_factors(harness):
+    workload = harness.workload("TCP")
+    extrapolation = harness.extrapolation(workload)
+    assert extrapolation.pattern_factor > 1
+    assert extrapolation.input_factor > 1
+
+
+# -- report ------------------------------------------------------------------------
+
+def test_format_table_alignment():
+    text = format_table(["a", "bbb"], [[1, 2.5], [33, 0.001]])
+    lines = text.splitlines()
+    assert len(lines) == 4
+    assert len(set(len(line.rstrip()) for line in lines[1:2])) == 1
+
+
+def test_format_bars():
+    text = format_bars({"x": 10.0, "y": 5.0}, width=10)
+    assert "##########" in text
+    assert "#####" in text
+
+
+def test_to_csv():
+    csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+    assert csv.splitlines() == ["a,b", "1,2", "3,4"]

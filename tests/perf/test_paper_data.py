@@ -1,0 +1,60 @@
+"""Sanity checks on the transcribed paper data (guards against typos
+that would silently skew every comparison)."""
+
+import math
+
+import pytest
+
+from repro.perf.model import geometric_mean
+from repro.perf.paper_data import (APPS, TABLE1, TABLE2,
+                                   TABLE2_GMEAN_SPEEDUPS, TABLE4, TABLE5,
+                                   TABLE6, FIGURE15)
+
+
+def test_all_apps_covered():
+    assert set(APPS) == set(TABLE1) == set(TABLE2) == set(TABLE5)
+    assert len(APPS) == 10
+
+
+def test_table2_gmeans_consistent():
+    """The published per-app speedups reproduce the published gmeans."""
+    for engine, attr in (("HS-1T", "hs_1t"), ("HS-MT", "hs_mt"),
+                         ("ngAP", "ngap"), ("icgrep", "icgrep")):
+        speedups = [TABLE2[app].bitgen / getattr(TABLE2[app], attr)
+                    for app in APPS]
+        assert geometric_mean(speedups) == pytest.approx(
+            TABLE2_GMEAN_SPEEDUPS[engine], rel=0.03), engine
+
+
+def test_table1_totals_plausible():
+    for app, row in TABLE1.items():
+        assert row["regexes"] > 0
+        assert row["and"] > row["or"] or app == "Protomata"
+        assert row["shift"] > 0
+
+
+def test_table4_monotone():
+    assert TABLE4["Base"]["loops"] > TABLE4["DTM-"]["loops"] > \
+        TABLE4["DTM"]["loops"]
+    assert TABLE4["DTM"]["intermediates"] == 0.0
+
+
+def test_table5_within_limit():
+    # No app exceeds the 16,384-bit one-block overlap limit.
+    for app, row in TABLE5.items():
+        assert row["dyn_max"] <= 16384, app
+        assert 60 <= row["iters"] <= 65
+
+
+def test_table6_monotone():
+    sync = [TABLE6[k]["sync"] for k in (1, 4, 16, 32)]
+    stall = [TABLE6[k]["stall_pct"] for k in (1, 4, 16, 32)]
+    smem = [TABLE6[k]["smem_kb"] for k in (1, 4, 16, 32)]
+    assert sync == sorted(sync, reverse=True)
+    assert stall == sorted(stall, reverse=True)
+    assert smem == sorted(smem)
+
+
+def test_figure15_values():
+    assert FIGURE15["BitGen"]["L40S"] > FIGURE15["BitGen"]["H100 NVL"]
+    assert FIGURE15["ngAP"]["H100 NVL"] == 1.0

@@ -1,0 +1,95 @@
+"""AST constructors and normalisation."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+from repro.regex.parser import parse
+from repro.regex.simplify import char_length, count_nodes, simplify
+
+
+def lit(c):
+    return ast.Lit(CharClass.of_char(c))
+
+
+def test_seq_flattens():
+    node = ast.seq(lit("a"), ast.seq(lit("b"), lit("c")))
+    assert isinstance(node, ast.Seq)
+    assert len(node.parts) == 3
+
+
+def test_seq_drops_empty():
+    assert ast.seq(ast.Empty(), lit("a")) == lit("a")
+    assert ast.seq(ast.Empty(), ast.Empty()) == ast.Empty()
+
+
+def test_alt_flattens_and_dedups():
+    node = ast.alt(lit("a"), ast.alt(lit("b"), lit("a")))
+    assert isinstance(node, ast.Alt)
+    assert len(node.branches) == 2
+
+
+def test_alt_single_branch():
+    assert ast.alt(lit("a")) == lit("a")
+
+
+def test_rep_validation():
+    with pytest.raises(ValueError):
+        ast.Rep(lit("a"), 3, 2)
+    with pytest.raises(ValueError):
+        ast.Rep(lit("a"), -1, 2)
+
+
+def test_walk_preorder():
+    node = parse("a(b|c)")
+    kinds = [type(n).__name__ for n in node.walk()]
+    assert kinds[0] == "Seq"
+    assert "Alt" in kinds
+
+
+def test_nodes_immutable():
+    node = lit("a")
+    with pytest.raises(AttributeError):
+        node.cc = CharClass.of_char("b")
+
+
+def test_simplify_merges_alt_of_lits():
+    node = simplify(parse("a|b|c"))
+    assert node == ast.Lit(CharClass.of_chars("abc"))
+
+
+def test_simplify_star_of_star():
+    node = simplify(ast.Star(ast.Star(lit("a"))))
+    assert node == ast.Star(lit("a"))
+
+
+def test_simplify_rep_identities():
+    assert simplify(ast.Rep(lit("a"), 1, 1)) == lit("a")
+    assert simplify(ast.Rep(lit("a"), 0, 0)) == ast.Empty()
+    assert simplify(ast.Rep(lit("a"), 0, None)) == ast.Star(lit("a"))
+
+
+def test_simplify_star_of_optional():
+    node = simplify(ast.Star(ast.Rep(lit("a"), 0, 1)))
+    assert node == ast.Star(lit("a"))
+
+
+def test_simplify_preserves_mixed_alt():
+    node = simplify(parse("ab|c"))
+    assert isinstance(node, ast.Alt)
+
+
+def test_count_nodes():
+    assert count_nodes(lit("a")) == 1
+    assert count_nodes(parse("ab")) == 3  # Seq + 2 Lits
+
+
+def test_char_length():
+    assert char_length(parse("abc")) == 3
+    assert char_length(parse("a{4}")) == 5  # Lit + Rep(lo=4)
+    assert char_length(parse("(ab)*")) >= 2
+
+
+def test_structural_equality_across_parses():
+    assert parse("a(b|c)d") == parse("a(b|c)d")
+    assert parse("abc") != parse("abd")

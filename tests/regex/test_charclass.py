@@ -1,0 +1,153 @@
+"""Unit and property tests for CharClass set algebra."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.regex.charclass import (ALPHABET_SIZE, DIGIT, SPACE, WORD,
+                                   CharClass)
+
+
+def test_empty_class():
+    cc = CharClass.empty()
+    assert cc.is_empty()
+    assert len(cc) == 0
+    assert not cc.contains(0)
+
+
+def test_single_and_of_char():
+    assert CharClass.single(97) == CharClass.of_char("a")
+    assert CharClass.of_char("a").single_byte() == 97
+    assert 97 in CharClass.of_char("a")
+    assert 98 not in CharClass.of_char("a")
+
+
+def test_range_membership():
+    cc = CharClass.range("a", "z")
+    assert all(cc.contains(b) for b in range(97, 123))
+    assert not cc.contains(96)
+    assert not cc.contains(123)
+    assert len(cc) == 26
+
+
+def test_ranges_coalesce():
+    cc = CharClass(((10, 20), (15, 30), (31, 40)))
+    assert cc.ranges == ((10, 40),)
+
+
+def test_adjacent_singletons_coalesce():
+    cc = CharClass.of_chars("abc")
+    assert cc.ranges == ((97, 99),)
+
+
+def test_out_of_bounds_range_rejected():
+    with pytest.raises(ValueError):
+        CharClass(((0, 256),))
+    with pytest.raises(ValueError):
+        CharClass(((-1, 5),))
+    with pytest.raises(ValueError):
+        CharClass(((9, 3),))
+
+
+def test_union_intersection_difference():
+    lower = CharClass.range("a", "m")
+    upper = CharClass.range("h", "z")
+    both = lower.union(upper)
+    assert both == CharClass.range("a", "z")
+    inter = lower.intersection(upper)
+    assert inter == CharClass.range("h", "m")
+    diff = lower.difference(upper)
+    assert diff == CharClass.range("a", "g")
+
+
+def test_complement_roundtrip():
+    cc = CharClass.of_chars("aeiou")
+    assert cc.complement().complement() == cc
+    assert len(cc) + len(cc.complement()) == ALPHABET_SIZE
+
+
+def test_dot_excludes_newline():
+    dot = CharClass.dot()
+    assert not dot.contains(ord("\n"))
+    assert dot.contains(ord("a"))
+    assert len(dot) == ALPHABET_SIZE - 1
+
+
+def test_any_byte():
+    assert len(CharClass.any_byte()) == ALPHABET_SIZE
+
+
+def test_named_classes():
+    assert all(DIGIT.contains(ord(c)) for c in "0123456789")
+    assert WORD.contains(ord("_"))
+    assert not WORD.contains(ord("-"))
+    assert SPACE.contains(ord(" "))
+    assert SPACE.contains(ord("\t"))
+
+
+def test_single_byte_raises_on_multi():
+    with pytest.raises(ValueError):
+        CharClass.range("a", "b").single_byte()
+
+
+def test_table_matches_contains():
+    cc = CharClass(((5, 9), (200, 210)))
+    table = cc.table()
+    for byte in range(ALPHABET_SIZE):
+        assert table[byte] == cc.contains(byte)
+
+
+def test_bytes_iteration_sorted():
+    cc = CharClass(((200, 202), (5, 6)))
+    assert list(cc.bytes()) == [5, 6, 200, 201, 202]
+
+
+def test_immutability():
+    cc = CharClass.of_char("a")
+    with pytest.raises(AttributeError):
+        cc.ranges = ()
+
+
+def test_hash_and_eq():
+    a = CharClass.of_chars("abc")
+    b = CharClass.range("a", "c")
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+
+
+byte_sets = st.sets(st.integers(min_value=0, max_value=255), max_size=40)
+
+
+def _from_set(values):
+    return CharClass(tuple((v, v) for v in values))
+
+
+@given(byte_sets, byte_sets)
+def test_union_is_set_union(xs, ys):
+    cc = _from_set(xs).union(_from_set(ys))
+    assert set(cc.bytes()) == xs | ys
+
+
+@given(byte_sets, byte_sets)
+def test_difference_is_set_difference(xs, ys):
+    cc = _from_set(xs).difference(_from_set(ys))
+    assert set(cc.bytes()) == xs - ys
+
+
+@given(byte_sets, byte_sets)
+def test_intersection_is_set_intersection(xs, ys):
+    cc = _from_set(xs).intersection(_from_set(ys))
+    assert set(cc.bytes()) == xs & ys
+
+
+@given(byte_sets)
+def test_complement_is_set_complement(xs):
+    cc = _from_set(xs).complement()
+    assert set(cc.bytes()) == set(range(256)) - xs
+
+
+@given(byte_sets)
+def test_mask_roundtrip(xs):
+    cc = _from_set(xs)
+    assert CharClass._from_mask(cc._mask()) == cc

@@ -1,0 +1,101 @@
+"""Empty-match stripping: se/zw transforms and end-to-end semantics for
+nullable patterns."""
+
+import pytest
+
+from repro.ir.interpreter import run_regexes
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+from repro.regex.nonempty import strip_empty, zero_width
+from repro.regex.parser import parse
+
+from ..conftest import oracle_end_positions
+
+
+def lit(c):
+    return ast.Lit(CharClass.of_char(c))
+
+
+def test_strip_lit_identity():
+    assert strip_empty(lit("a")) == lit("a")
+
+
+def test_strip_empty_regex():
+    assert strip_empty(ast.Empty()) is None
+
+
+def test_strip_anchor():
+    assert strip_empty(ast.Anchor("^")) is None
+
+
+def test_strip_star_becomes_plus():
+    result = strip_empty(ast.Star(lit("a")))
+    assert result == ast.seq(lit("a"), ast.Star(lit("a")))
+
+
+def test_strip_seq_simple():
+    node = parse("ab")
+    assert strip_empty(node) == node
+
+
+def test_strip_seq_nullable_prefix():
+    # a*b nonempty = a+b | b
+    node = parse("a*b")
+    result = strip_empty(node)
+    assert isinstance(result, ast.Alt)
+    assert len(result.branches) == 2
+
+
+def test_strip_optional():
+    # a? nonempty = a
+    assert strip_empty(parse("a?")) == lit("a")
+
+
+def test_zero_width_lit_none():
+    assert zero_width(lit("a")) is None
+
+
+def test_zero_width_star_is_empty():
+    assert zero_width(ast.Star(lit("a"))) == ast.Empty()
+
+
+def test_zero_width_anchor_preserved():
+    assert zero_width(ast.Anchor("^")) == ast.Anchor("^")
+
+
+def test_zero_width_seq_of_anchors():
+    node = ast.seq(ast.Anchor("^"), ast.Star(lit("a")))
+    assert zero_width(node) == ast.Anchor("^")
+
+
+def test_zero_width_alt_empty_absorbs():
+    node = ast.alt(ast.Anchor("^"), ast.Star(lit("a")))
+    assert zero_width(node) == ast.Empty()
+
+
+def test_rep_zero_bound():
+    assert strip_empty(ast.Rep(lit("a"), 0, 0)) is None
+
+
+@pytest.mark.parametrize("pattern,data", [
+    ("a*", b"baab"),
+    ("a?", b"ba"),
+    ("(a?)(b?)", b"ab ba"),
+    ("(a*)*b", b"aab b"),
+    ("(a|b*)c", b"bbc c ac"),
+    ("(a*)*", b"aa"),
+    ("(a?b?)*c", b"abc bac c"),
+    ("x(a*)(b*)y", b"xy xaby xbay"),
+])
+def test_nullable_patterns_vs_oracle(pattern, data):
+    got = run_regexes([pattern], data)["R0"]
+    want = oracle_end_positions(pattern, data)
+    assert got == want, f"{pattern!r} on {data!r}: {got} != {want}"
+
+
+def test_anchored_nullable():
+    # ^a* : non-empty matches are runs of a's starting at position 0
+    got = run_regexes(["^a*"], b"aab")["R0"]
+    assert got == [0, 1]
+    got = run_regexes(["^a*"], b"baa")["R0"]
+    assert got == []

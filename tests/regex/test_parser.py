@@ -1,0 +1,195 @@
+"""Parser tests: grammar coverage and error reporting."""
+
+import pytest
+
+from repro.regex import ast
+from repro.regex.charclass import CharClass
+from repro.regex.parser import RegexSyntaxError, parse
+
+
+def test_single_char():
+    assert parse("a") == ast.Lit(CharClass.of_char("a"))
+
+
+def test_literal_string():
+    node = parse("cat")
+    assert isinstance(node, ast.Seq)
+    assert node == ast.literal("cat")
+
+
+def test_alternation():
+    node = parse("a|b|c")
+    assert isinstance(node, ast.Alt)
+    assert len(node.branches) == 3
+
+
+def test_alternation_precedence():
+    # ab|cd parses as (ab)|(cd), not a(b|c)d
+    node = parse("ab|cd")
+    assert node == ast.alt(ast.literal("ab"), ast.literal("cd"))
+
+
+def test_star():
+    assert parse("a*") == ast.Star(ast.Lit(CharClass.of_char("a")))
+
+
+def test_plus_is_derived():
+    a = ast.Lit(CharClass.of_char("a"))
+    assert parse("a+") == ast.seq(a, ast.Star(a))
+
+
+def test_optional():
+    a = ast.Lit(CharClass.of_char("a"))
+    assert parse("a?") == ast.Rep(a, 0, 1)
+
+
+def test_grouping_changes_structure():
+    assert parse("(ab)*") == ast.Star(ast.literal("ab"))
+    assert parse("a(b|c)d") == ast.seq(
+        ast.Lit(CharClass.of_char("a")),
+        ast.alt(ast.Lit(CharClass.of_char("b")), ast.Lit(CharClass.of_char("c"))),
+        ast.Lit(CharClass.of_char("d")))
+
+
+def test_bounded_repetition():
+    a = ast.Lit(CharClass.of_char("a"))
+    assert parse("a{2,5}") == ast.Rep(a, 2, 5)
+    assert parse("a{3}") == ast.Rep(a, 3, 3)
+    assert parse("a{2,}") == ast.Rep(a, 2, None)
+
+
+def test_char_class_basic():
+    assert parse("[abc]") == ast.Lit(CharClass.of_chars("abc"))
+    assert parse("[a-z]") == ast.Lit(CharClass.range("a", "z"))
+
+
+def test_char_class_negated():
+    node = parse("[^a]")
+    assert isinstance(node, ast.Lit)
+    assert not node.cc.contains(ord("a"))
+    assert node.cc.contains(ord("b"))
+    assert len(node.cc) == 255
+
+
+def test_char_class_multi_range():
+    node = parse("[a-z0-9_]")
+    assert node.cc.contains(ord("m"))
+    assert node.cc.contains(ord("5"))
+    assert node.cc.contains(ord("_"))
+    assert not node.cc.contains(ord("-"))
+
+
+def test_char_class_literal_bracket_members():
+    node = parse("[]a]")  # ']' first is literal
+    assert node.cc == CharClass.of_chars("]a")
+
+
+def test_char_class_trailing_dash_literal():
+    node = parse("[a-]")
+    assert node.cc == CharClass.of_chars("a-")
+
+
+def test_char_class_escape_class_inside():
+    node = parse("[\\d.]")
+    assert node.cc.contains(ord("5"))
+    assert node.cc.contains(ord("."))
+    assert not node.cc.contains(ord("a"))
+
+
+def test_dot():
+    node = parse(".")
+    assert node == ast.Lit(CharClass.dot())
+
+
+def test_anchors():
+    node = parse("^abc$")
+    assert isinstance(node, ast.Seq)
+    assert node.parts[0] == ast.Anchor("^")
+    assert node.parts[-1] == ast.Anchor("$")
+
+
+def test_escapes():
+    assert parse(r"\d") == ast.Lit(CharClass.range("0", "9"))
+    assert parse(r"\n") == ast.Lit(CharClass.of_char("\n"))
+    assert parse(r"\.") == ast.Lit(CharClass.of_char("."))
+    assert parse(r"\\") == ast.Lit(CharClass.of_char("\\"))
+    assert parse(r"\x41") == ast.Lit(CharClass.of_char("A"))
+
+
+def test_hex_escape_invalid():
+    with pytest.raises(RegexSyntaxError):
+        parse(r"\xzz")
+
+
+def test_empty_pattern():
+    assert parse("") == ast.Empty()
+
+
+def test_empty_alternation_branch():
+    node = parse("a|")
+    assert isinstance(node, ast.Alt)
+    assert node.branches[1] == ast.Empty()
+
+
+def test_nested_groups():
+    node = parse("((a|b)c)*")
+    assert isinstance(node, ast.Star)
+
+
+@pytest.mark.parametrize("bad", [
+    "(", ")", "(a", "a)", "[", "[a", "*", "+a*b(", "a{2,1}",
+    "a**junk(", "[z-a]", "a{99999}",
+])
+def test_syntax_errors(bad):
+    with pytest.raises(RegexSyntaxError):
+        parse(bad)
+
+
+def test_error_reports_position():
+    with pytest.raises(RegexSyntaxError) as excinfo:
+        parse("ab(cd")
+    assert "position" in str(excinfo.value)
+
+
+def test_quantifier_chains():
+    # (a*)? etc. are accepted
+    node = parse("a*?")
+    assert node == ast.Rep(ast.Star(ast.Lit(CharClass.of_char("a"))), 0, 1)
+
+
+def test_brace_without_number_is_literal():
+    node = parse("a{x")
+    # '{' with no digits is a literal brace
+    assert node == ast.seq(ast.Lit(CharClass.of_char("a")),
+                           ast.literal("{"),
+                           ast.Lit(CharClass.of_char("x")))
+
+
+def test_non_capturing_group():
+    assert parse("a(?:bc)*d") == parse("a(bc)*d")
+    assert parse("(?:ab|cd)e") == parse("(ab|cd)e")
+
+
+def test_non_capturing_group_malformed():
+    with pytest.raises(RegexSyntaxError):
+        parse("a(?bc)")
+
+
+def test_ignore_case_flag():
+    node = parse("(?i)ab")
+    assert isinstance(node, ast.Seq)
+    assert node.parts[0].cc == CharClass.of_chars("aA")
+    assert node.parts[1].cc == CharClass.of_chars("bB")
+
+
+def test_ignore_case_folds_classes_and_groups():
+    node = parse("(?i)[a-c]|X")
+    folded = node
+    assert isinstance(folded, ast.Alt)
+    assert folded.branches[0].cc == CharClass.of_chars("abcABC")
+    assert folded.branches[1].cc == CharClass.of_chars("xX")
+
+
+def test_ignore_case_leaves_nonalpha():
+    node = parse("(?i)a1")
+    assert node.parts[1].cc == CharClass.of_char("1")

@@ -1,0 +1,44 @@
+"""Reversal transform: language-level property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.interpreter import run_regexes
+from repro.regex.parser import parse
+from repro.regex.reverse import reverse
+
+from ..conftest import random_text
+
+PATTERNS = ["abc", "a(bc)*d", "(ab|cd)e", "a{2,4}b", "x?yz", "[ab]c+"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(PATTERNS), st.integers(min_value=0, max_value=2**32))
+def test_reverse_language_property(pattern, seed):
+    """w matches R  <=>  w[::-1] matches reverse(R): all-match end
+    positions over reversed input mirror the start positions."""
+    rng = random.Random(seed)
+    data = random_text(rng, rng.randrange(0, 40), "abcdxyz")
+    node = parse(pattern)
+    forward_ends = set(run_regexes([node], data)["R0"])
+    mirrored_ends = set(run_regexes([reverse(node)], data[::-1])["R0"])
+
+    # every forward match [s, e] appears reversed ending at n-1-s
+    import re
+
+    n = len(data)
+    text = data.decode("latin-1")
+    compiled = re.compile(pattern)
+    for end in forward_ends:
+        starts = [s for s in range(end + 1)
+                  if compiled.fullmatch(text, s, end + 1)]
+        assert starts, f"oracle start missing for end {end}"
+        assert any(n - 1 - s in mirrored_ends for s in starts)
+    for mirrored in mirrored_ends:
+        start = n - 1 - mirrored
+        assert any(compiled.fullmatch(text, start, e + 1)
+                   for e in range(start, n)), \
+            f"reversed match at {mirrored} has no forward witness"

@@ -1,0 +1,144 @@
+"""Workload generators and application builders."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.regex.parser import parse
+from repro.workloads import (ALL_APPS, AppSpec, app_by_name, build_input,
+                             sample_match)
+from repro.workloads import generators as gen
+from repro.workloads.inputs import BACKGROUNDS, plant_matches
+
+
+@pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+def test_all_apps_build_and_parse(app):
+    workload = app.build(scale=0.01, seed=1)
+    assert len(workload.patterns) >= 2
+    assert len(workload.nodes) == len(workload.patterns)
+    assert len(workload.data) >= 1024
+    for pattern in workload.patterns:
+        parse(pattern)  # re-parse: all generated patterns are valid
+
+
+def test_builds_are_deterministic():
+    a = app_by_name("Snort").build(scale=0.01, seed=9)
+    b = app_by_name("Snort").build(scale=0.01, seed=9)
+    assert a.patterns == b.patterns
+    assert a.data == b.data
+
+
+def test_different_seeds_differ():
+    a = app_by_name("Snort").build(scale=0.01, seed=1)
+    b = app_by_name("Snort").build(scale=0.01, seed=2)
+    assert a.patterns != b.patterns
+
+
+def test_scale_controls_size():
+    small = app_by_name("Yara").build(scale=0.005, seed=0)
+    large = app_by_name("Yara").build(scale=0.02, seed=0)
+    assert len(large.patterns) > len(small.patterns)
+    assert len(large.data) > len(small.data)
+
+
+def test_unknown_app_raises():
+    with pytest.raises(KeyError):
+        app_by_name("NotAnApp")
+
+
+def test_yara_has_no_loops():
+    workload = app_by_name("Yara").build(scale=0.01, seed=0)
+    from repro.ir.lower import lower_group
+
+    program = lower_group(workload.nodes[:10])
+    assert program.while_count() == 0
+
+
+def test_brill_has_loops():
+    workload = app_by_name("Brill").build(scale=0.01, seed=0)
+    from repro.ir.lower import lower_group
+
+    program = lower_group(workload.nodes[:10])
+    assert program.while_count() > 0
+
+
+@pytest.mark.parametrize("name", sorted(BACKGROUNDS))
+def test_backgrounds(name):
+    rng = random.Random(0)
+    data = BACKGROUNDS[name](rng, 2048)
+    assert len(data) == 2048
+
+
+def test_text_background_has_lines():
+    rng = random.Random(0)
+    data = BACKGROUNDS["text"](rng, 4096)
+    lines = data.split(b"\n")
+    assert len(lines) > 10
+    assert max(len(line) for line in lines) < 200
+
+
+def test_unknown_background_raises():
+    rng = random.Random(0)
+    with pytest.raises(KeyError):
+        build_input(rng, 100, "nope")
+
+
+def test_plant_matches_inserts_matches():
+    rng = random.Random(0)
+    node = parse("virusxyz")
+    data = plant_matches(rng, b"a" * 4096, [node], density=4.0)
+    assert b"virusxyz" in data
+
+
+def test_plant_matches_zero_density_noop():
+    rng = random.Random(0)
+    background = b"a" * 512
+    assert plant_matches(rng, background, [parse("xy")], 0.0) == background
+
+
+SAMPLE_PATTERNS = ["abc", "a(bc)*d", "[a-f]{2,4}", "x|yz", "a+b?",
+                   "(ab|cd)ef", r"\x00\xff"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sampled_from(SAMPLE_PATTERNS),
+       st.integers(min_value=0, max_value=2**32))
+def test_sample_match_produces_matches(pattern, seed):
+    """Strings from sample_match must actually match the pattern."""
+    import re as stdre
+
+    rng = random.Random(seed)
+    node = parse(pattern)
+    text = sample_match(rng, node)
+    assert text is not None
+    std = stdre.compile(pattern.replace("\\x00", "\\x00"))
+    assert stdre.fullmatch(pattern, text.decode("latin-1")), \
+        f"{text!r} does not match {pattern!r}"
+
+
+def test_sample_match_empty_class_is_none():
+    rng = random.Random(0)
+    from repro.regex import ast
+    from repro.regex.charclass import CharClass
+
+    assert sample_match(rng, ast.Lit(CharClass.empty())) is None
+
+
+def test_target_length_clamped():
+    rng = random.Random(0)
+    for _ in range(100):
+        length = gen.target_length(rng, 50, 20)
+        assert 2 <= length <= 110
+
+
+def test_generators_respect_grammar():
+    rng = random.Random(0)
+    for maker in (gen.literal_pattern, gen.ranged_pattern,
+                  gen.dotstar_pattern, gen.protein_pattern,
+                  gen.brill_pattern, gen.snort_pattern, gen.yara_pattern,
+                  gen.bro_pattern, gen.tcp_pattern,
+                  gen.hex_signature_pattern):
+        for _ in range(5):
+            parse(maker(rng, 40))
