@@ -1,0 +1,45 @@
+"""Compiled NumPy execution backend (the paper's NVRTC JIT analog).
+
+Instead of interpreting bitstream programs statement-by-statement, this
+package lowers a :class:`~repro.ir.program.Program` to ONE specialised
+Python function of straight-line NumPy statements over ``uint64`` word
+arrays, compiles it once, and caches it under a structural fingerprint
+so repeated harness cells and structurally repeated regex groups pay
+zero recompilation.  Batched dispatch stacks CTAs into 2D word arrays —
+one vectorised call per shared kernel.
+
+Front doors:
+
+* :func:`compile_program` — program → cached :class:`CompiledProgram`
+* :func:`dispatch_programs` — many CTAs over one input, batched
+* :func:`dispatch_streams` — one CTA over many inputs, batched
+* :func:`kernel_cache` — the process-wide cache (hit-rate reporting)
+"""
+
+from .codegen import CompileError, generate_source
+from .compiled import (CacheStats, CompiledKernel, CompiledProgram,
+                       KernelCache, compile_program, kernel_cache)
+from .executor import (compile_group, dispatch_programs, dispatch_streams,
+                       dispatch_words, estimate_metrics)
+from .fingerprint import canonicalize, fingerprint
+from .runtime import KernelStats, basis_environment
+
+__all__ = [
+    "CacheStats",
+    "CompileError",
+    "CompiledKernel",
+    "CompiledProgram",
+    "KernelCache",
+    "KernelStats",
+    "basis_environment",
+    "canonicalize",
+    "compile_group",
+    "compile_program",
+    "dispatch_programs",
+    "dispatch_streams",
+    "dispatch_words",
+    "estimate_metrics",
+    "fingerprint",
+    "generate_source",
+    "kernel_cache",
+]

@@ -1,0 +1,226 @@
+"""NumPy code generation for bitstream programs.
+
+Lowers a :class:`~repro.ir.program.Program` into the source of ONE
+specialised Python function of straight-line NumPy statements — the
+reproduction's analog of the paper's NVRTC-compiled fused kernel.
+Per-instruction dispatch disappears entirely: every AND/OR/XOR/ANDN/NOT
+becomes a native array expression, SHIFT becomes a word-level shift
+with cross-word carry (distances baked in), MATCH_CC expands inline to
+the 8 basis-plane constraints, and while-loops / zero guards become
+native Python control flow.
+
+Batch semantics: all expressions operate on the last axis, so a kernel
+compiled once runs over a 1D word array (one CTA) or a stacked 2D batch
+(many CTAs).  Loop bodies and guard skips are masked per row with
+``np.where``, so rows whose condition has converged stay frozen exactly
+as if each row ran its own loop — batching never changes results.
+
+Character classes are *parameters*, not constants: a MATCH_CC for byte
+``c`` compiles to ``TEXT & (b0 ^ P[..., j, 0, None]) & ...`` where
+``P[j, k]`` is all-ones when bit ``k`` of ``c`` is clear (selecting
+``~bk``) and zero when set (selecting ``bk``).  Programs that differ
+only in their byte constants therefore share one kernel and can be
+dispatched as one batched call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from ..ir.instructions import Instr, Op, SkipGuard, WhileLoop
+from .fingerprint import CanonicalProgram
+
+#: Extra iterations allowed beyond the stream length before a fixpoint
+#: loop is declared divergent (mirrors the interpreter's slack).
+LOOP_SLACK = 80
+
+_BINOPS = {Op.AND.value: "&", Op.OR.value: "|", Op.XOR.value: "^"}
+
+_CONST_EXPR = {
+    "zero": "Z",
+    "ones": "ONES",
+    "start": "START",
+    "end": "END",
+    "text": "TEXT",
+}
+
+_CONST_INIT = {
+    "Z": "Z = _rt.zeros(W)",
+    "ONES": "ONES = _rt.ones(L, W)",
+    "START": "START = _rt.start(W)",
+    "END": "END = _rt.end(L, W)",
+    "TEXT": "TEXT = _rt.text(L, W)",
+}
+
+
+class CompileError(ValueError):
+    """Raised when a program cannot be lowered to a compiled kernel."""
+
+
+class _Emitter:
+    """Walks canonical tokens and accumulates source lines."""
+
+    def __init__(self, canonical: CanonicalProgram):
+        self.canonical = canonical
+        self.lines: List[str] = []
+        self.consts_used: Set[str] = set()
+        self.cc_slot = 0
+        self.loop_id = 0
+        self.loop_preinit: Set[str] = set()
+        self._defined: Set[str] = set(canonical.tokens[1])  # inputs
+
+    def emit(self, line: str, depth: int) -> None:
+        self.lines.append("    " * (depth + 1) + line)
+
+    # -- expression fragments ---------------------------------------------
+
+    def _instr_expr(self, token) -> str:
+        _, op, _dest, args, shift, const, cc_token = token
+        if op == Op.CONST.value:
+            name = _CONST_EXPR[const]
+            self.consts_used.add(name)
+            return name
+        if op == Op.MATCH_CC.value:
+            return self._match_cc_expr(cc_token)
+        if op in _BINOPS:
+            return f"{args[0]} {_BINOPS[op]} {args[1]}"
+        if op == Op.ANDN.value:
+            return f"{args[0]} & ~{args[1]}"
+        if op == Op.NOT.value:
+            return f"~{args[0]}"
+        if op == Op.COPY.value:
+            return args[0]
+        if op == Op.SHIFT.value:
+            word_shift, bit_shift = divmod(abs(shift), 64)
+            if shift > 0:
+                return f"_shu({args[0]}, {word_shift}, {bit_shift}, TM)"
+            return f"_shd({args[0]}, {word_shift}, {bit_shift})"
+        raise CompileError(f"unhandled op {op!r}")
+
+    def _match_cc_expr(self, cc_token: str) -> str:
+        if cc_token == "empty":
+            self.consts_used.add("Z")
+            return "Z"
+        slot = self.cc_slot
+        self.cc_slot += 1
+        self.consts_used.add("TEXT")
+        terms = [f"(b{k} ^ P[..., {slot}, {k}, None])" for k in range(8)]
+        return "TEXT & " + " & ".join(terms)
+
+    # -- statements --------------------------------------------------------
+
+    def emit_instr(self, token, depth: int, act: Optional[str]) -> None:
+        dest = token[2]
+        expr = self._instr_expr(token)
+        needs_mask = token[1] == Op.NOT.value
+        if act is None:
+            self.emit(f"{dest} = {expr}", depth)
+            if needs_mask:
+                self.emit(f"{dest}[..., -1] &= TM", depth)
+        else:
+            # Inside a loop: rows whose condition converged are frozen.
+            self.emit(f"_t = {expr}", depth)
+            if needs_mask:
+                self.emit("_t[..., -1] &= TM", depth)
+            self.emit(f"{dest} = _np.where({act}, _t, {dest})", depth)
+        self._note_definition(dest, depth)
+
+    def _note_definition(self, dest: str, depth: int) -> None:
+        if dest in self._defined:
+            return
+        self._defined.add(dest)
+        if depth > 0:
+            # First definition inside control flow: pre-initialise so the
+            # masked assignment has a previous value to keep.
+            self.loop_preinit.add(dest)
+            self.consts_used.add("Z")
+
+    def emit_block(self, tokens, depth: int, act: Optional[str]) -> None:
+        index = 0
+        while index < len(tokens):
+            token = tokens[index]
+            kind = token[0]
+            if kind == "instr":
+                self.emit_instr(token, depth, act)
+                index += 1
+            elif kind == "while":
+                self.emit_while(token, depth, act)
+                index += 1
+            elif kind == "guard":
+                index += self.emit_guard(token, tokens, index, depth, act)
+            else:
+                raise CompileError(f"unknown token {kind!r}")
+
+    def emit_while(self, token, depth: int, parent: Optional[str]) -> None:
+        _, cond, body = token
+        loop = self.loop_id
+        self.loop_id += 1
+        act = f"_a{loop}"
+        parent_arg = parent if parent is not None else "None"
+        self.emit(f"_n{loop} = 0", depth)
+        self.emit("while True:", depth)
+        self.emit(f"{act} = _any({cond}, {parent_arg})", depth + 1)
+        self.emit(f"if not {act}.any():", depth + 1)
+        self.emit("break", depth + 2)
+        self.emit(f"if _n{loop} >= _limit:", depth + 1)
+        self.emit(f"raise RuntimeError('while loop {loop} diverged')",
+                  depth + 2)
+        self.emit(f"_n{loop} += 1", depth + 1)
+        self.emit_block(body, depth + 1, act)
+        self.emit(f"_stats.loop_log.append(({loop}, _n{loop}))", depth)
+
+    def emit_guard(self, token, tokens, index: int, depth: int,
+                   act: Optional[str]) -> int:
+        _, cond, skip_count = token
+        span = tokens[index + 1:index + 1 + skip_count]
+        if not self.canonical.honour_guards:
+            # Guards are pure optimisation hints; executing the range
+            # despite a zero condition never changes results.
+            return 1
+        self.consts_used.add("Z")
+        self.emit("_stats.guard_checks += 1", depth)
+        parent_arg = act if act is not None else "None"
+        self.emit(f"if not _any({cond}, {parent_arg}).any():", depth)
+        self.emit("_stats.guard_hits += 1", depth + 1)
+        # Skipped definitions are provably zero (guard validation).
+        for skipped in span:
+            if skipped[0] != "instr":
+                continue  # nested guards are skipped with their range
+            dest = skipped[2]
+            if act is None:
+                self.emit(f"{dest} = Z", depth + 1)
+            else:
+                self.emit(f"{dest} = _np.where({act}, Z, {dest})",
+                          depth + 1)
+            self._note_definition(dest, depth)
+        self.emit("else:", depth)
+        self.emit_block(span, depth + 1, act)
+        return skip_count + 1
+
+
+def generate_source(canonical: CanonicalProgram,
+                    name: str = "_kernel") -> str:
+    """Full function source for one canonical program."""
+    emitter = _Emitter(canonical)
+    emitter.emit_block(canonical.tokens[2], 0, None)
+
+    outputs = canonical.tokens[3]
+    prologue = [
+        f"def {name}(B, P, L, W, TM, _rt, _stats):",
+        "    _np = _rt.np",
+        "    _shu = _rt.shift_up",
+        "    _shd = _rt.shift_down",
+        "    _any = _rt.row_any",
+        f"    _limit = L + {LOOP_SLACK}",
+    ]
+    for k, basis in enumerate(canonical.tokens[1]):
+        if basis != f"b{k}":
+            raise CompileError(f"unexpected input layout {basis!r}")
+        prologue.append(f"    b{k} = B[{k}]")
+    for const in sorted(emitter.consts_used):
+        prologue.append("    " + _CONST_INIT[const])
+    for var in sorted(emitter.loop_preinit):
+        prologue.append(f"    {var} = Z")
+    body = emitter.lines or ["    pass"]
+    epilogue = [f"    return ({', '.join(outputs)}{',' if outputs else ''})"]
+    return "\n".join(prologue + body + epilogue) + "\n"

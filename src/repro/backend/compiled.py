@@ -1,0 +1,176 @@
+"""Compiled program objects and the fingerprint-keyed kernel cache.
+
+``compile_program`` is the backend's front door: it canonicalises a
+program (:mod:`repro.backend.fingerprint`), looks the digest up in the
+process-wide :class:`KernelCache`, and only on a miss generates and
+``compile()``s NumPy source (:mod:`repro.backend.codegen`).  Repeated
+harness cells, repeated blocks, and structurally repeated regex groups
+all reuse one code object — the simulator analog of the paper's cached
+NVRTC kernels.
+
+A :class:`CompiledProgram` binds a shared :class:`CompiledKernel` to
+one program instance's non-structural data: its character-class
+parameter matrix and its output names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..bitstream.npvector import NPBitVector
+from ..ir.program import Program
+from . import runtime
+from .codegen import CompileError, generate_source
+from .fingerprint import CanonicalProgram, canonicalize
+
+_FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one kernel cache."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def reset(self) -> None:
+        self.lookups = self.hits = self.misses = 0
+
+
+@dataclass
+class CompiledKernel:
+    """One compiled code object, shared by every structurally equal
+    program (and every CTA batch dispatched over them)."""
+
+    fingerprint: str
+    source: str
+    func: Callable
+    cc_count: int
+    output_names: Tuple[str, ...]
+    honour_guards: bool
+
+    def __call__(self, basis, params, length: int,
+                 stats: Optional[runtime.KernelStats] = None):
+        words = runtime.word_count(length)
+        tmask = runtime.tail_mask(length)
+        if stats is None:
+            stats = runtime.KernelStats()
+        outputs = self.func(basis, params, length, words, tmask,
+                            runtime, stats)
+        return outputs, stats
+
+
+class KernelCache:
+    """Fingerprint → :class:`CompiledKernel`, with hit statistics."""
+
+    def __init__(self):
+        self._kernels: Dict[str, CompiledKernel] = {}
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def clear(self) -> None:
+        self._kernels.clear()
+        self.stats.reset()
+
+    def get_or_compile(self,
+                       canonical: CanonicalProgram) -> CompiledKernel:
+        self.stats.lookups += 1
+        kernel = self._kernels.get(canonical.digest)
+        if kernel is not None:
+            self.stats.hits += 1
+            return kernel
+        self.stats.misses += 1
+        kernel = _build_kernel(canonical)
+        self._kernels[canonical.digest] = kernel
+        return kernel
+
+
+#: Process-wide cache; ``kernel_cache()`` is the supported accessor.
+_GLOBAL_CACHE = KernelCache()
+
+
+def kernel_cache() -> KernelCache:
+    return _GLOBAL_CACHE
+
+
+def _build_kernel(canonical: CanonicalProgram) -> CompiledKernel:
+    source = generate_source(canonical)
+    namespace: Dict[str, object] = {}
+    code = compile(source, f"<bitgen-kernel-{canonical.digest[:12]}>",
+                   "exec")
+    exec(code, namespace)
+    outputs = canonical.tokens[3]
+    return CompiledKernel(fingerprint=canonical.digest, source=source,
+                          func=namespace["_kernel"],
+                          cc_count=len(canonical.cc_classes),
+                          output_names=outputs,
+                          honour_guards=canonical.honour_guards)
+
+
+def _cc_params(canonical: CanonicalProgram) -> np.ndarray:
+    """Per-program parameter matrix: ``P[j, k]`` selects basis plane
+    ``bk`` (zero) or its complement (all-ones) for cc slot ``j``."""
+    params = np.zeros((len(canonical.cc_classes), 8), dtype=np.uint64)
+    for j, cc in enumerate(canonical.cc_classes):
+        if not cc.is_single():
+            raise CompileError(
+                "MATCH_CC supports only singleton classes; expand "
+                "multi-byte classes with CCCompiler")
+        byte = cc.single_byte()
+        for k in range(8):
+            if not (byte >> (7 - k)) & 1:
+                params[j, k] = _FULL
+    return params
+
+
+@dataclass
+class CompiledProgram:
+    """A shared kernel bound to one program's parameters and outputs."""
+
+    program: Program
+    kernel: CompiledKernel
+    params: np.ndarray
+    output_names: List[str] = field(default_factory=list)
+
+    def run_words(self, basis, length: int):
+        """Execute over word arrays; returns (name → uint64 array,
+        :class:`~repro.backend.runtime.KernelStats`)."""
+        raw, stats = self.kernel(basis, self.params, length)
+        return dict(zip(self.output_names, raw)), stats
+
+    def run_data(self, data: bytes):
+        """Transpose ``data`` and execute; returns (name → uint64
+        array, stats) over ``len(data) + 1`` bits."""
+        basis = runtime.basis_environment(data)
+        return self.run_words(basis, len(data) + 1)
+
+    def run(self, data: bytes) -> Dict[str, NPBitVector]:
+        """Execute and wrap the outputs as :class:`NPBitVector`."""
+        length = len(data) + 1
+        outputs, _ = self.run_data(data)
+        return {name: NPBitVector(np.array(words, dtype=np.uint64),
+                                  length)
+                for name, words in outputs.items()}
+
+
+def compile_program(program: Program, honour_guards: bool = False,
+                    cache: Optional[KernelCache] = None
+                    ) -> CompiledProgram:
+    """Lower ``program`` to its cached compiled kernel."""
+    canonical = canonicalize(program, honour_guards=honour_guards)
+    store = cache if cache is not None else _GLOBAL_CACHE
+    kernel = store.get_or_compile(canonical)
+    return CompiledProgram(program=program, kernel=kernel,
+                           params=_cc_params(canonical),
+                           output_names=list(program.outputs.keys()))

@@ -22,6 +22,19 @@ from .bitvector import BitVector
 
 WORD_BITS = 64
 
+#: Bytewise popcount lookup table: one np take + sum replaces the
+#: 64x-the-data allocation ``np.unpackbits`` needed.
+_POPCOUNT8 = np.array([bin(i).count("1") for i in range(256)],
+                      dtype=np.uint8)
+
+
+def popcount_words(words: np.ndarray) -> int:
+    """Population count of a uint64 word array via a bytewise LUT."""
+    if not words.size:
+        return 0
+    return int(_POPCOUNT8[np.ascontiguousarray(words).view(np.uint8)]
+               .sum(dtype=np.int64))
+
 
 class NPBitVector:
     """A fixed-length bitstream backed by little-endian uint64 words."""
@@ -143,10 +156,16 @@ class NPBitVector:
         return self.any()
 
     def popcount(self) -> int:
-        return int(np.unpackbits(self.words.view(np.uint8)).sum())
+        return popcount_words(self.words)
 
     def positions(self) -> List[int]:
-        return self.to_bitvector().positions()
+        """Sorted set-bit positions, computed directly on the words
+        (the tail-mask invariant guarantees no bit beyond ``length``)."""
+        if not len(self.words):
+            return []
+        bits = np.unpackbits(np.ascontiguousarray(self.words).view(np.uint8),
+                             bitorder="little")
+        return np.flatnonzero(bits).tolist()
 
     def __eq__(self, other) -> bool:
         return (isinstance(other, NPBitVector)

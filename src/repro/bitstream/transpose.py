@@ -11,13 +11,14 @@ and a pure-Python one kept as a cross-check for tests.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from .bitvector import BitVector
 
 BASIS_COUNT = 8
+WORD_BITS = 64
 
 
 def transpose(data: bytes) -> List[BitVector]:
@@ -37,6 +38,31 @@ def _bits_to_vector(plane: np.ndarray) -> BitVector:
     """Pack a 0/1 uint8 array (index = position) into a BitVector."""
     packed = np.packbits(plane, bitorder="little")
     return BitVector(int.from_bytes(packed.tobytes(), "little"), len(plane))
+
+
+def transpose_words(data: bytes, bits: Optional[int] = None) -> np.ndarray:
+    """Transpose ``data`` straight into a ``(8, W)`` little-endian uint64
+    word array (the :class:`NPBitVector` layout) without the
+    ``int.from_bytes`` bigint detour.
+
+    ``bits`` pads the streams to a total length (e.g. ``n + 1`` for the
+    interpreter's cursor slot); padding bits read as zero.  Row *k* is
+    basis stream ``bk`` (b0 = MSB of each byte).
+    """
+    n = len(data)
+    if bits is None:
+        bits = n
+    if bits < n:
+        raise ValueError(f"cannot truncate {n} bytes to {bits} bits")
+    words = max(1, -(-bits // WORD_BITS)) if bits else 0
+    out = np.zeros((BASIS_COUNT, words * (WORD_BITS // 8)), dtype=np.uint8)
+    if n:
+        arr = np.frombuffer(data, dtype=np.uint8)
+        shifts = np.arange(BASIS_COUNT - 1, -1, -1, dtype=np.uint8)
+        planes = (arr[None, :] >> shifts[:, None]) & np.uint8(1)
+        packed = np.packbits(planes, axis=1, bitorder="little")
+        out[:, :packed.shape[1]] = packed
+    return out.view("<u8")
 
 
 def transpose_reference(data: bytes) -> List[BitVector]:

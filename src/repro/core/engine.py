@@ -66,7 +66,10 @@ class BitGenEngine(Engine):
                  scheme: Scheme, geometry: CTAGeometry,
                  merge_size: int, interval_size: int,
                  loop_fallback: bool,
-                 nodes: Optional[List[ast.Regex]] = None):
+                 nodes: Optional[List[ast.Regex]] = None,
+                 backend: str = "simulate"):
+        if backend not in ("simulate", "compiled"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.groups = groups
         self.pattern_count = pattern_count
         self.scheme = scheme
@@ -74,8 +77,10 @@ class BitGenEngine(Engine):
         self.merge_size = merge_size
         self.interval_size = interval_size
         self.loop_fallback = loop_fallback
+        self.backend = backend
         self._nodes = nodes
         self._reversed_engine: Optional["BitGenEngine"] = None
+        self._compiled_group_cache: Optional[list] = None
 
     # -- compilation -------------------------------------------------------
 
@@ -88,8 +93,14 @@ class BitGenEngine(Engine):
                 interval_size: int = 8,
                 loop_fallback: bool = False,
                 optimize: bool = True,
-                grouping: str = "balanced") -> "BitGenEngine":
-        """Compile ``patterns`` (strings or ASTs) for ``scheme``."""
+                grouping: str = "balanced",
+                backend: str = "simulate") -> "BitGenEngine":
+        """Compile ``patterns`` (strings or ASTs) for ``scheme``.
+
+        ``backend="compiled"`` executes matches through the cached
+        NumPy kernels of :mod:`repro.backend` with batched CTA
+        dispatch — bit-identical match sets, estimated metrics.
+        """
         nodes = [parse(p) if isinstance(p, str) else p for p in patterns]
         if cta_count is None:
             cta_count = min(DEFAULT_CTA_COUNT, max(1, len(nodes)))
@@ -107,7 +118,8 @@ class BitGenEngine(Engine):
             plan = cls._plan(program, scheme, merge_size, geometry)
             compiled.append(CompiledGroup(group, program, plan))
         return cls(compiled, len(nodes), scheme, geometry, merge_size,
-                   interval_size, loop_fallback, nodes=nodes)
+                   interval_size, loop_fallback, nodes=nodes,
+                   backend=backend)
 
     @staticmethod
     def _transform(program: Program, scheme: Scheme, merge_size: int,
@@ -132,6 +144,8 @@ class BitGenEngine(Engine):
     # -- matching -----------------------------------------------------------
 
     def match(self, data: bytes) -> BitGenResult:
+        if self.backend == "compiled":
+            return self._match_compiled(data)
         result = BitGenResult(pattern_count=self.pattern_count,
                               input_bytes=len(data))
         for compiled in self.groups:
@@ -140,6 +154,43 @@ class BitGenEngine(Engine):
             result.metrics.merge(execution.metrics)
             for out, ends in execution.match_ends().items():
                 result.ends[int(out[1:])] = ends
+        return result
+
+    def _compiled_programs(self) -> list:
+        """Group programs lowered to cached NumPy kernels (memoised)."""
+        if self._compiled_group_cache is None:
+            from ..backend import compile_group
+
+            self._compiled_group_cache = compile_group(
+                [c.program for c in self.groups],
+                honour_guards=self.scheme.zero_skipping)
+        return self._compiled_group_cache
+
+    def _match_compiled(self, data: bytes) -> BitGenResult:
+        """Batched CTA dispatch: one transpose, groups whose programs
+        share a kernel fingerprint execute as a single 2D NumPy call."""
+        import numpy as np
+
+        from ..backend import (basis_environment, dispatch_words,
+                               estimate_metrics)
+        from ..bitstream.npvector import NPBitVector
+
+        basis = basis_environment(data)
+        length = len(data) + 1
+        result = BitGenResult(pattern_count=self.pattern_count,
+                              input_bytes=len(data))
+        dispatched = dispatch_words(self._compiled_programs(), basis,
+                                    length)
+        for compiled, (raw, stats) in zip(self.groups, dispatched):
+            metrics = estimate_metrics(compiled.program, self.geometry,
+                                       length, stats)
+            result.cta_metrics.append(metrics)
+            result.metrics.merge(metrics)
+            for out in compiled.program.outputs:
+                stream = NPBitVector(np.asarray(raw[out],
+                                                dtype=np.uint64), length)
+                result.ends[int(out[1:])] = [
+                    p - 1 for p in stream.positions() if p > 0]
         return result
 
     def _run_group(self, compiled: CompiledGroup,
@@ -161,9 +212,40 @@ class BitGenEngine(Engine):
         Section 3.1: with multiple concurrent input streams the
         execution model becomes MIMD-style — every (group, stream) pair
         is an independent simulated CTA.  Results are returned per
-        stream, each carrying its own metrics.
+        stream, each carrying its own metrics.  With the compiled
+        backend, equal-length streams batch into single 2D kernel
+        calls per group (:func:`~repro.backend.dispatch_streams`).
         """
+        if self.backend == "compiled":
+            return self._match_many_compiled(streams)
         return [self.match(stream) for stream in streams]
+
+    def _match_many_compiled(self,
+                             streams: Sequence[bytes]
+                             ) -> List[BitGenResult]:
+        import numpy as np
+
+        from ..backend import dispatch_streams, estimate_metrics
+        from ..bitstream.npvector import NPBitVector
+
+        results = [BitGenResult(pattern_count=self.pattern_count,
+                                input_bytes=len(stream))
+                   for stream in streams]
+        for compiled, cprog in zip(self.groups,
+                                   self._compiled_programs()):
+            for stream, result, (raw, stats) in zip(
+                    streams, results, dispatch_streams(cprog, streams)):
+                length = len(stream) + 1
+                metrics = estimate_metrics(compiled.program,
+                                           self.geometry, length, stats)
+                result.cta_metrics.append(metrics)
+                result.metrics.merge(metrics)
+                for out in compiled.program.outputs:
+                    vec = NPBitVector(np.asarray(raw[out],
+                                                 dtype=np.uint64), length)
+                    result.ends[int(out[1:])] = [
+                        p - 1 for p in vec.positions() if p > 0]
+        return results
 
     def match_starts(self, data: bytes) -> BitGenResult:
         """All-match *start* positions per pattern.
@@ -181,7 +263,8 @@ class BitGenEngine(Engine):
                 scheme=self.scheme, geometry=self.geometry,
                 merge_size=self.merge_size,
                 interval_size=self.interval_size,
-                loop_fallback=self.loop_fallback)
+                loop_fallback=self.loop_fallback,
+                backend=self.backend)
         mirrored = self._reversed_engine.match(data[::-1])
         length = len(data)
         result = BitGenResult(pattern_count=self.pattern_count,

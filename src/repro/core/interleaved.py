@@ -207,24 +207,54 @@ class _WindowRun:
 
 class InterleavedExecutor:
     """Block-interleaved executor implementing DTM (- SR / ZBS via a
-    pre-transformed program and barrier plan)."""
+    pre-transformed program and barrier plan).
+
+    ``backend="compiled"`` swaps the per-window simulation for the
+    cached NumPy kernel (:mod:`repro.backend`): output streams are
+    bit-identical, guards are honoured when requested, and the metrics
+    are compute-side *estimates* (:func:`~repro.backend.estimate_metrics`)
+    — schedule-fidelity counters (recomputation, barriers, shared
+    memory, window reruns) stay zero because no window schedule ran.
+    """
 
     def __init__(self, geometry: CTAGeometry = DEFAULT_GEOMETRY,
                  barrier_plan: Optional[BarrierPlan] = None,
                  honour_guards: bool = False,
                  segmented: bool = False,
                  loop_fallback: bool = False,
-                 smem_capacity_bytes: int = 96 * 1024):
+                 smem_capacity_bytes: int = 96 * 1024,
+                 backend: str = "simulate"):
+        if backend not in ("simulate", "compiled"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.geometry = geometry
         self.barrier_plan = barrier_plan
         self.honour_guards = honour_guards
         self.segmented = segmented
         self.loop_fallback = loop_fallback
         self.smem_capacity_bytes = smem_capacity_bytes
+        self.backend = backend
+
+    def _run_compiled(self, program: Program,
+                      data: bytes) -> ExecutionResult:
+        from ..backend import compile_program, estimate_metrics
+
+        compiled = compile_program(program,
+                                   honour_guards=self.honour_guards)
+        raw, stats = compiled.run_data(data)
+        length = len(data) + 1
+        mask = (1 << length) - 1
+        outputs = {
+            out: BitVector(int.from_bytes(raw[out].tobytes(), "little")
+                           & mask, length)
+            for out in program.outputs}
+        metrics = estimate_metrics(program, self.geometry, length, stats)
+        return ExecutionResult(outputs=outputs, metrics=metrics)
 
     def run(self, program: Program, data: bytes) -> ExecutionResult:
         from ..ir.interpreter import make_environment
 
+        if self.backend == "compiled":
+            return self._run_compiled(program, data)
         metrics = KernelMetrics()
         memory = GlobalMemory(metrics)
         smem = SharedMemory(metrics, capacity_bytes=self.smem_capacity_bytes)

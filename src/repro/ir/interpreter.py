@@ -109,23 +109,51 @@ def _match_cc_direct(instr: Instr, env: Dict[str, BitVector],
 
 
 class Interpreter:
-    """Executes programs over full-length streams."""
+    """Executes programs over full-length streams.
+
+    ``backend`` selects the execution substrate: ``"bigint"`` (default)
+    interprets statement-by-statement over Python big integers;
+    ``"compiled"`` lowers the program to a cached straight-line NumPy
+    kernel (:mod:`repro.backend`) — bit-identical outputs, no
+    per-instruction dispatch.
+    """
 
     def __init__(self, honour_guards: bool = False,
-                 max_loop_iterations: Optional[int] = None):
+                 max_loop_iterations: Optional[int] = None,
+                 backend: str = "bigint"):
+        if backend not in ("bigint", "compiled"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.honour_guards = honour_guards
         self.max_loop_iterations = max_loop_iterations
+        self.backend = backend
         self.loop_iteration_counts: List[int] = []
         self.instructions_executed = 0
 
     def run(self, program: Program, data: bytes) -> Dict[str, BitVector]:
         """Run ``program`` on ``data``; returns output streams by name."""
+        if self.backend == "compiled":
+            return self._run_compiled(program, data)
         env = make_environment(data)
         length = len(data) + 1
         self.loop_iteration_counts = []
         self.instructions_executed = 0
         self._exec_block(program.statements, env, length)
         return {out: env[var] for out, var in program.outputs.items()}
+
+    def _run_compiled(self, program: Program,
+                      data: bytes) -> Dict[str, BitVector]:
+        from ..backend import compile_program
+
+        compiled = compile_program(program,
+                                   honour_guards=self.honour_guards)
+        outputs, stats = compiled.run_data(data)
+        self.loop_iteration_counts = stats.iteration_counts()
+        self.instructions_executed = program.instruction_count()
+        length = len(data) + 1
+        mask = (1 << length) - 1
+        return {name: BitVector(int.from_bytes(words.tobytes(), "little")
+                                & mask, length)
+                for name, words in outputs.items()}
 
     def _exec_block(self, stmts: Sequence[Stmt], env: Dict[str, BitVector],
                     length: int) -> None:

@@ -62,13 +62,17 @@ class Harness:
                  geometry: CTAGeometry = BENCH_GEOMETRY,
                  scale: float = DEFAULT_SCALE,
                  input_bytes: int = DEFAULT_INPUT_BYTES,
-                 seed: int = 0):
+                 seed: int = 0,
+                 backend: str = "simulate"):
+        if backend not in ("simulate", "compiled"):
+            raise ValueError(f"unknown backend {backend!r}")
         self.gpu = gpu
         self.cpu = cpu
         self.geometry = geometry
         self.scale = scale
         self.input_bytes = input_bytes
         self.seed = seed
+        self.backend = backend
         self._workloads: Dict[str, Workload] = {}
         self._bitgen_cache: Dict[Tuple, BitGenEngine] = {}
 
@@ -104,24 +108,27 @@ class Harness:
     def bitgen_engine(self, workload: Workload,
                       scheme: Scheme = Scheme.ZBS,
                       merge_size: int = 8,
-                      interval_size: int = 8) -> BitGenEngine:
-        key = (workload.name, scheme, merge_size, interval_size)
+                      interval_size: int = 8,
+                      backend: Optional[str] = None) -> BitGenEngine:
+        backend = backend if backend is not None else self.backend
+        key = (workload.name, scheme, merge_size, interval_size, backend)
         engine = self._bitgen_cache.get(key)
         if engine is None:
             engine = BitGenEngine.compile(
                 workload.nodes, scheme=scheme, geometry=self.geometry,
                 cta_count=self.cta_count(workload),
                 merge_size=merge_size, interval_size=interval_size,
-                loop_fallback=True)
+                loop_fallback=True, backend=backend)
             self._bitgen_cache[key] = engine
         return engine
 
     def run_bitgen(self, app_name: str, scheme: Scheme = Scheme.ZBS,
                    merge_size: int = 8, interval_size: int = 8,
-                   gpu: Optional[GPUConfig] = None) -> EngineRun:
+                   gpu: Optional[GPUConfig] = None,
+                   backend: Optional[str] = None) -> EngineRun:
         workload = self.workload(app_name)
         engine = self.bitgen_engine(workload, scheme, merge_size,
-                                    interval_size)
+                                    interval_size, backend=backend)
         result: BitGenResult = engine.match(workload.data)
         throughput = model.model_bitgen(result.cta_metrics,
                                         gpu or self.gpu,

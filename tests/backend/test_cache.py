@@ -1,0 +1,116 @@
+"""Kernel cache keying: structural equality shares a code object,
+semantic differences (shift distances, guard mode) do not, and byte
+constants are parameters rather than part of the key.
+"""
+
+import pytest
+
+from repro.backend import KernelCache, canonicalize, compile_program
+from repro.backend.codegen import CompileError
+from repro.ir.program import ProgramBuilder
+from repro.regex.charclass import CharClass
+
+
+def _literal_program(text: str):
+    """Cursor-style literal matcher over MATCH_CC primitives — the
+    bytes stay parameters, so same-shape literals share a kernel.
+    (Programs lowered through CCCompiler expand classes into basis
+    boolean ops, baking the bytes into the structure.)"""
+    builder = ProgramBuilder()
+    cursor = builder.ones()
+    for byte in text.encode():
+        matched = builder.match_cc(CharClass.single(byte))
+        cursor = builder.advance(builder.and_(cursor, matched), 1)
+    builder.mark_output("R0", cursor)
+    return builder.finish()
+
+
+def _shift_program(distance: int):
+    builder = ProgramBuilder()
+    cursor = builder.advance("b0", distance)
+    builder.mark_output("R0", builder.and_("b1", cursor))
+    return builder.finish()
+
+
+def test_distinct_bytes_share_one_kernel():
+    # Same-length literals with pairwise-distinct bytes lower to
+    # structurally identical programs: the bytes become parameters.
+    cache = KernelCache()
+    kernels = {compile_program(_literal_program(text),
+                               cache=cache).kernel.fingerprint
+               for text in ("abc", "xyz", "qrs")}
+    assert len(kernels) == 1
+    assert cache.stats.lookups == 3
+    assert cache.stats.misses == 1
+    assert cache.stats.hits == 2
+    assert cache.stats.hit_rate() == pytest.approx(2 / 3)
+    assert len(cache) == 1
+
+
+def test_repeated_bytes_change_structure():
+    # "aaa" CSEs its repeated character class, so its program is a
+    # different shape and correctly takes a different kernel.
+    cache = KernelCache()
+    abc = compile_program(_literal_program("abc"), cache=cache)
+    aaa = compile_program(_literal_program("aaa"), cache=cache)
+    assert abc.kernel.fingerprint != aaa.kernel.fingerprint
+
+
+def test_shift_distance_is_structural():
+    cache = KernelCache()
+    one = compile_program(_shift_program(1), cache=cache)
+    two = compile_program(_shift_program(2), cache=cache)
+    again = compile_program(_shift_program(1), cache=cache)
+    assert one.kernel.fingerprint != two.kernel.fingerprint
+    assert again.kernel is one.kernel
+    assert cache.stats.misses == 2
+    assert cache.stats.hits == 1
+
+
+def test_variable_names_are_canonicalised():
+    from repro.ir.instructions import Instr, Op
+    from repro.ir.program import Program
+
+    def build(prefix):
+        return Program(
+            name=prefix,
+            statements=[
+                Instr(op=Op.AND, dest=f"{prefix}_a", args=("b0", "b1")),
+                Instr(op=Op.OR, dest=f"{prefix}_b",
+                      args=(f"{prefix}_a", "b2")),
+            ],
+            outputs={"R0": f"{prefix}_b"})
+
+    cache = KernelCache()
+    left = compile_program(build("left"), cache=cache)
+    right = compile_program(build("completely_different"), cache=cache)
+    assert left.kernel is right.kernel
+
+
+def test_honour_guards_is_part_of_the_key():
+    program = _literal_program("abc")
+    assert canonicalize(program, honour_guards=True).digest != \
+        canonicalize(program, honour_guards=False).digest
+
+
+def test_multibyte_match_cc_rejected():
+    from repro.ir.instructions import Instr, Op
+    from repro.ir.program import Program
+
+    program = Program(
+        name="multibyte",
+        statements=[Instr(op=Op.MATCH_CC, dest="m", args=(),
+                          cc=CharClass.of_chars("ab"))],
+        outputs={"R0": "m"})
+    with pytest.raises(CompileError):
+        compile_program(program, cache=KernelCache())
+
+
+def test_global_cache_reports_hits():
+    from repro.backend import kernel_cache
+
+    cache = kernel_cache()
+    before = cache.stats.lookups
+    compile_program(_literal_program("abc"))
+    compile_program(_literal_program("abc"))
+    assert cache.stats.lookups == before + 2

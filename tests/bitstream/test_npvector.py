@@ -85,6 +85,24 @@ def test_queries_equivalent(a):
     assert vector.positions() == reference.positions()
 
 
+def test_popcount_lut_on_wide_vectors():
+    # Exercises every byte value through the LUT across word boundaries.
+    from repro.bitstream.npvector import popcount_words
+
+    reference = BitVector(int.from_bytes(bytes(range(256)) * 5,
+                                         "little"), 256 * 5 * 8)
+    vector = NPBitVector.from_bitvector(reference)
+    assert vector.popcount() == reference.popcount()
+    assert popcount_words(vector.words) == reference.popcount()
+
+
+def test_positions_vectorised_matches_reference():
+    reference = BitVector.from_positions([0, 1, 63, 64, 127, 128, 389],
+                                         390)
+    vector = NPBitVector.from_bitvector(reference)
+    assert vector.positions() == [0, 1, 63, 64, 127, 128, 389]
+
+
 def test_cross_word_shift_exact():
     reference = BitVector.from_positions([63], 130)
     vector = NPBitVector.from_bitvector(reference)

@@ -1,10 +1,13 @@
 """Transposition tests: numpy path vs reference, roundtrip, semantics."""
 
+import numpy as np
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.bitstream.transpose import (BASIS_COUNT, inverse_transpose,
-                                       transpose, transpose_reference)
+                                       transpose, transpose_reference,
+                                       transpose_words)
 
 
 def test_empty_input():
@@ -48,6 +51,41 @@ def test_roundtrip_property(data):
 @given(st.binary(min_size=1, max_size=128))
 def test_fast_equals_reference(data):
     assert transpose(data) == transpose_reference(data)
+
+
+def test_words_empty_input():
+    words = transpose_words(b"")
+    assert words.shape == (BASIS_COUNT, 0)
+    assert words.dtype == np.dtype("<u8")
+    padded = transpose_words(b"", bits=1)
+    assert padded.shape == (BASIS_COUNT, 1)
+    assert not padded.any()
+
+
+def test_words_rejects_short_padding():
+    with pytest.raises(ValueError):
+        transpose_words(b"abc", bits=2)
+
+
+@given(st.binary(max_size=300))
+def test_words_equal_reference(data):
+    words = transpose_words(data)
+    reference = transpose_reference(data)
+    for plane, vector in zip(words, reference):
+        packed = int.from_bytes(plane.tobytes(), "little")
+        mask = (1 << len(data)) - 1 if data else 0
+        assert packed & mask == vector.bits
+        assert packed == packed & mask  # padding bits stay zero
+
+
+@given(st.binary(max_size=200), st.integers(min_value=0, max_value=70))
+def test_words_padding_is_zero(data, extra):
+    bits = len(data) + extra
+    words = transpose_words(data, bits=bits)
+    expected_words = max(1, -(-bits // 64)) if bits else 0
+    assert words.shape == (BASIS_COUNT, expected_words)
+    for plane, vector in zip(words, transpose_reference(data)):
+        assert int.from_bytes(plane.tobytes(), "little") == vector.bits
 
 
 def test_character_class_match_via_planes():

@@ -61,6 +61,7 @@ def test_stream_position_tracks_bytes():
     assert matcher.stream_position == 8
 
 
+@pytest.mark.slow
 def test_guaranteed_span_from_bounded_patterns():
     engine = BitGenEngine.compile(["a{300}b{300}"], geometry=TINY)
     matcher = StreamingMatcher(engine, max_tail_bytes=8192)

@@ -24,6 +24,8 @@ from repro.regex.charclass import CharClass
 ALPHABET = "abcd"
 TINY = CTAGeometry(threads=8, word_bits=4)
 
+pytestmark = pytest.mark.slow
+
 
 def random_regex(rng: random.Random, depth: int = 3) -> ast.Regex:
     """A random AST over a small alphabet, biased toward the constructs

@@ -10,6 +10,8 @@ EXAMPLES = sorted(
     pathlib.Path(__file__).resolve().parents[2].joinpath("examples")
     .glob("*.py"))
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs(script):

@@ -11,6 +11,8 @@ from repro.workloads import ALL_APPS, app_by_name
 
 SMALL = CTAGeometry(threads=16, word_bits=8)
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
 def test_every_app_every_engine_agrees(app):
