@@ -3,7 +3,7 @@
 Run:  python examples/quickstart.py
 """
 
-from repro import BitGenEngine
+from repro import BitGenEngine, ScanConfig
 
 PATTERNS = [
     "a(bc)*d",        # Kleene star (the paper's Listing 3 example)
@@ -17,7 +17,9 @@ TEXT = (b"the colour of a cat is not the color of a dog; "
 
 
 def main() -> None:
-    engine = BitGenEngine.compile(PATTERNS)
+    # One ScanConfig describes the whole scan; ScanConfig() is the
+    # paper's default setup (ZBS scheme, simulating backend, serial).
+    engine = BitGenEngine.compile(PATTERNS, config=ScanConfig())
     result = engine.match(TEXT)
 
     print(f"input: {TEXT.decode()!r}")

@@ -4,14 +4,16 @@ stream without ever holding the whole stream in memory.
 Demonstrates :class:`repro.StreamingMatcher`: one compiled engine,
 chunked input (packets), carried history across chunk boundaries, and
 a bounded-span guarantee.  A signature split across two packets is
-still caught.
+still caught.  Each ``feed`` returns a :class:`repro.ScanReport` —
+iterable like the old per-pattern dict, but also carrying the stream
+offset and the chunk's kernel metrics.
 
 Run:  python examples/streaming_dpi.py
 """
 
 import random
 
-from repro import BitGenEngine, StreamingMatcher
+from repro import BitGenEngine, ScanConfig, StreamingMatcher
 
 SIGNATURES = [
     "union[^\\n]{0,8}select",   # SQL injection
@@ -36,23 +38,28 @@ def packet_stream(rng, packets=60, size=120):
 
 
 def main() -> None:
-    engine = BitGenEngine.compile(SIGNATURES)
-    matcher = StreamingMatcher(engine, max_tail_bytes=1024)
+    engine = BitGenEngine.compile(
+        SIGNATURES, config=ScanConfig(max_tail_bytes=1024))
+    matcher = StreamingMatcher(engine)
     print(f"compiled {len(SIGNATURES)} signatures; guaranteed span "
           f"{matcher.guaranteed_span} bytes\n")
 
     rng = random.Random(7)
     alerts = 0
+    work = 0
     for number, packet in enumerate(packet_stream(rng)):
-        hits = matcher.feed(packet)
-        for signature, ends in hits.items():
+        report = matcher.feed(packet)       # a ScanReport per packet
+        work += report.metrics.thread_word_ops
+        for signature, ends in report.items():
             for end in ends:
                 alerts += 1
                 print(f"packet {number:3d}: signature "
                       f"/{SIGNATURES[signature]}/ ends at stream "
-                      f"offset {end}")
+                      f"offset {end} (report offset "
+                      f"{report.stream_offset})")
     print(f"\nstream length: {matcher.stream_position} bytes, "
-          f"{matcher.chunks_fed} packets, {alerts} alert(s)")
+          f"{matcher.chunks_fed} packets, {alerts} alert(s), "
+          f"{work} kernel word ops")
     assert alerts >= 2, "both planted attacks must be caught"
     print("the boundary-straddling /etc/passwd was caught across "
           "packets 20/21.")

@@ -23,24 +23,36 @@ from .regex import CharClass, parse
 
 __all__ = [
     "BitGenEngine", "BitVector", "CharClass", "Interpreter", "MatchResult",
-    "Scheme", "StreamingMatcher",
+    "ScanConfig", "ScanReport", "Scheme", "StreamingMatcher",
     "lower_group", "lower_regex", "match_positions", "parse", "run_regexes",
     "transpose",
 ]
 
+#: lazily imported top-level names (heavier subsystems stay off the
+#: `import repro` path)
+_LAZY = {
+    "BitGenEngine": ("core.engine", "BitGenEngine"),
+    "MatchResult": ("engines.base", "MatchResult"),
+    "ScanConfig": ("parallel.config", "ScanConfig"),
+    "ScanReport": ("parallel.report", "ScanReport"),
+    "StreamingMatcher": ("core.streaming", "StreamingMatcher"),
+    "Scheme": ("core.schemes", "Scheme"),
+}
+
 
 def __getattr__(name):
-    # Heavier subsystems are imported lazily so `import repro` stays cheap.
-    if name == "BitGenEngine":
-        from .core.engine import BitGenEngine
-        return BitGenEngine
-    if name == "MatchResult":
-        from .engines.base import MatchResult
-        return MatchResult
-    if name == "StreamingMatcher":
-        from .core.streaming import StreamingMatcher
-        return StreamingMatcher
-    if name == "Scheme":
-        from .core.schemes import Scheme
-        return Scheme
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{target[0]}", __name__), target[1])
+    globals()[name] = value       # memoise: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    # Reflect the lazy names too; plain dir() only sees populated
+    # globals, so tab completion would miss anything not yet imported.
+    return sorted(set(globals()) | set(__all__))

@@ -6,11 +6,13 @@ Usage examples::
     python -m repro -f rules.txt -i payload.bin --engine hyperscan
     python -m repro 'colou?r' --text '...' --scheme SR --stats
     python -m repro 'a(bc)*d' --kernel          # print the CUDA-like kernel
+    python -m repro scan --patterns rules.txt --workers 4 data.bin
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List
 
@@ -21,6 +23,7 @@ from .engines.hyperscan import HyperscanEngine
 from .engines.icgrep import ICgrepEngine
 from .engines.ngap import NgAPEngine
 from .engines.re2 import RE2Engine
+from .parallel.config import BACKENDS, EXECUTORS, SHARD_POLICIES, ScanConfig
 
 ENGINES = {
     "bitgen": BitGenEngine,
@@ -80,13 +83,74 @@ def load_input(args) -> bytes:
     return sys.stdin.buffer.read()
 
 
+def build_scan_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro scan",
+        description="Sharded parallel scan emitting a ScanReport as "
+                    "JSON (one report per input file).")
+    parser.add_argument("inputs", nargs="*", metavar="FILE",
+                        help="input files to scan (stdin when omitted)")
+    parser.add_argument("--patterns", required=True, metavar="FILE",
+                        help="file with one pattern per line")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker shards (1 = serial)")
+    parser.add_argument("--executor", choices=EXECUTORS, default="process")
+    parser.add_argument("--shard", choices=SHARD_POLICIES, default="auto")
+    parser.add_argument("--backend", choices=BACKENDS, default="simulate")
+    parser.add_argument("--scheme", choices=[s.name for s in Scheme],
+                        default="ZBS")
+    parser.add_argument("--indent", type=int, default=2,
+                        help="JSON indentation (0 = compact)")
+    return parser
+
+
+def scan_main(argv: List[str]) -> int:
+    args = build_scan_parser().parse_args(argv)
+    with open(args.patterns) as handle:
+        patterns = [line.rstrip("\n") for line in handle
+                    if line.strip() and not line.startswith("#")]
+    if not patterns:
+        raise SystemExit(f"no patterns in {args.patterns}")
+    config = ScanConfig(scheme=Scheme[args.scheme], backend=args.backend,
+                        workers=args.workers, executor=args.executor,
+                        shard=args.shard, loop_fallback=True)
+    engine = BitGenEngine.compile(patterns, config=config)
+
+    if args.inputs:
+        names = args.inputs
+        streams = []
+        for name in names:
+            with open(name, "rb") as handle:
+                streams.append(handle.read())
+    else:
+        names = ["<stdin>"]
+        streams = [sys.stdin.buffer.read()]
+
+    results = engine.match_many(streams)
+    reports = []
+    for name, result in zip(names, results):
+        report = result.report()
+        payload = report.to_dict()
+        payload["file"] = name
+        payload["faults"] = [f.to_dict() for f in engine.last_scan_faults]
+        reports.append(payload)
+    indent = args.indent if args.indent > 0 else None
+    out = reports[0] if len(reports) == 1 else reports
+    print(json.dumps(out, indent=indent))
+    return 0 if any(r["match_count"] for r in reports) else 1
+
+
 def main(argv: List[str] = None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "scan":
+        return scan_main(argv[1:])
     args = build_parser().parse_args(argv)
     patterns = load_patterns(args)
 
     if args.engine == "bitgen":
         engine: Engine = BitGenEngine.compile(
-            patterns, scheme=Scheme[args.scheme], loop_fallback=True)
+            patterns, config=ScanConfig(scheme=Scheme[args.scheme],
+                                        loop_fallback=True))
     else:
         engine = ENGINES[args.engine].compile(patterns)
 

@@ -21,7 +21,7 @@ from .compiled import (CacheStats, CompiledKernel, CompiledProgram,
                        KernelCache, compile_program, kernel_cache)
 from .executor import (compile_group, dispatch_programs, dispatch_streams,
                        dispatch_words, estimate_metrics)
-from .fingerprint import canonicalize, fingerprint
+from .fingerprint import cache_key, canonicalize, fingerprint
 from .runtime import KernelStats, basis_environment
 
 __all__ = [
@@ -32,6 +32,7 @@ __all__ = [
     "KernelCache",
     "KernelStats",
     "basis_environment",
+    "cache_key",
     "canonicalize",
     "compile_group",
     "compile_program",

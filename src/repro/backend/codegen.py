@@ -34,6 +34,10 @@ from .fingerprint import CanonicalProgram
 #: loop is declared divergent (mirrors the interpreter's slack).
 LOOP_SLACK = 80
 
+#: Schema version of the generated source; bump on any change to the
+#: emitted code shape so persisted on-disk kernels are invalidated.
+CODEGEN_VERSION = 1
+
 _BINOPS = {Op.AND.value: "&", Op.OR.value: "|", Op.XOR.value: "^"}
 
 _CONST_EXPR = {

@@ -36,6 +36,9 @@ class CacheStats:
     lookups: int = 0
     hits: int = 0
     misses: int = 0
+    #: in-memory misses served from the on-disk cache (no codegen,
+    #: no compile) — the pool-worker warm-start path
+    disk_hits: int = 0
 
     def hit_rate(self) -> float:
         if not self.lookups:
@@ -43,7 +46,7 @@ class CacheStats:
         return self.hits / self.lookups
 
     def reset(self) -> None:
-        self.lookups = self.hits = self.misses = 0
+        self.lookups = self.hits = self.misses = self.disk_hits = 0
 
 
 @dataclass
@@ -57,6 +60,9 @@ class CompiledKernel:
     cc_count: int
     output_names: Tuple[str, ...]
     honour_guards: bool
+    #: the module code object the kernel was exec'd from — what the
+    #: on-disk cache persists (marshal round-trips code objects)
+    code: Optional[object] = None
 
     def __call__(self, basis, params, length: int,
                  stats: Optional[runtime.KernelStats] = None):
@@ -70,11 +76,19 @@ class CompiledKernel:
 
 
 class KernelCache:
-    """Fingerprint → :class:`CompiledKernel`, with hit statistics."""
+    """Fingerprint → :class:`CompiledKernel`, with hit statistics.
 
-    def __init__(self):
+    Optionally backed by a process-safe on-disk cache
+    (:class:`repro.parallel.diskcache.DiskKernelCache`): in-memory
+    misses first try to load the marshalled artefact another process
+    (typically the pool parent) persisted, and fresh builds are
+    written back for sibling workers.
+    """
+
+    def __init__(self, disk=None):
         self._kernels: Dict[str, CompiledKernel] = {}
         self.stats = CacheStats()
+        self.disk = disk
 
     def __len__(self) -> int:
         return len(self._kernels)
@@ -83,16 +97,42 @@ class KernelCache:
         self._kernels.clear()
         self.stats.reset()
 
+    def attach_disk(self, disk) -> None:
+        """Back this cache with ``disk``, flushing already-resident
+        kernels so earlier parent-side compilation is visible to
+        workers that attach later."""
+        from .fingerprint import cache_key
+
+        self.disk = disk
+        if disk is None:
+            return
+        for digest, kernel in self._kernels.items():
+            if kernel.code is not None:
+                disk.put(cache_key(digest), kernel.source, kernel.code)
+
     def get_or_compile(self,
                        canonical: CanonicalProgram) -> CompiledKernel:
+        from .fingerprint import cache_key
+
         self.stats.lookups += 1
         kernel = self._kernels.get(canonical.digest)
         if kernel is not None:
             self.stats.hits += 1
             return kernel
         self.stats.misses += 1
-        kernel = _build_kernel(canonical)
+        source = code = None
+        persisted = False
+        if self.disk is not None:
+            entry = self.disk.get(cache_key(canonical.digest))
+            if entry is not None:
+                source, code = entry
+                persisted = True
+                self.stats.disk_hits += 1
+        kernel = _build_kernel(canonical, source=source, code=code)
         self._kernels[canonical.digest] = kernel
+        if self.disk is not None and not persisted:
+            self.disk.put(cache_key(canonical.digest), kernel.source,
+                          kernel.code)
         return kernel
 
 
@@ -104,18 +144,26 @@ def kernel_cache() -> KernelCache:
     return _GLOBAL_CACHE
 
 
-def _build_kernel(canonical: CanonicalProgram) -> CompiledKernel:
-    source = generate_source(canonical)
+def _build_kernel(canonical: CanonicalProgram,
+                  source: Optional[str] = None,
+                  code=None) -> CompiledKernel:
+    """Build a kernel, reusing a persisted ``source``/``code`` pair
+    (from the on-disk cache) when provided instead of regenerating."""
+    if source is None:
+        source = generate_source(canonical)
+    if code is None:
+        code = compile(source,
+                       f"<bitgen-kernel-{canonical.digest[:12]}>",
+                       "exec")
     namespace: Dict[str, object] = {}
-    code = compile(source, f"<bitgen-kernel-{canonical.digest[:12]}>",
-                   "exec")
     exec(code, namespace)
     outputs = canonical.tokens[3]
     return CompiledKernel(fingerprint=canonical.digest, source=source,
                           func=namespace["_kernel"],
                           cc_count=len(canonical.cc_classes),
                           output_names=outputs,
-                          honour_guards=canonical.honour_guards)
+                          honour_guards=canonical.honour_guards,
+                          code=code)
 
 
 def _cc_params(canonical: CanonicalProgram) -> np.ndarray:

@@ -18,6 +18,7 @@ pay zero recompilation.
 from __future__ import annotations
 
 import hashlib
+import sys
 from typing import Dict, List, Tuple
 
 from ..ir.instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
@@ -93,3 +94,18 @@ def _stmt_token(stmt: Stmt, canon, cc_classes: List, visit) -> Tuple:
 def fingerprint(program: Program, honour_guards: bool = False) -> str:
     """Stable hex digest of a program's compiled-kernel identity."""
     return canonicalize(program, honour_guards).digest
+
+
+def cache_key(digest: str) -> str:
+    """On-disk cache key for one canonical digest.
+
+    Beyond the structural digest, the key pins everything that changes
+    the *persisted artefact*: the codegen schema version (regenerating
+    differently-shaped source must miss) and the interpreter version
+    (marshalled code objects are not stable across interpreters), so
+    heterogeneous workers can share one cache directory safely.
+    """
+    from .codegen import CODEGEN_VERSION
+
+    return (f"{digest}-cg{CODEGEN_VERSION}"
+            f"-py{sys.version_info[0]}{sys.version_info[1]}")

@@ -161,3 +161,12 @@ class KernelStats:
 
     def total_iterations(self) -> int:
         return sum(count for _, count in self.loop_log)
+
+    def merge(self, other: "KernelStats") -> "KernelStats":
+        """Fold another invocation's counters into this one — used by
+        sharded dispatch to present one session-level view of the
+        dynamic work its shards performed."""
+        self.loop_log.extend(other.loop_log)
+        self.guard_checks += other.guard_checks
+        self.guard_hits += other.guard_hits
+        return self

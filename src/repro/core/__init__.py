@@ -3,20 +3,13 @@
 Interleaved bitstream execution with Dependency-Aware Thread-Data
 Mapping, Shift Rebalancing, and Zero Block Skipping, plus the
 sequential baseline, regex grouping, and CUDA-like code emission.
-"""
 
-from .barriers import BarrierPlan, plan_barriers
-from .codegen import render_kernel, render_module
-from .engine import BitGenEngine, BitGenResult, CompiledGroup
-from .grouping import RegexGroup, group_regexes, imbalance
-from .interleaved import InterleavedExecutor, const_window, split_segments
-from .overlap import (OverlapLimitError, RuntimeTracker, StaticOverlap,
-                      analyze_static, propagate, region_bounds)
-from .rebalance import rebalance_program
-from .schemes import SCHEME_LADDER, ExecutionResult, Scheme
-from .sequential import SequentialExecutor, split_passes
-from .streaming import StreamingMatcher
-from .zeroskip import insert_guards
+Names are imported lazily: ``repro.parallel.config`` needs
+:mod:`.schemes` while :mod:`.engine` needs ``repro.parallel.config``,
+so an eager ``from .engine import ...`` here would make the package
+import order dependent (``import repro.parallel`` before
+``import repro.core`` hit a circular import).
+"""
 
 __all__ = [
     "BarrierPlan", "BitGenEngine", "BitGenResult", "CompiledGroup",
@@ -28,3 +21,39 @@ __all__ = [
     "plan_barriers", "propagate", "rebalance_program", "region_bounds",
     "render_kernel", "render_module", "split_passes", "split_segments",
 ]
+
+_LAZY = {
+    "BarrierPlan": "barriers", "plan_barriers": "barriers",
+    "render_kernel": "codegen", "render_module": "codegen",
+    "BitGenEngine": "engine", "BitGenResult": "engine",
+    "CompiledGroup": "engine",
+    "RegexGroup": "grouping", "group_regexes": "grouping",
+    "imbalance": "grouping",
+    "InterleavedExecutor": "interleaved", "const_window": "interleaved",
+    "split_segments": "interleaved",
+    "OverlapLimitError": "overlap", "RuntimeTracker": "overlap",
+    "StaticOverlap": "overlap", "analyze_static": "overlap",
+    "propagate": "overlap", "region_bounds": "overlap",
+    "rebalance_program": "rebalance",
+    "SCHEME_LADDER": "schemes", "ExecutionResult": "schemes",
+    "Scheme": "schemes",
+    "SequentialExecutor": "sequential", "split_passes": "sequential",
+    "StreamingMatcher": "streaming",
+    "insert_guards": "zeroskip",
+}
+
+
+def __getattr__(name):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module}", __name__), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -22,6 +22,8 @@ from ..gpu.metrics import KernelMetrics
 from ..ir.lower import lower_group
 from ..ir.optimize import optimize_program
 from ..ir.program import Program
+from ..parallel.config import UNSET, ScanConfig, resolve_config
+from ..parallel.report import ScanReport
 from ..regex import ast
 from ..regex.parser import parse
 from ..regex.reverse import reverse
@@ -56,6 +58,11 @@ class BitGenResult(MatchResult):
     cta_metrics: List[KernelMetrics] = field(default_factory=list)
     input_bytes: int = 0
 
+    def report(self, stream_offset: int = 0) -> ScanReport:
+        """This result as the unified :class:`ScanReport` view —
+        the same type streaming and parallel scans return."""
+        return ScanReport.from_result(self, stream_offset=stream_offset)
+
 
 class BitGenEngine(Engine):
     """Compiled multi-pattern BitGen matcher."""
@@ -63,63 +70,136 @@ class BitGenEngine(Engine):
     name = "BitGen"
 
     def __init__(self, groups: List[CompiledGroup], pattern_count: int,
-                 scheme: Scheme, geometry: CTAGeometry,
-                 merge_size: int, interval_size: int,
-                 loop_fallback: bool,
+                 scheme: Scheme = UNSET,
+                 geometry: CTAGeometry = UNSET,
+                 merge_size: int = UNSET, interval_size: int = UNSET,
+                 loop_fallback: bool = UNSET,
                  nodes: Optional[List[ast.Regex]] = None,
-                 backend: str = "simulate"):
-        if backend not in ("simulate", "compiled"):
-            raise ValueError(f"unknown backend {backend!r}")
+                 backend: str = UNSET,
+                 config: Optional[ScanConfig] = None):
+        if config is None:
+            config = ScanConfig()
+        legacy = {name: value for name, value in (
+            ("scheme", scheme), ("geometry", geometry),
+            ("merge_size", merge_size), ("interval_size", interval_size),
+            ("loop_fallback", loop_fallback), ("backend", backend))
+            if value is not UNSET}
+        if legacy:
+            config = config.replace(**legacy)
         self.groups = groups
         self.pattern_count = pattern_count
-        self.scheme = scheme
-        self.geometry = geometry
-        self.merge_size = merge_size
-        self.interval_size = interval_size
-        self.loop_fallback = loop_fallback
-        self.backend = backend
+        self.config = config
         self._nodes = nodes
+        #: faults of the most recent parallel dispatch (always empty
+        #: after a serial scan)
+        self.last_scan_faults: list = []
         self._reversed_engine: Optional["BitGenEngine"] = None
         self._compiled_group_cache: Optional[list] = None
+
+    # -- config-backed views (the pre-ScanConfig attribute surface) --------
+
+    @property
+    def scheme(self) -> Scheme:
+        return self.config.scheme
+
+    @property
+    def geometry(self) -> CTAGeometry:
+        geometry = self.config.geometry
+        return geometry if geometry is not None else DEFAULT_GEOMETRY
+
+    @property
+    def merge_size(self) -> int:
+        return self.config.merge_size
+
+    @property
+    def interval_size(self) -> int:
+        return self.config.interval_size
+
+    @property
+    def loop_fallback(self) -> bool:
+        return self.config.loop_fallback
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
+
+    # -- pickling (pool workers) -------------------------------------------
+
+    def __getstate__(self):
+        """Engines cross process boundaries for sharded dispatch; the
+        memoised compiled kernels hold exec'd functions and are
+        rebuilt worker-side through the shared on-disk cache."""
+        state = dict(self.__dict__)
+        state["_compiled_group_cache"] = None
+        state["_reversed_engine"] = None
+        state["last_scan_faults"] = []
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
     # -- compilation -------------------------------------------------------
 
     @classmethod
     def compile(cls, patterns: Sequence[Union[str, ast.Regex]],
-                scheme: Scheme = Scheme.ZBS,
-                geometry: CTAGeometry = DEFAULT_GEOMETRY,
-                cta_count: Optional[int] = None,
-                merge_size: int = 8,
-                interval_size: int = 8,
-                loop_fallback: bool = False,
-                optimize: bool = True,
-                grouping: str = "balanced",
-                backend: str = "simulate") -> "BitGenEngine":
-        """Compile ``patterns`` (strings or ASTs) for ``scheme``.
+                scheme: Scheme = UNSET,
+                geometry: CTAGeometry = UNSET,
+                cta_count: Optional[int] = UNSET,
+                merge_size: int = UNSET,
+                interval_size: int = UNSET,
+                loop_fallback: bool = UNSET,
+                optimize: bool = UNSET,
+                grouping: str = UNSET,
+                backend: str = UNSET,
+                config: Optional[ScanConfig] = None) -> "BitGenEngine":
+        """Compile ``patterns`` (strings or ASTs).
+
+        Pass a :class:`~repro.parallel.ScanConfig` to configure the
+        scheme ladder, geometry, backend, and parallel dispatch in one
+        object; the individual keyword arguments are deprecated and
+        kept for one release (each call emits one
+        :class:`DeprecationWarning`).
 
         ``backend="compiled"`` executes matches through the cached
         NumPy kernels of :mod:`repro.backend` with batched CTA
         dispatch — bit-identical match sets, estimated metrics.
         """
+        config = resolve_config(
+            "BitGenEngine.compile", config,
+            {"scheme": scheme, "geometry": geometry,
+             "cta_count": cta_count, "merge_size": merge_size,
+             "interval_size": interval_size,
+             "loop_fallback": loop_fallback, "optimize": optimize,
+             "grouping": grouping, "backend": backend})
+        return cls._compile_config(patterns, config)
+
+    @classmethod
+    def _compile_config(cls, patterns: Sequence[Union[str, ast.Regex]],
+                        config: ScanConfig) -> "BitGenEngine":
+        """The warning-free compile path (internal call sites)."""
         nodes = [parse(p) if isinstance(p, str) else p for p in patterns]
+        cta_count = config.cta_count
         if cta_count is None:
             cta_count = min(DEFAULT_CTA_COUNT, max(1, len(nodes)))
-        groups = group_regexes(nodes, cta_count, strategy=grouping)
+        groups = group_regexes(nodes, cta_count,
+                               strategy=config.grouping)
 
+        scheme = config.scheme
+        geometry = config.geometry if config.geometry is not None \
+            else DEFAULT_GEOMETRY
         compiled: List[CompiledGroup] = []
         for group in groups:
             members = [nodes[i] for i in group.indices]
             names = [f"R{i}" for i in group.indices]
             program = lower_group(members, names=names)
-            if optimize:
+            if config.optimize:
                 program = optimize_program(program)
-            program = cls._transform(program, scheme, merge_size,
-                                     interval_size, geometry)
-            plan = cls._plan(program, scheme, merge_size, geometry)
+            program = cls._transform(program, scheme, config.merge_size,
+                                     config.interval_size, geometry)
+            plan = cls._plan(program, scheme, config.merge_size,
+                             geometry)
             compiled.append(CompiledGroup(group, program, plan))
-        return cls(compiled, len(nodes), scheme, geometry, merge_size,
-                   interval_size, loop_fallback, nodes=nodes,
-                   backend=backend)
+        return cls(compiled, len(nodes), nodes=nodes, config=config)
 
     @staticmethod
     def _transform(program: Program, scheme: Scheme, merge_size: int,
@@ -206,7 +286,9 @@ class BitGenEngine(Engine):
             loop_fallback=self.loop_fallback)
         return executor.run(compiled.program, data)
 
-    def match_many(self, streams: Sequence[bytes]) -> List[BitGenResult]:
+    def match_many(self, streams: Sequence[bytes],
+                   config: Optional[ScanConfig] = None
+                   ) -> List[BitGenResult]:
         """Match several input streams with one compiled engine.
 
         Section 3.1: with multiple concurrent input streams the
@@ -215,10 +297,35 @@ class BitGenEngine(Engine):
         stream, each carrying its own metrics.  With the compiled
         backend, equal-length streams batch into single 2D kernel
         calls per group (:func:`~repro.backend.dispatch_streams`).
+
+        When the effective config requests ``workers > 1``, streams
+        are sharded across a worker pool (:mod:`repro.parallel`);
+        results are bit-identical to the serial path.
         """
+        effective = config if config is not None else self.config
+        if effective.parallel_enabled():
+            from ..parallel.scan import parallel_match_many
+
+            return parallel_match_many(self, streams, effective)
         if self.backend == "compiled":
             return self._match_many_compiled(streams)
         return [self.match(stream) for stream in streams]
+
+    def scan(self, data: bytes,
+             config: Optional[ScanConfig] = None) -> ScanReport:
+        """One input through the unified report API.  With
+        ``workers > 1`` the engine's CTA groups are sharded across a
+        worker pool (whole kernel-fingerprint buckets per shard, so
+        batched dispatch survives); the merged report is bit-identical
+        to a serial :meth:`match`."""
+        effective = config if config is not None else self.config
+        if effective.parallel_enabled():
+            from ..parallel.scan import parallel_match
+
+            result = parallel_match(self, data, effective)
+            return ScanReport.from_result(
+                result, faults=list(self.last_scan_faults))
+        return self.match(data).report()
 
     def _match_many_compiled(self,
                              streams: Sequence[bytes]
@@ -258,13 +365,8 @@ class BitGenEngine(Engine):
         if self._nodes is None:
             raise ValueError("engine was built without pattern ASTs")
         if self._reversed_engine is None:
-            self._reversed_engine = BitGenEngine.compile(
-                [reverse(node) for node in self._nodes],
-                scheme=self.scheme, geometry=self.geometry,
-                merge_size=self.merge_size,
-                interval_size=self.interval_size,
-                loop_fallback=self.loop_fallback,
-                backend=self.backend)
+            self._reversed_engine = BitGenEngine._compile_config(
+                [reverse(node) for node in self._nodes], self.config)
         mirrored = self._reversed_engine.match(data[::-1])
         length = len(data)
         result = BitGenResult(pattern_count=self.pattern_count,

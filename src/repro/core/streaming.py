@@ -7,20 +7,30 @@ wraps a compiled :class:`BitGenEngine` with carried history: each
 new chunk and reports only the *new* match end positions, in global
 stream coordinates.
 
+Results come back as :class:`~repro.parallel.report.ScanReport` — the
+unified result type shared with one-shot and parallel scans — carrying
+the pattern → positions mapping (the old ``Dict[int, List[int]]``
+surface, preserved through the report's Mapping interface), the stream
+offset the report was produced at, and the merged kernel metrics of
+the chunk's scan.
+
 Correctness bound: a match whose span exceeds the retained tail can be
 missed when it straddles a chunk boundary.  The constructor sizes the
 tail from the pattern set — for bounded patterns the exact maximum
 match length; unbounded patterns (Kleene stars over the alphabet) fall
-back to ``max_tail_bytes``, which then becomes an explicit guarantee
-("matches up to N bytes are never missed"), the same contract
-stream-mode Hyperscan documents for its bounded-history modes.
+back to the configured ``max_tail_bytes``, which then becomes an
+explicit guarantee ("matches up to N bytes are never missed"), the
+same contract stream-mode Hyperscan documents for its bounded-history
+modes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..engines.hyperscan import max_match_length
+from ..parallel.config import UNSET, ScanConfig, resolve_config
+from ..parallel.report import ScanReport
 from .engine import BitGenEngine
 
 DEFAULT_MIN_TAIL = 256
@@ -30,9 +40,14 @@ class StreamingMatcher:
     """Chunked matcher over one compiled engine."""
 
     def __init__(self, engine: BitGenEngine,
-                 max_tail_bytes: int = 4096):
+                 max_tail_bytes: int = UNSET,
+                 config: Optional[ScanConfig] = None):
         if engine._nodes is None:
             raise ValueError("engine was built without pattern ASTs")
+        self.config = resolve_config(
+            "StreamingMatcher", config,
+            {"max_tail_bytes": max_tail_bytes},
+            base=engine.config)
         self.engine = engine
         bounded: List[int] = []
         self.has_unbounded = False
@@ -44,18 +59,19 @@ class StreamingMatcher:
                 bounded.append(longest)
         wanted = max(bounded + [DEFAULT_MIN_TAIL])
         if self.has_unbounded:
-            wanted = max_tail_bytes
+            wanted = self.config.max_tail_bytes
         #: matches up to this many bytes long are never missed
-        self.guaranteed_span = min(wanted, max_tail_bytes)
+        self.guaranteed_span = min(wanted, self.config.max_tail_bytes)
         self._tail = b""
         self._consumed = 0          # stream bytes before the tail
         self.chunks_fed = 0
 
     # -- streaming -----------------------------------------------------------
 
-    def feed(self, chunk: bytes) -> Dict[int, List[int]]:
-        """Scan ``chunk``; returns the new match end positions per
-        pattern, in global stream coordinates."""
+    def feed(self, chunk: bytes) -> ScanReport:
+        """Scan ``chunk``; reports the new match end positions per
+        pattern in global stream coordinates, at the stream offset
+        reached after consuming the chunk."""
         self.chunks_fed += 1
         window = self._tail + chunk
         result = self.engine.match(window)
@@ -67,16 +83,18 @@ class StreamingMatcher:
         keep = min(len(window), self.guaranteed_span)
         self._consumed += len(window) - keep
         self._tail = window[len(window) - keep:]
-        return fresh
+        return ScanReport(pattern_count=self.engine.pattern_count,
+                          matches=fresh,
+                          stream_offset=self.stream_position,
+                          input_bytes=len(chunk),
+                          metrics=result.metrics,
+                          cta_metrics=result.cta_metrics)
 
-    def feed_all(self, chunks: Sequence[bytes]) -> Dict[int, List[int]]:
-        """Feed several chunks; returns merged results."""
-        merged: Dict[int, List[int]] = {i: []
-                                        for i in
-                                        range(self.engine.pattern_count)}
+    def feed_all(self, chunks: Sequence[bytes]) -> ScanReport:
+        """Feed several chunks; returns one merged report."""
+        merged = ScanReport(pattern_count=self.engine.pattern_count)
         for chunk in chunks:
-            for pattern, ends in self.feed(chunk).items():
-                merged[pattern].extend(ends)
+            merged.merge(self.feed(chunk))
         return merged
 
     @property

@@ -1,0 +1,162 @@
+"""The unified scan configuration.
+
+Every public entry point — :meth:`repro.core.engine.BitGenEngine.compile`,
+:class:`repro.core.streaming.StreamingMatcher`,
+:class:`repro.perf.harness.Harness`, and the ``python -m repro scan``
+CLI — accepts one :class:`ScanConfig` carrying the compile-time knobs
+(scheme ladder, merge/interval sizes, CTA geometry, backend) and the
+dispatch-time knobs (worker count, shard policy, executor kind, kernel
+cache directory).  The scattered positional kwargs those entry points
+grew over PRs 0–2 keep working for one release behind a single
+:class:`DeprecationWarning` per call (:func:`resolve_config`).
+
+Fields default to ``None`` where the right default depends on the
+consumer (the engine resolves ``geometry=None`` to the paper's 512x32
+CTAs, the harness to its scaled-down 32x32 benchmark geometry), so one
+config object moves between entry points without silently pinning a
+consumer-specific default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.schemes import Scheme
+from ..gpu.config import CPUConfig, GPUConfig
+from ..gpu.machine import CTAGeometry
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from any real value."""
+
+    _instance: Optional["_Unset"] = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unset>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+#: Default marker for deprecated keyword parameters.
+UNSET = _Unset()
+
+BACKENDS = ("simulate", "compiled")
+SHARD_POLICIES = ("auto", "stream", "group")
+EXECUTORS = ("process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class ScanConfig:
+    """One object describing how to compile and how to dispatch a scan."""
+
+    # -- compilation (Section 7 parameter setup) --------------------------
+    scheme: Scheme = Scheme.ZBS
+    geometry: Optional[CTAGeometry] = None
+    cta_count: Optional[int] = None
+    merge_size: int = 8
+    interval_size: int = 8
+    loop_fallback: bool = False
+    optimize: bool = True
+    grouping: str = "balanced"
+    backend: str = "simulate"
+
+    # -- device models (perf harness pricing) -----------------------------
+    gpu: Optional[GPUConfig] = None
+    cpu: Optional[CPUConfig] = None
+
+    # -- streaming ---------------------------------------------------------
+    max_tail_bytes: int = 4096
+
+    # -- parallel dispatch -------------------------------------------------
+    workers: int = 1
+    shard: str = "auto"
+    executor: str = "process"
+    worker_timeout: Optional[float] = None
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if self.shard not in SHARD_POLICIES:
+            raise ValueError(f"unknown shard policy {self.shard!r}; "
+                             f"expected one of {SHARD_POLICIES}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; "
+                             f"expected one of {EXECUTORS}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.merge_size < 1 or self.interval_size < 1:
+            raise ValueError("merge_size and interval_size must be >= 1")
+        if self.max_tail_bytes < 1:
+            raise ValueError("max_tail_bytes must be >= 1")
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
+
+    # -- derived views -----------------------------------------------------
+
+    def replace(self, **changes) -> "ScanConfig":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    def serial(self) -> "ScanConfig":
+        """The same configuration with parallel dispatch disabled —
+        what a worker runs inside its shard."""
+        if self.workers == 1:
+            return self
+        return self.replace(workers=1)
+
+    def parallel_enabled(self) -> bool:
+        return self.workers > 1
+
+    def compile_key(self) -> Tuple:
+        """The fields that change what ``BitGenEngine.compile`` builds
+        (dispatch knobs excluded) — a cache key for compiled engines."""
+        return (self.scheme, self.geometry, self.cta_count,
+                self.merge_size, self.interval_size, self.loop_fallback,
+                self.optimize, self.grouping, self.backend)
+
+
+def warn_deprecated_kwargs(api: str, names: Sequence[str],
+                           stacklevel: int = 3) -> None:
+    """Emit the single :class:`DeprecationWarning` for one legacy call."""
+    listed = ", ".join(sorted(names))
+    warnings.warn(
+        f"{api}: keyword argument(s) {listed} are deprecated; pass "
+        f"config=ScanConfig(...) instead (legacy kwargs are kept for "
+        f"one release)",
+        DeprecationWarning, stacklevel=stacklevel)
+
+
+def resolve_config(api: str, config: Optional[ScanConfig],
+                   legacy: Dict[str, object],
+                   base: Optional[ScanConfig] = None,
+                   stacklevel: int = 4) -> ScanConfig:
+    """Fold deprecated keyword arguments into a :class:`ScanConfig`.
+
+    ``legacy`` maps field names to the values the caller passed, with
+    :data:`UNSET` marking parameters left at their defaults.  When any
+    legacy parameter was passed explicitly, exactly ONE
+    :class:`DeprecationWarning` is emitted for the call, regardless of
+    how many legacy parameters it used.  Explicit legacy values win
+    over ``config`` fields, so half-migrated call sites behave
+    predictably during the deprecation window.
+    """
+    explicit = {name: value for name, value in legacy.items()
+                if value is not UNSET}
+    if explicit:
+        warn_deprecated_kwargs(api, explicit, stacklevel=stacklevel)
+    resolved = config if config is not None \
+        else (base if base is not None else ScanConfig())
+    if explicit:
+        resolved = resolved.replace(**explicit)
+    return resolved

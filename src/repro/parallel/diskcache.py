@@ -1,0 +1,107 @@
+"""Process-safe on-disk kernel cache.
+
+The in-process :class:`~repro.backend.compiled.KernelCache` keys
+compiled NumPy kernels by structural fingerprint; this module extends
+that one level further out: fingerprint → *marshalled codegen artefact*
+(the generated source plus its compiled code object) persisted as one
+file per kernel, so pool workers never regenerate or re-``compile()``
+what the parent process already built.
+
+Safety model: writers stage to a unique temp file in the cache
+directory and ``os.replace`` it into place (atomic on POSIX), so a
+reader can never observe a partial entry; concurrent writers of the
+same fingerprint produce identical content, so last-writer-wins is
+harmless.  Corrupted or cross-version entries (marshal is not stable
+across interpreters) fail closed: the reader treats them as a miss and
+the writer overwrites them.  Keys embed the interpreter version and the
+codegen schema version (:func:`repro.backend.fingerprint.cache_key`),
+so one directory can be shared by heterogeneous workers.
+"""
+
+from __future__ import annotations
+
+import marshal
+import os
+import sys
+import tempfile
+from types import CodeType
+from typing import Optional, Tuple
+
+#: File-format magic; bump together with incompatible layout changes.
+_MAGIC = "repro-kernel-v1"
+
+
+def default_cache_dir() -> str:
+    """The shared default directory: ``$REPRO_KERNEL_CACHE`` when set,
+    else a per-interpreter directory under the system temp dir."""
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return override
+    tag = f"py{sys.version_info[0]}{sys.version_info[1]}"
+    return os.path.join(tempfile.gettempdir(), f"repro-kernels-{tag}")
+
+
+class DiskKernelCache:
+    """One cache directory of marshalled kernels."""
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path if path is not None else default_cache_dir()
+        os.makedirs(self.path, exist_ok=True)
+
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, f"{key}.kbc")
+
+    def get(self, key: str) -> Optional[Tuple[str, CodeType]]:
+        """(source, code object) for ``key``, or ``None`` on any miss —
+        absent, unreadable, corrupted, or wrong format version."""
+        try:
+            with open(self._entry_path(key), "rb") as handle:
+                payload = marshal.load(handle)
+        except (OSError, ValueError, EOFError, TypeError):
+            return None
+        if (not isinstance(payload, tuple) or len(payload) != 3
+                or payload[0] != _MAGIC):
+            return None
+        magic, source, code = payload
+        if not isinstance(source, str) or not isinstance(code, CodeType):
+            return None
+        return source, code
+
+    def put(self, key: str, source: str, code: CodeType) -> None:
+        """Persist one kernel atomically; IO failures are swallowed
+        (the disk cache is an accelerator, never a correctness layer)."""
+        payload = marshal.dumps((_MAGIC, source, code))
+        try:
+            fd, staging = tempfile.mkstemp(dir=self.path,
+                                           suffix=".kbc.tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(staging, self._entry_path(key))
+            except BaseException:
+                try:
+                    os.unlink(staging)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self.path)
+                       if name.endswith(".kbc"))
+        except OSError:
+            return 0
+
+    def clear(self) -> None:
+        try:
+            names = os.listdir(self.path)
+        except OSError:
+            return
+        for name in names:
+            if name.endswith(".kbc") or name.endswith(".kbc.tmp"):
+                try:
+                    os.unlink(os.path.join(self.path, name))
+                except OSError:
+                    pass

@@ -1,0 +1,111 @@
+"""Worker pools with graceful degradation.
+
+:class:`WorkerPool` is the dispatch layer's only executor abstraction:
+a process pool for the CPU-bound compiled kernels, a thread pool when
+process start-up (or pickling) costs more than it buys, and a serial
+mode that is also the universal fallback.  The contract the sharded
+scanner relies on:
+
+* results come back **in submission order** — merging stays trivial;
+* a worker crash, a timeout, or a broken/unstartable pool never loses
+  a shard: the shard re-runs **in-process through the serial
+  function**, and the incident is recorded as a
+  :class:`~repro.parallel.report.ShardFault`;
+* ``workers=1`` (or ``executor="serial"``) bypasses pools entirely, so
+  the serial path stays the single source of truth for results.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as futures
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .config import ScanConfig
+from .report import ShardFault
+
+
+class WorkerPool:
+    """Runs one payload list through a pool, falling back per shard."""
+
+    def __init__(self, config: ScanConfig):
+        self.config = config
+        self.workers = max(1, config.workers)
+        self.executor = config.executor
+        self.timeout = config.worker_timeout
+
+    # -- the one entry point ----------------------------------------------
+
+    def map_shards(self, fn: Callable, payloads: Sequence,
+                   serial_fn: Optional[Callable] = None
+                   ) -> Tuple[List, List[ShardFault]]:
+        """``[fn(p) for p in payloads]`` through the pool.
+
+        Returns ``(results, faults)`` with results in payload order.
+        ``serial_fn`` (default ``fn``) recovers any shard whose worker
+        faulted; a fault in the serial fallback itself propagates —
+        at that point the failure is the workload's, not the pool's.
+        """
+        recover = serial_fn if serial_fn is not None else fn
+        if (self.workers == 1 or self.executor == "serial"
+                or len(payloads) <= 1):
+            return [recover(payload) for payload in payloads], []
+
+        try:
+            executor = self._make_executor(min(self.workers,
+                                               len(payloads)))
+        except Exception as exc:  # pool could not start at all
+            faults = [ShardFault(shard=i, kind="pool", error=repr(exc))
+                      for i in range(len(payloads))]
+            return [recover(payload) for payload in payloads], faults
+
+        results: List = [None] * len(payloads)
+        faults: List[ShardFault] = []
+        hung = False
+        try:
+            try:
+                pending = [executor.submit(fn, payload)
+                           for payload in payloads]
+            except Exception as exc:
+                faults = [ShardFault(shard=i, kind="pool",
+                                     error=repr(exc))
+                          for i in range(len(payloads))]
+                return ([recover(payload) for payload in payloads],
+                        faults)
+            broken = False
+            for index, future in enumerate(pending):
+                if broken:
+                    future.cancel()
+                    faults.append(ShardFault(shard=index, kind="pool",
+                                             error="pool broken by an "
+                                                   "earlier shard"))
+                    results[index] = recover(payloads[index])
+                    continue
+                try:
+                    results[index] = future.result(timeout=self.timeout)
+                except futures.TimeoutError:
+                    future.cancel()
+                    hung = True
+                    faults.append(ShardFault(
+                        shard=index, kind="timeout",
+                        error=f"worker exceeded {self.timeout}s"))
+                    results[index] = recover(payloads[index])
+                except futures.BrokenExecutor as exc:
+                    broken = True
+                    faults.append(ShardFault(shard=index, kind="pool",
+                                             error=repr(exc)))
+                    results[index] = recover(payloads[index])
+                except Exception as exc:
+                    faults.append(ShardFault(shard=index, kind="error",
+                                             error=repr(exc)))
+                    results[index] = recover(payloads[index])
+        finally:
+            # Don't block shutdown on a worker we already timed out.
+            executor.shutdown(wait=not hung, cancel_futures=hung)
+        return results, faults
+
+    # -- executor construction --------------------------------------------
+
+    def _make_executor(self, max_workers: int):
+        if self.executor == "thread":
+            return futures.ThreadPoolExecutor(max_workers=max_workers)
+        return futures.ProcessPoolExecutor(max_workers=max_workers)

@@ -1,0 +1,145 @@
+"""The unified scan result.
+
+Every scan path — one-shot :meth:`BitGenEngine.match`, streaming
+:meth:`StreamingMatcher.feed`, and the sharded parallel dispatcher —
+reports through one :class:`ScanReport`: pattern → match end positions,
+the stream offset the report was produced at, the merged kernel
+metrics, and any shard faults the dispatcher degraded around.
+
+``ScanReport`` is a :class:`~collections.abc.Mapping` over
+``pattern index → positions``, so code written against the old bare
+``Dict[int, List[int]]`` return shape (``report[0]``, ``report.items()``,
+``report == {...}``) keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..gpu.metrics import KernelMetrics
+
+
+@dataclass(frozen=True)
+class ShardFault:
+    """One worker failure the dispatcher degraded around."""
+
+    shard: int              # shard index within the dispatch
+    kind: str               # "error" | "timeout" | "pool"
+    error: str              # stringified cause
+    fallback: str = "serial"  # how the shard's work was recovered
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"shard": self.shard, "kind": self.kind,
+                "error": self.error, "fallback": self.fallback}
+
+
+class ScanReport(Mapping):
+    """Matches plus provenance for one scan (or one streaming step)."""
+
+    __slots__ = ("pattern_count", "matches", "stream_offset",
+                 "input_bytes", "metrics", "cta_metrics", "faults")
+
+    def __init__(self, pattern_count: int,
+                 matches: Optional[Dict[int, List[int]]] = None,
+                 stream_offset: int = 0, input_bytes: int = 0,
+                 metrics: Optional[KernelMetrics] = None,
+                 cta_metrics: Optional[List[KernelMetrics]] = None,
+                 faults: Optional[List[ShardFault]] = None):
+        self.pattern_count = pattern_count
+        self.matches = dict(matches) if matches else {}
+        for index in range(pattern_count):
+            self.matches.setdefault(index, [])
+        #: total stream bytes consumed when this report was produced
+        self.stream_offset = stream_offset
+        self.input_bytes = input_bytes
+        self.metrics = metrics if metrics is not None else KernelMetrics()
+        self.cta_metrics = list(cta_metrics) if cta_metrics else []
+        self.faults = list(faults) if faults else []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_result(cls, result, stream_offset: int = 0,
+                    faults: Optional[List[ShardFault]] = None
+                    ) -> "ScanReport":
+        """Wrap a :class:`~repro.engines.base.MatchResult` (plain or
+        :class:`~repro.core.engine.BitGenResult`)."""
+        return cls(pattern_count=result.pattern_count,
+                   matches={k: list(v) for k, v in result.ends.items()},
+                   stream_offset=stream_offset,
+                   input_bytes=getattr(result, "input_bytes", 0),
+                   metrics=getattr(result, "metrics", None),
+                   cta_metrics=getattr(result, "cta_metrics", None),
+                   faults=faults)
+
+    # -- mapping interface (pattern -> end positions) ----------------------
+
+    def __getitem__(self, pattern: int) -> List[int]:
+        return self.matches[pattern]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.matches)
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ScanReport):
+            return self.matches == other.matches
+        if isinstance(other, Mapping):
+            return self.matches == dict(other)
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __repr__(self) -> str:
+        return (f"ScanReport(patterns={self.pattern_count}, "
+                f"matches={self.match_count()}, "
+                f"offset={self.stream_offset}, "
+                f"faults={len(self.faults)})")
+
+    # -- aggregate views ---------------------------------------------------
+
+    def match_count(self) -> int:
+        return sum(len(v) for v in self.matches.values())
+
+    def matched_patterns(self) -> List[int]:
+        return [index for index, ends in sorted(self.matches.items())
+                if ends]
+
+    def merge(self, other: "ScanReport") -> "ScanReport":
+        """Fold another report into this one (streaming / sharding):
+        matches extend, metrics accumulate, the offset advances."""
+        for pattern, ends in other.matches.items():
+            self.matches.setdefault(pattern, []).extend(ends)
+        self.pattern_count = max(self.pattern_count, other.pattern_count)
+        self.stream_offset = max(self.stream_offset, other.stream_offset)
+        self.input_bytes += other.input_bytes
+        self.metrics.merge(other.metrics)
+        self.cta_metrics.extend(other.cta_metrics)
+        self.faults.extend(other.faults)
+        return self
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view (the ``python -m repro scan`` output)."""
+        from dataclasses import asdict
+
+        return {
+            "pattern_count": self.pattern_count,
+            "match_count": self.match_count(),
+            "matches": {str(k): v for k, v in sorted(self.matches.items())},
+            "stream_offset": self.stream_offset,
+            "input_bytes": self.input_bytes,
+            "metrics": asdict(self.metrics),
+            "faults": [fault.to_dict() for fault in self.faults],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)

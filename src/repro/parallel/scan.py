@@ -1,0 +1,262 @@
+"""The sharded parallel scan dispatcher.
+
+``repro.parallel``'s tentpole: fan :meth:`BitGenEngine.match_many`,
+single-input multi-CTA matches, multi-chunk streaming sessions, and
+:meth:`Harness.run_all` grids out across a :class:`WorkerPool`, while
+keeping every result **bit-identical to serial execution** — match
+positions and aggregated metrics both.
+
+The identity guarantee comes from the shard planner: shards are built
+from the same batching units the serial compiled backend uses, so the
+vectorised NumPy calls inside a shard are literally the calls serial
+execution would have made.
+
+* **Stream sharding** distributes whole *length classes* —
+  :func:`~repro.backend.executor.dispatch_streams` batches equal-length
+  streams into one 2D call, so splitting a length class would change
+  batch shapes (and the shared per-batch loop statistics that metrics
+  are estimated from).
+* **Group sharding** distributes whole *kernel-fingerprint buckets* —
+  :func:`~repro.backend.executor.dispatch_words` fuses same-kernel CTAs
+  into one 2D call, so buckets must survive sharding intact.
+
+Degradation: any worker fault re-runs that shard in-process through
+the identical serial path (see :class:`~repro.parallel.pool.WorkerPool`)
+and is recorded as a :class:`ShardFault`; a parallel scan therefore
+never fails, and never returns different results, because of the pool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import ScanConfig
+from .pool import WorkerPool
+from .report import ScanReport, ShardFault
+from . import worker as worker_mod
+
+
+# -- shard planning ----------------------------------------------------------
+
+
+def _distribute(units: Sequence[Tuple[List[int], int]],
+                shards: int) -> List[List[int]]:
+    """Deterministic LPT bin-packing of ``(members, weight)`` units
+    into at most ``shards`` bins; members keep ascending order inside
+    each bin so merged results preserve the serial ordering."""
+    shards = max(1, min(shards, len(units)))
+    order = sorted(range(len(units)),
+                   key=lambda i: (-units[i][1], i))
+    loads = [0] * shards
+    bins: List[List[int]] = [[] for _ in range(shards)]
+    for index in order:
+        members, weight = units[index]
+        target = min(range(shards), key=lambda s: (loads[s], s))
+        bins[target].extend(members)
+        loads[target] += weight
+    packed = [sorted(b) for b in bins if b]
+    packed.sort(key=lambda b: b[0])
+    return packed
+
+
+def plan_stream_shards(streams: Sequence[bytes], workers: int,
+                       preserve_batches: bool) -> List[List[int]]:
+    """Shard stream indices.  With ``preserve_batches`` (the compiled
+    backend), each equal-length class stays whole inside one shard."""
+    if preserve_batches:
+        classes: Dict[int, List[int]] = {}
+        for index, stream in enumerate(streams):
+            classes.setdefault(len(stream), []).append(index)
+        units = [(members, max(1, size) * len(members))
+                 for size, members in sorted(classes.items())]
+    else:
+        units = [([index], max(1, len(stream)))
+                 for index, stream in enumerate(streams)]
+    return _distribute(units, workers)
+
+
+def plan_group_shards(engine, workers: int) -> List[List[int]]:
+    """Shard group (CTA) indices.  For the compiled backend each
+    kernel-fingerprint bucket stays whole inside one shard."""
+    if engine.backend == "compiled":
+        buckets: Dict[str, List[int]] = {}
+        for index, compiled in enumerate(engine._compiled_programs()):
+            buckets.setdefault(compiled.kernel.fingerprint,
+                               []).append(index)
+        units = [(members, sum(len(engine.groups[i].group) or 1
+                               for i in members))
+                 for members in buckets.values()]
+    else:
+        units = [([index], len(compiled.group) or 1)
+                 for index, compiled in enumerate(engine.groups)]
+    return _distribute(units, workers)
+
+
+# -- the dispatcher ----------------------------------------------------------
+
+
+class ParallelScanner:
+    """Sharded dispatch of one engine's scans across a worker pool."""
+
+    def __init__(self, engine, config: Optional[ScanConfig] = None):
+        self.engine = engine
+        self.config = config if config is not None else engine.config
+        self.pool = WorkerPool(self.config)
+        #: faults of the most recent dispatch (empty on a clean run)
+        self.faults: List[ShardFault] = []
+        self._cache_dir = self._prepare_cache()
+
+    def _prepare_cache(self) -> Optional[str]:
+        """Attach (and pre-seed) the shared on-disk kernel cache when
+        process workers will need to rebuild compiled kernels."""
+        if self.config.executor != "process":
+            return self.config.cache_dir
+        from .diskcache import DiskKernelCache, default_cache_dir
+
+        cache_dir = self.config.cache_dir or default_cache_dir()
+        try:
+            DiskKernelCache(cache_dir)
+        except OSError:
+            return None
+        worker_mod.attach_disk_cache(cache_dir)
+        if self.engine.backend == "compiled":
+            # Parent-side compilation now writes the artefacts the
+            # workers will load instead of recompiling.
+            self.engine._compiled_programs()
+        return cache_dir
+
+    # -- many streams, whole engine per shard -----------------------------
+
+    def match_many(self, streams: Sequence[bytes]) -> List:
+        plan = plan_stream_shards(
+            streams, self.config.workers,
+            preserve_batches=self.engine.backend == "compiled")
+        if len(plan) <= 1:
+            self.faults = []
+            return self.engine.match_many(streams,
+                                          config=self.config.serial())
+        payloads = [(self.engine, [streams[i] for i in shard],
+                     self._cache_dir) for shard in plan]
+        shard_results, self.faults = self.pool.map_shards(
+            worker_mod.scan_streams, payloads,
+            serial_fn=self._serial_streams)
+        results = [None] * len(streams)
+        for shard, shard_result in zip(plan, shard_results):
+            for index, result in zip(shard, shard_result):
+                results[index] = result
+        return results
+
+    def _serial_streams(self, payload) -> List:
+        engine, streams, _ = payload
+        return engine.match_many(streams, config=self.config.serial())
+
+    # -- one stream, groups sharded ---------------------------------------
+
+    def match(self, data: bytes):
+        """Group-sharded single-input match; merged result is
+        bit-identical (positions, per-CTA and aggregate metrics) to
+        ``engine.match(data)``."""
+        plan = plan_group_shards(self.engine, self.config.workers)
+        if len(plan) <= 1:
+            self.faults = []
+            return self.engine.match(data)
+        payloads = [(self.engine, shard, data, self._cache_dir)
+                    for shard in plan]
+        shard_results, self.faults = self.pool.map_shards(
+            worker_mod.scan_groups, payloads,
+            serial_fn=self._serial_groups)
+        return self._merge_group_results(shard_results, len(data))
+
+    def _serial_groups(self, payload) -> Tuple:
+        from ..core.engine import BitGenEngine
+
+        engine, group_indices, data, _ = payload
+        sub = BitGenEngine([engine.groups[i] for i in group_indices],
+                           engine.pattern_count,
+                           config=self.config.serial())
+        return group_indices, sub.match(data)
+
+    def _merge_group_results(self, shard_results, input_bytes: int):
+        from ..core.engine import BitGenResult
+
+        merged = BitGenResult(pattern_count=self.engine.pattern_count,
+                              input_bytes=input_bytes)
+        merged.cta_metrics = [None] * len(self.engine.groups)
+        for group_indices, result in shard_results:
+            for row, group_index in enumerate(group_indices):
+                merged.cta_metrics[group_index] = \
+                    result.cta_metrics[row]
+                for pattern in self.engine.groups[group_index] \
+                        .group.indices:
+                    merged.ends[pattern] = result.ends[pattern]
+        # Aggregate in serial (group) order so max/sum folds agree.
+        for metrics in merged.cta_metrics:
+            merged.metrics.merge(metrics)
+        return merged
+
+    # -- streaming sessions ------------------------------------------------
+
+    def sessions(self, chunk_lists: Sequence[Sequence[bytes]]
+                 ) -> List[ScanReport]:
+        """Run one full multi-chunk streaming session per logical
+        stream, sessions fanned across the pool."""
+        payloads = [(self.engine, list(chunks), self.config,
+                     self._cache_dir) for chunks in chunk_lists]
+        reports, self.faults = self.pool.map_shards(
+            worker_mod.run_session, payloads)
+        for fault in self.faults:
+            reports[fault.shard].faults.append(fault)
+        return reports
+
+
+# -- module-level conveniences ----------------------------------------------
+
+
+def parallel_match_many(engine, streams: Sequence[bytes],
+                        config: Optional[ScanConfig] = None) -> List:
+    scanner = ParallelScanner(engine, config)
+    results = scanner.match_many(streams)
+    engine.last_scan_faults = scanner.faults
+    return results
+
+
+def parallel_match(engine, data: bytes,
+                   config: Optional[ScanConfig] = None):
+    scanner = ParallelScanner(engine, config)
+    result = scanner.match(data)
+    engine.last_scan_faults = scanner.faults
+    return result
+
+
+def parallel_sessions(engine, chunk_lists: Sequence[Sequence[bytes]],
+                      config: Optional[ScanConfig] = None
+                      ) -> List[ScanReport]:
+    scanner = ParallelScanner(engine, config)
+    reports = scanner.sessions(chunk_lists)
+    engine.last_scan_faults = scanner.faults
+    return reports
+
+
+def parallel_run_all(harness, apps: Sequence[str],
+                     engines: Sequence[str],
+                     config: ScanConfig) -> List:
+    """Fan the harness's (app, engine) grid across a pool; one cell per
+    task, results in the serial grid order, faults recovered by running
+    the cell in the parent harness."""
+    cells = [(app, engine) for app in apps for engine in engines]
+    cache_dir = None
+    if config.executor == "process":
+        from .diskcache import default_cache_dir
+
+        cache_dir = config.cache_dir or default_cache_dir()
+        worker_mod.attach_disk_cache(cache_dir)
+    spec = (harness.config.serial(), harness.scale,
+            harness.input_bytes, harness.seed)
+    payloads = [(spec, app, engine, cache_dir)
+                for app, engine in cells]
+    pool = WorkerPool(config)
+    results, faults = pool.map_shards(
+        worker_mod.run_cell, payloads,
+        serial_fn=lambda payload: harness.run(payload[1], payload[2]))
+    harness.last_scan_faults = faults
+    return results

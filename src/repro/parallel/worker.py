@@ -1,0 +1,114 @@
+"""Worker-side shard execution.
+
+Every function here is a plain module-level callable (picklable by
+reference for process pools) taking one payload tuple and returning one
+shard result.  Workers always run their shard **serially**
+(``config.serial()``) — parallel-in-parallel recursion is forbidden by
+construction — and attach the shared on-disk kernel cache before
+compiling anything, so a kernel the parent (or a sibling) already
+built is loaded from its marshalled artefact instead of being
+re-generated.
+
+Shard payloads deliberately carry the whole engine: programs, plans and
+groups pickle cheaply, while the memoised *compiled* kernels are
+dropped by :meth:`BitGenEngine.__getstate__` and rebuilt in the worker
+through the disk cache.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .report import ScanReport
+
+#: Test hook: when this variable names a fault kind, workers raise
+#: before touching their shard, so the dispatcher's graceful
+#: degradation can be exercised end to end (tests/parallel).
+FAULT_ENV = "REPRO_PARALLEL_FAULT_INJECT"
+
+
+class InjectedFault(RuntimeError):
+    """Raised by workers when the fault-injection hook is armed."""
+
+
+def _maybe_inject_fault() -> None:
+    if os.environ.get(FAULT_ENV):
+        raise InjectedFault(f"fault injected via ${FAULT_ENV}")
+
+
+def attach_disk_cache(cache_dir: Optional[str]) -> None:
+    """Back the process-wide kernel cache with ``cache_dir``."""
+    if not cache_dir:
+        return
+    from ..backend import kernel_cache
+    from .diskcache import DiskKernelCache
+
+    cache = kernel_cache()
+    disk = getattr(cache, "disk", None)
+    if disk is None or disk.path != cache_dir:
+        cache.attach_disk(DiskKernelCache(cache_dir))
+
+
+# -- shard tasks -------------------------------------------------------------
+
+
+def scan_streams(payload) -> List:
+    """One stream-shard: ``engine.match_many`` over a subset of the
+    dispatch's streams, serial inside the worker (batched CTA dispatch
+    stays intact because shards hold whole length classes)."""
+    engine, streams, cache_dir = payload
+    _maybe_inject_fault()
+    attach_disk_cache(cache_dir)
+    return engine.match_many(streams, config=engine.config.serial())
+
+
+def scan_groups(payload) -> Tuple:
+    """One group-shard: a sub-engine over a subset of the engine's
+    compiled groups (whole kernel-fingerprint buckets, so the batched
+    2D dispatch inside the shard equals the serial bucket), run over
+    one input.  Returns ``(group_indices, result)``."""
+    from ..core.engine import BitGenEngine
+
+    engine, group_indices, data, cache_dir = payload
+    _maybe_inject_fault()
+    attach_disk_cache(cache_dir)
+    sub = BitGenEngine([engine.groups[i] for i in group_indices],
+                       engine.pattern_count,
+                       config=engine.config.serial())
+    return group_indices, sub.match(data)
+
+
+def run_session(payload) -> ScanReport:
+    """One streaming session: all chunks of one logical stream fed
+    through a fresh :class:`StreamingMatcher`, in order."""
+    from ..core.streaming import StreamingMatcher
+
+    engine, chunks, config, cache_dir = payload
+    _maybe_inject_fault()
+    attach_disk_cache(cache_dir)
+    matcher = StreamingMatcher(engine, config=config.serial())
+    return matcher.feed_all(chunks)
+
+
+#: Per-process memo of harness instances, keyed by their build spec —
+#: one worker serving many (app, engine) cells builds each workload
+#: and each compiled engine once, like the parent's harness does.
+_HARNESS_MEMO: Dict[Tuple, object] = {}
+
+
+def run_cell(payload):
+    """One harness cell: ``Harness(...).run(app, engine_name)``."""
+    from ..perf.harness import Harness
+
+    spec, app, engine_name, cache_dir = payload
+    _maybe_inject_fault()
+    attach_disk_cache(cache_dir)
+    config, scale, input_bytes, seed = spec
+    key = (config, scale, input_bytes, seed)
+    harness = _HARNESS_MEMO.get(key)
+    if harness is None:
+        harness = Harness(config=config, scale=scale,
+                          input_bytes=input_bytes, seed=seed)
+        _HARNESS_MEMO[key] = harness
+    return harness.run(app, engine_name)

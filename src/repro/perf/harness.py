@@ -22,6 +22,7 @@ from ..engines.ngap import NgAPEngine
 from ..gpu.config import RTX_3090, XEON_8562Y, CPUConfig, GPUConfig
 from ..gpu.machine import CTAGeometry
 from ..gpu.metrics import KernelMetrics
+from ..parallel.config import UNSET, ScanConfig, resolve_config
 from ..workloads.apps import (ALL_APPS, FULL_INPUT_BYTES, Workload,
                               app_by_name)
 from . import model
@@ -55,26 +56,63 @@ class EngineRun:
 
 
 class Harness:
-    """Caches workloads and compiled engines across experiment cells."""
+    """Caches workloads and compiled engines across experiment cells.
 
-    def __init__(self, gpu: GPUConfig = RTX_3090,
-                 cpu: CPUConfig = XEON_8562Y,
-                 geometry: CTAGeometry = BENCH_GEOMETRY,
+    Accepts one :class:`~repro.parallel.ScanConfig` for the scan-side
+    knobs (devices, geometry, backend, workers); the individual
+    ``gpu``/``cpu``/``geometry``/``backend`` keyword arguments are
+    deprecated and kept for one release.  The harness-only scaling
+    policy (``scale``, ``input_bytes``, ``seed``) stays as plain
+    keywords — it describes the experiment, not the scan.
+    """
+
+    def __init__(self, gpu: GPUConfig = UNSET,
+                 cpu: CPUConfig = UNSET,
+                 geometry: CTAGeometry = UNSET,
                  scale: float = DEFAULT_SCALE,
                  input_bytes: int = DEFAULT_INPUT_BYTES,
                  seed: int = 0,
-                 backend: str = "simulate"):
-        if backend not in ("simulate", "compiled"):
-            raise ValueError(f"unknown backend {backend!r}")
-        self.gpu = gpu
-        self.cpu = cpu
-        self.geometry = geometry
+                 backend: str = UNSET,
+                 config: Optional[ScanConfig] = None):
+        config = resolve_config(
+            "Harness", config,
+            {"gpu": gpu, "cpu": cpu, "geometry": geometry,
+             "backend": backend})
+        # Pin the harness's own defaults for fields the caller left
+        # unset, so one config object moves between entry points.
+        if config.gpu is None:
+            config = config.replace(gpu=RTX_3090)
+        if config.cpu is None:
+            config = config.replace(cpu=XEON_8562Y)
+        if config.geometry is None:
+            config = config.replace(geometry=BENCH_GEOMETRY)
+        self.config = config
         self.scale = scale
         self.input_bytes = input_bytes
         self.seed = seed
-        self.backend = backend
+        #: faults of the most recent parallel ``run_all`` (empty when
+        #: the grid ran serially or cleanly)
+        self.last_scan_faults: list = []
         self._workloads: Dict[str, Workload] = {}
         self._bitgen_cache: Dict[Tuple, BitGenEngine] = {}
+
+    # -- config-backed views (the pre-ScanConfig attribute surface) --------
+
+    @property
+    def gpu(self) -> GPUConfig:
+        return self.config.gpu
+
+    @property
+    def cpu(self) -> CPUConfig:
+        return self.config.cpu
+
+    @property
+    def geometry(self) -> CTAGeometry:
+        return self.config.geometry
+
+    @property
+    def backend(self) -> str:
+        return self.config.backend
 
     # -- workloads ------------------------------------------------------------
 
@@ -114,11 +152,13 @@ class Harness:
         key = (workload.name, scheme, merge_size, interval_size, backend)
         engine = self._bitgen_cache.get(key)
         if engine is None:
-            engine = BitGenEngine.compile(
-                workload.nodes, scheme=scheme, geometry=self.geometry,
-                cta_count=self.cta_count(workload),
-                merge_size=merge_size, interval_size=interval_size,
-                loop_fallback=True, backend=backend)
+            engine = BitGenEngine._compile_config(
+                workload.nodes,
+                self.config.replace(
+                    scheme=scheme, merge_size=merge_size,
+                    interval_size=interval_size, backend=backend,
+                    cta_count=self.cta_count(workload),
+                    loop_fallback=True))
             self._bitgen_cache[key] = engine
         return engine
 
@@ -180,9 +220,23 @@ class Harness:
         return self.run_baseline(app_name, engine_name)
 
     def run_all(self, apps: Optional[Sequence[str]] = None,
-                engines: Sequence[str] = ENGINE_NAMES) -> List[EngineRun]:
+                engines: Sequence[str] = ENGINE_NAMES,
+                config: Optional[ScanConfig] = None) -> List[EngineRun]:
+        """Run the (app, engine) grid.
+
+        With ``workers > 1`` in ``config`` (or the harness config),
+        cells are fanned across a worker pool; results keep the serial
+        grid order and a faulted cell falls back to running in this
+        process (recorded in :attr:`last_scan_faults`).
+        """
         apps = list(apps) if apps is not None \
             else [a.name for a in ALL_APPS]
+        effective = config if config is not None else self.config
+        if effective.parallel_enabled():
+            from ..parallel.scan import parallel_run_all
+
+            return parallel_run_all(self, apps, engines, effective)
+        self.last_scan_faults = []
         return [self.run(app, engine) for app in apps
                 for engine in engines]
 

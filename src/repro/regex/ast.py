@@ -24,6 +24,14 @@ class Regex:
     def children(self) -> Tuple["Regex", ...]:
         return ()
 
+    def __reduce__(self):
+        # Reconstruct through __init__ (every node's slots mirror its
+        # constructor arguments): the immutability guard blocks pickle's
+        # default setattr-based state restore, and engines carrying ASTs
+        # cross process boundaries under repro.parallel.
+        return (type(self),
+                tuple(getattr(self, name) for name in self.__slots__))
+
     def walk(self) -> Iterator["Regex"]:
         """Pre-order traversal of the subtree rooted here."""
         yield self

@@ -42,6 +42,12 @@ class CharClass:
     def __setattr__(self, name, value):
         raise AttributeError("CharClass is immutable")
 
+    def __reduce__(self):
+        # Reconstruct through __init__: the immutability guard blocks
+        # pickle's default setattr-based state restore (programs cross
+        # process boundaries under repro.parallel's sharded dispatch).
+        return (CharClass, (self.ranges,))
+
     # -- constructors ------------------------------------------------------
 
     @classmethod

@@ -1,0 +1,116 @@
+"""The process-safe on-disk kernel cache.
+
+Contract: marshalled artefacts round-trip; a fresh in-process cache
+backed by a warm directory loads kernels instead of recompiling
+(counted as ``disk_hits``); corrupted or cross-version entries fail
+closed as misses; keys embed the codegen and interpreter versions.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.backend.codegen import CODEGEN_VERSION
+from repro.backend.compiled import KernelCache
+from repro.backend.fingerprint import cache_key, canonicalize
+from repro.ir import lower_regex
+from repro.parallel.diskcache import DiskKernelCache, default_cache_dir
+from repro.regex import parse
+
+
+def canonical_program(pattern: str):
+    return canonicalize(lower_regex(parse(pattern)))
+
+
+def test_cache_key_embeds_versions():
+    key = cache_key("deadbeef")
+    assert key.startswith("deadbeef-")
+    assert f"cg{CODEGEN_VERSION}" in key
+    assert f"py{sys.version_info[0]}{sys.version_info[1]}" in key
+
+
+def test_default_cache_dir_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", str(tmp_path / "kc"))
+    assert default_cache_dir() == str(tmp_path / "kc")
+    monkeypatch.delenv("REPRO_KERNEL_CACHE")
+    assert "repro-kernels-py" in default_cache_dir()
+
+
+def test_roundtrip(tmp_path):
+    disk = DiskKernelCache(str(tmp_path))
+    source = "def kernel():\n    return 1\n"
+    code = compile(source, "<kernel>", "exec")
+    assert disk.get("k1") is None
+    disk.put("k1", source, code)
+    assert len(disk) == 1
+    loaded = disk.get("k1")
+    assert loaded is not None
+    got_source, got_code = loaded
+    assert got_source == source
+    namespace = {}
+    exec(got_code, namespace)
+    assert namespace["kernel"]() == 1
+    disk.clear()
+    assert len(disk) == 0 and disk.get("k1") is None
+
+
+def test_corrupted_entries_fail_closed(tmp_path):
+    disk = DiskKernelCache(str(tmp_path))
+    source = "x = 1\n"
+    disk.put("k1", source, compile(source, "<kernel>", "exec"))
+    entry = tmp_path / "k1.kbc"
+    entry.write_bytes(b"\x00garbage")
+    assert disk.get("k1") is None           # corrupted -> miss
+    entry.write_bytes(b"")
+    assert disk.get("k1") is None           # truncated -> miss
+    # A rewrite heals the entry.
+    disk.put("k1", source, compile(source, "<kernel>", "exec"))
+    assert disk.get("k1") is not None
+
+
+def test_wrong_magic_is_a_miss(tmp_path):
+    import marshal
+
+    disk = DiskKernelCache(str(tmp_path))
+    payload = marshal.dumps(("some-other-format", "x = 1\n",
+                             compile("x = 1\n", "<kernel>", "exec")))
+    (tmp_path / "k1.kbc").write_bytes(payload)
+    assert disk.get("k1") is None
+
+
+def test_memory_cache_compiles_through_to_disk(tmp_path):
+    disk = DiskKernelCache(str(tmp_path))
+    cache = KernelCache(disk=disk)
+    canonical = canonical_program("ab+c")
+    kernel = cache.get_or_compile(canonical)
+    assert cache.stats.misses == 1
+    assert cache.stats.disk_hits == 0
+    assert len(disk) == 1
+    assert disk.get(cache_key(canonical.digest)) is not None
+    # Same process, second lookup: pure memory hit.
+    assert cache.get_or_compile(canonical) is kernel
+    assert cache.stats.hits == 1
+
+
+def test_fresh_cache_loads_from_warm_disk(tmp_path):
+    disk = DiskKernelCache(str(tmp_path))
+    warm = KernelCache(disk=disk)
+    canonical = canonical_program("ab+c")
+    built = warm.get_or_compile(canonical)
+
+    cold = KernelCache(disk=DiskKernelCache(str(tmp_path)))
+    loaded = cold.get_or_compile(canonical)     # a worker's first touch
+    assert cold.stats.disk_hits == 1            # memory miss, disk hit
+    assert cold.stats.lookups == cold.stats.hits + cold.stats.misses
+    assert loaded.source == built.source
+    assert loaded.fingerprint == built.fingerprint
+
+
+def test_attach_disk_flushes_resident_kernels(tmp_path):
+    cache = KernelCache()
+    canonical = canonical_program("xy?z")
+    cache.get_or_compile(canonical)
+    disk = DiskKernelCache(str(tmp_path))
+    assert len(disk) == 0
+    cache.attach_disk(disk)
+    assert disk.get(cache_key(canonical.digest)) is not None

@@ -1,0 +1,154 @@
+"""Graceful degradation: worker faults never lose or change results.
+
+Unit level: :class:`WorkerPool` recovers every faulted shard through
+the serial function and records a :class:`ShardFault` per incident.
+End to end: with the ``REPRO_PARALLEL_FAULT_INJECT`` hook armed, every
+worker raises before touching its shard, yet parallel scans still
+return results bit-identical to serial — only ``last_scan_faults``
+tells the difference.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.engine import BitGenEngine
+from repro.gpu.machine import CTAGeometry
+from repro.parallel.config import ScanConfig
+from repro.parallel.pool import WorkerPool
+from repro.parallel.worker import FAULT_ENV
+
+TINY = CTAGeometry(threads=4, word_bits=8)
+
+PATTERNS = ["a(bc)*d", "cat|dog", "[0-9][0-9]", "foo"]
+DATA = b"abcbcd cat 42 foo dog abcd " * 30
+STREAMS = [DATA[:50], DATA[:120], DATA[:50], DATA[:200]]
+
+
+def thread_pool(**overrides) -> WorkerPool:
+    defaults = dict(workers=2, executor="thread")
+    defaults.update(overrides)
+    return WorkerPool(ScanConfig(**defaults))
+
+
+# -- WorkerPool units --------------------------------------------------------
+
+
+def test_serial_bypass_runs_in_process():
+    pool = thread_pool(workers=1)
+    results, faults = pool.map_shards(lambda p: p * 10, [1, 2, 3])
+    assert results == [10, 20, 30]
+    assert faults == []
+
+
+def test_single_payload_bypasses_the_pool():
+    pool = thread_pool()
+    results, faults = pool.map_shards(lambda p: p + 1, [41])
+    assert (results, faults) == ([42], [])
+
+
+def test_results_keep_submission_order():
+    def slow_first(payload):
+        if payload == 0:
+            time.sleep(0.05)
+        return payload
+
+    pool = thread_pool(workers=4)
+    results, faults = pool.map_shards(slow_first, [0, 1, 2, 3])
+    assert results == [0, 1, 2, 3]
+    assert faults == []
+
+
+def test_worker_error_recovers_serially():
+    def flaky(payload):
+        if payload == 2:
+            raise RuntimeError("shard 2 exploded")
+        return payload * 10
+
+    pool = thread_pool(workers=3)
+    results, faults = pool.map_shards(flaky, [1, 2, 3],
+                                      serial_fn=lambda p: p * 10)
+    assert results == [10, 20, 30]
+    assert [f.shard for f in faults] == [1]
+    assert faults[0].kind == "error"
+    assert "shard 2 exploded" in faults[0].error
+    assert faults[0].fallback == "serial"
+
+
+def test_timeout_recovers_serially():
+    def sleepy(payload):
+        if payload == "slow":
+            time.sleep(5)
+        return payload
+
+    pool = thread_pool(worker_timeout=0.1)
+    results, faults = pool.map_shards(sleepy, ["slow", "fast"],
+                                      serial_fn=lambda p: p)
+    assert results == ["slow", "fast"]
+    assert [f.kind for f in faults] == ["timeout"]
+
+
+def test_unstartable_pool_degrades_to_all_serial(monkeypatch):
+    pool = thread_pool()
+    monkeypatch.setattr(
+        WorkerPool, "_make_executor",
+        lambda self, n: (_ for _ in ()).throw(OSError("no threads")))
+    results, faults = pool.map_shards(lambda p: p + 1, [1, 2, 3])
+    assert results == [2, 3, 4]
+    assert [f.kind for f in faults] == ["pool"] * 3
+
+
+def test_serial_fallback_failure_propagates():
+    def broken(payload):
+        raise ValueError("workload bug, not a pool problem")
+
+    pool = thread_pool()
+    with pytest.raises(ValueError):
+        pool.map_shards(broken, [1, 2])
+
+
+# -- end-to-end fault injection ---------------------------------------------
+
+
+def build(workers=2, **extra):
+    return BitGenEngine.compile(
+        PATTERNS, config=ScanConfig(geometry=TINY, workers=workers,
+                                    executor="thread",
+                                    loop_fallback=True, **extra))
+
+
+def test_injected_faults_keep_match_many_identical(monkeypatch):
+    serial = build(workers=1).match_many(STREAMS)
+    engine = build()
+    monkeypatch.setenv(FAULT_ENV, "1")
+    parallel = engine.match_many(STREAMS)
+    assert engine.last_scan_faults            # every shard faulted
+    assert all(f.kind == "error" and "InjectedFault" in f.error
+               for f in engine.last_scan_faults)
+    for left, right in zip(parallel, serial):
+        assert left.ends == right.ends
+        assert left.metrics == right.metrics
+
+
+def test_injected_faults_keep_group_scan_identical(monkeypatch):
+    serial = build(workers=1).match(DATA)
+    engine = build(workers=3)
+    monkeypatch.setenv(FAULT_ENV, "1")
+    report = engine.scan(DATA)
+    assert report.faults and all(f.kind == "error"
+                                 for f in report.faults)
+    assert report == serial.ends
+    assert report.metrics == serial.metrics
+    assert report.cta_metrics == serial.cta_metrics
+
+
+def test_clean_run_resets_faults(monkeypatch):
+    engine = build()
+    monkeypatch.setenv(FAULT_ENV, "1")
+    engine.match_many(STREAMS)
+    assert engine.last_scan_faults
+    monkeypatch.delenv(FAULT_ENV)
+    engine.match_many(STREAMS)
+    assert engine.last_scan_faults == []

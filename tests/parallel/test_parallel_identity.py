@@ -1,0 +1,192 @@
+"""Parallel scans must be bit-identical to serial scans.
+
+The dispatcher's core guarantee: sharding across workers changes wall
+clock, never results — match positions AND aggregated metrics come out
+equal because shards are built from the serial backend's own batching
+units (length classes for streams, kernel-fingerprint buckets for
+groups).
+
+Thread pools exercise the dispatch logic cheaply; one process-pool
+case covers pickling + the shared on-disk kernel cache end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import BitGenEngine
+from repro.core.schemes import Scheme
+from repro.core.streaming import StreamingMatcher
+from repro.gpu.machine import CTAGeometry
+from repro.parallel.config import ScanConfig
+from repro.parallel.scan import (ParallelScanner, parallel_sessions,
+                                 plan_group_shards, plan_stream_shards)
+
+TINY = CTAGeometry(threads=4, word_bits=8)
+
+PATTERNS = ["a(bc)*d", "colou?r", "cat|dog", "[0-9][0-9]",
+            "xy+z", "foo", "bar", "qux"]
+
+DATA = b"abcbcd colour cat 42 xyyz foo bar qux color abcd " * 20
+
+STREAMS = [DATA[:97], DATA[:200], DATA[:97], DATA[:500], DATA[:64],
+           DATA[:200], DATA[:33]]
+
+
+def build(backend, scheme=Scheme.ZBS, **dispatch):
+    return BitGenEngine.compile(
+        PATTERNS, config=ScanConfig(geometry=TINY, backend=backend,
+                                    scheme=scheme, cta_count=4,
+                                    loop_fallback=True, **dispatch))
+
+
+def assert_results_identical(parallel, serial):
+    assert len(parallel) == len(serial)
+    for left, right in zip(parallel, serial):
+        assert left.ends == right.ends
+        assert left.metrics == right.metrics
+        assert left.cta_metrics == right.cta_metrics
+
+
+# -- shard planning ----------------------------------------------------------
+
+
+def test_stream_plan_keeps_length_classes_whole():
+    plan = plan_stream_shards(STREAMS, workers=3, preserve_batches=True)
+    flat = sorted(index for shard in plan for index in shard)
+    assert flat == list(range(len(STREAMS)))
+    by_length = {}
+    for index, stream in enumerate(STREAMS):
+        by_length.setdefault(len(stream), set()).add(index)
+    for members in by_length.values():
+        holders = [i for i, shard in enumerate(plan)
+                   if members & set(shard)]
+        assert len(holders) == 1      # a length class never splits
+
+
+def test_stream_plan_per_stream_without_batches():
+    plan = plan_stream_shards(STREAMS, workers=len(STREAMS) + 3,
+                              preserve_batches=False)
+    assert sorted(i for s in plan for i in s) == list(range(len(STREAMS)))
+    assert len(plan) <= len(STREAMS)
+
+
+def test_group_plan_keeps_fingerprint_buckets_whole():
+    engine = build("compiled")
+    plan = plan_group_shards(engine, workers=3)
+    flat = sorted(index for shard in plan for index in shard)
+    assert flat == list(range(len(engine.groups)))
+    fingerprints = [c.kernel.fingerprint
+                    for c in engine._compiled_programs()]
+    for fingerprint in set(fingerprints):
+        members = {i for i, f in enumerate(fingerprints)
+                   if f == fingerprint}
+        holders = [i for i, shard in enumerate(plan)
+                   if members & set(shard)]
+        assert len(holders) == 1
+
+
+# -- match_many (stream sharding) -------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["simulate", "compiled"])
+@pytest.mark.parametrize("scheme", [Scheme.BASE, Scheme.SR, Scheme.ZBS])
+def test_match_many_identical_across_schemes(backend, scheme):
+    serial = build(backend, scheme).match_many(STREAMS)
+    parallel_engine = build(backend, scheme, workers=3,
+                            executor="thread")
+    parallel = parallel_engine.match_many(STREAMS)
+    assert_results_identical(parallel, serial)
+    assert parallel_engine.last_scan_faults == []
+
+
+def test_match_many_explicit_shard_policy():
+    serial = build("compiled").match_many(STREAMS)
+    engine = build("compiled", workers=4, executor="thread",
+                   shard="stream")
+    assert_results_identical(engine.match_many(STREAMS), serial)
+
+
+# -- single-input scan (group sharding) -------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["simulate", "compiled"])
+def test_group_sharded_scan_identical(backend):
+    serial = build(backend).match(DATA)
+    engine = build(backend, workers=3, executor="thread")
+    report = engine.scan(DATA)
+    assert report == serial.ends
+    assert report.metrics == serial.metrics
+    assert report.cta_metrics == serial.cta_metrics
+    assert report.faults == []
+
+
+def test_scanner_match_preserves_group_order():
+    serial = build("compiled").match(DATA)
+    scanner = ParallelScanner(build("compiled"),
+                              ScanConfig(geometry=TINY,
+                                         backend="compiled",
+                                         cta_count=4, workers=3,
+                                         executor="thread",
+                                         loop_fallback=True))
+    merged = scanner.match(DATA)
+    assert merged.ends == serial.ends
+    assert merged.cta_metrics == serial.cta_metrics
+    assert merged.metrics == serial.metrics
+
+
+# -- streaming sessions ------------------------------------------------------
+
+
+def test_parallel_sessions_identical():
+    chunk_lists = [
+        [DATA[:64], DATA[64:200], DATA[200:260]],
+        [DATA[:33], DATA[33:150]],
+        [DATA[:128], DATA[128:129], DATA[129:400]],
+    ]
+    serial_engine = build("simulate")
+    serial = [StreamingMatcher(serial_engine).feed_all(chunks)
+              for chunks in chunk_lists]
+    engine = build("simulate", workers=3, executor="thread")
+    reports = parallel_sessions(engine, chunk_lists)
+    for left, right in zip(reports, serial):
+        assert dict(left) == dict(right)
+        assert left.stream_offset == right.stream_offset
+        assert left.metrics == right.metrics
+        assert left.faults == []
+
+
+# -- one end-to-end process-pool case ---------------------------------------
+
+
+@pytest.mark.slow
+def test_match_many_identical_through_process_pool(tmp_path):
+    serial = build("compiled").match_many(STREAMS[:4])
+    engine = build("compiled", workers=2, executor="process",
+                   cache_dir=str(tmp_path / "kernels"))
+    parallel = engine.match_many(STREAMS[:4])
+    assert_results_identical(parallel, serial)
+    assert engine.last_scan_faults == []
+    # The shared cache was seeded parent-side for the workers.
+    assert any((tmp_path / "kernels").iterdir())
+
+
+# -- harness grid ------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_run_all_identical():
+    from repro.perf.harness import Harness
+
+    apps = ["Snort"]
+    engines = ("BitGen", "HS-1T")
+    serial = Harness(config=ScanConfig()).run_all(apps, engines)
+    parallel = Harness(
+        config=ScanConfig(workers=2, executor="thread")).run_all(
+            apps, engines)
+    assert [r.engine for r in parallel] == [r.engine for r in serial]
+    for left, right in zip(parallel, serial):
+        assert left.app == right.app
+        assert left.match_count == right.match_count
+        assert left.mbps == pytest.approx(right.mbps)
+        assert left.metrics == right.metrics
