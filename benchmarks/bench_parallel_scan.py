@@ -8,6 +8,16 @@ parallel run is checked bit-identical to serial before it is timed.
 Results land in ``BENCH_parallel.json`` as streams/sec and MB/s per
 worker count.
 
+Two input shapes are measured:
+
+* **large** — 24 streams of 16-64KB (≈1MB total), above the
+  ``min_parallel_bytes`` threshold, so workers genuinely dispatch;
+* **small** — the original 48 tiny streams (≈60KB total) that the
+  previous revision showed running 2.4-2.7x *slower* through process
+  workers than serially.  With the threshold in place the same config
+  now falls back to serial dispatch (``last_dispatch`` records
+  ``serial-small-input``), so the pathological rows collapse to ≈1x.
+
 Speedup honesty: process pools cannot beat serial on a single-CPU
 container, so the ">= serial" floor is asserted everywhere but the
 scaling assertion only arms when the machine actually has the cores
@@ -29,7 +39,6 @@ OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
 PATTERNS = ["a(bc)*d", "colou?r", "cat|dog", "[0-9][0-9]", "xy+z",
             "virus[0-9]+", "GET /[a-z]+", "foo", "bar", "qux"]
 
-STREAM_COUNT = 48
 WORKER_COUNTS = (1, 2, 4)
 
 
@@ -40,13 +49,12 @@ def available_cpus() -> int:
         return os.cpu_count() or 1
 
 
-def build_streams():
+def build_streams(count: int, lengths) -> list:
     base = (b"abcbcd colour cat 42 xyyz virus7 GET /index "
-            b"foo bar qux color abcd " * 40)
+            b"foo bar qux color abcd " * 1200)
     # Several length classes so the stream shard planner has real work.
-    lengths = [512, 1024, 1536, 2048]
     return [base[:lengths[index % len(lengths)]]
-            for index in range(STREAM_COUNT)]
+            for index in range(count)]
 
 
 def compile_engine(workers: int) -> BitGenEngine:
@@ -66,15 +74,16 @@ def best_of(fn, repeat=3):
     return best, result
 
 
-def test_parallel_scan_throughput():
-    streams = build_streams()
+def measure(streams, repeat=3):
+    """Serial vs workers over one stream set; asserts bit-identity."""
     total_bytes = sum(len(s) for s in streams)
     reference = None
     rows = []
     for workers in WORKER_COUNTS:
         engine = compile_engine(workers)
         engine.match_many(streams)       # warm: compile + seed cache
-        seconds, results = best_of(lambda: engine.match_many(streams))
+        seconds, results = best_of(lambda: engine.match_many(streams),
+                                   repeat)
         if reference is None:
             reference = results
         else:
@@ -83,38 +92,74 @@ def test_parallel_scan_throughput():
                 assert left.metrics == right.metrics
         rows.append({
             "workers": workers,
-            "executor": "process" if workers > 1 else "serial",
+            "dispatch": engine.last_dispatch,
             "seconds": seconds,
             "streams_per_sec": len(streams) / seconds,
             "mbps": total_bytes / seconds / 1e6,
             "faults": len(engine.last_scan_faults),
         })
+    return total_bytes, rows
 
-    serial = rows[0]["streams_per_sec"]
+
+def test_parallel_scan_throughput():
+    large = build_streams(24, [16384, 32768, 49152, 65536])
+    small = build_streams(48, [512, 1024, 1536, 2048])
+
+    large_bytes, large_rows = measure(large)
+    small_bytes, small_rows = measure(small)
+
+    def speedups(rows):
+        serial = rows[0]["streams_per_sec"]
+        return {str(r["workers"]): r["streams_per_sec"] / serial
+                for r in rows}
+
     payload = {
         "benchmark": "sharded parallel scan (match_many, compiled)",
         "patterns": len(PATTERNS),
-        "streams": len(streams),
-        "input_bytes": total_bytes,
         "cpus": available_cpus(),
-        "rows": rows,
-        "speedup_vs_serial": {str(r["workers"]):
-                              r["streams_per_sec"] / serial
-                              for r in rows},
+        "min_parallel_bytes": ScanConfig().min_parallel_bytes,
+        "large": {
+            "streams": len(large),
+            "input_bytes": large_bytes,
+            "rows": large_rows,
+            "speedup_vs_serial": speedups(large_rows),
+        },
+        "small_input_fallback": {
+            "streams": len(small),
+            "input_bytes": small_bytes,
+            "rows": small_rows,
+            "speedup_vs_serial": speedups(small_rows),
+        },
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
 
     print()
-    print(f"streams={len(streams)} bytes={total_bytes} "
-          f"cpus={available_cpus()}")
-    for row in rows:
-        print(f"  workers={row['workers']}: "
-              f"{row['streams_per_sec']:9.1f} streams/s "
-              f"{row['mbps']:7.2f} MB/s  faults={row['faults']}")
+    for title, nbytes, rows in (("large", large_bytes, large_rows),
+                                ("small", small_bytes, small_rows)):
+        print(f"{title}: bytes={nbytes} cpus={available_cpus()}")
+        for row in rows:
+            print(f"  workers={row['workers']} "
+                  f"[{row['dispatch']}]: "
+                  f"{row['streams_per_sec']:9.1f} streams/s "
+                  f"{row['mbps']:7.2f} MB/s  faults={row['faults']}")
+
+    # The large set is above the threshold, so workers really dispatch.
+    for row in large_rows[1:]:
+        assert row["dispatch"] == "parallel"
+    # The small set is below it: the engine must refuse the pool (the
+    # 2.4-2.7x slowdown the previous revision recorded) and fall back.
+    for row in small_rows[1:]:
+        assert row["dispatch"] == "serial-small-input"
+    # Fallback rows run the serial path, so they cannot be pathological:
+    # allow scheduling noise but nothing near the old 2.4x regression.
+    small_serial = small_rows[0]["streams_per_sec"]
+    for row in small_rows[1:]:
+        assert row["streams_per_sec"] >= 0.5 * small_serial
 
     # Scaling only exists where cores do; on a single-CPU container the
     # dispatcher must merely not lose correctness (asserted above) and
     # the numbers are recorded for the JSON artefact.
     if available_cpus() >= 4:
-        by_workers = {r["workers"]: r["streams_per_sec"] for r in rows}
+        by_workers = {r["workers"]: r["streams_per_sec"]
+                      for r in large_rows}
         assert by_workers[4] >= 2.0 * by_workers[1]

@@ -132,6 +132,7 @@ def scan_main(argv: List[str]) -> int:
         report = result.report()
         payload = report.to_dict()
         payload["file"] = name
+        payload["dispatch"] = engine.last_dispatch
         payload["faults"] = [f.to_dict() for f in engine.last_scan_faults]
         reports.append(payload)
     indent = args.indent if args.indent > 0 else None

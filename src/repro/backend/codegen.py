@@ -16,11 +16,15 @@ compiled once runs over a 1D word array (one CTA) or a stacked 2D batch
 as if each row ran its own loop — batching never changes results.
 
 Character classes are *parameters*, not constants: a MATCH_CC for byte
-``c`` compiles to ``TEXT & (b0 ^ P[..., j, 0, None]) & ...`` where
-``P[j, k]`` is all-ones when bit ``k`` of ``c`` is clear (selecting
-``~bk``) and zero when set (selecting ``bk``).  Programs that differ
-only in their byte constants therefore share one kernel and can be
-dispatched as one batched call.
+``c`` compiles against ``P[..., j, k, None]`` planes where ``P[j, k]``
+is all-ones when bit ``k`` of ``c`` is clear (selecting ``~bk``) and
+zero when set (selecting ``bk``).  Programs that differ only in their
+byte constants therefore share one kernel and can be dispatched as one
+batched call.  Each distinct parameter slot's 8-term basis expression
+is hoisted into one prologue temporary ``_cc<j>`` that every consumer
+(and every loop iteration) reuses — identical classes were deduplicated
+into one slot during canonicalisation, so the 8 ANDs and 8 XORs are
+paid once per class per kernel call.
 """
 
 from __future__ import annotations
@@ -34,9 +38,16 @@ from .fingerprint import CanonicalProgram
 #: loop is declared divergent (mirrors the interpreter's slack).
 LOOP_SLACK = 80
 
+#: CPython rejects sources beyond 100 indentation levels, and every
+#: honoured guard nests one ``if/else`` deeper.  Past this depth guards
+#: are dropped instead — they are optimisation hints, and executing a
+#: guarded span unconditionally is always safe.
+MAX_GUARD_DEPTH = 40
+
 #: Schema version of the generated source; bump on any change to the
 #: emitted code shape so persisted on-disk kernels are invalidated.
-CODEGEN_VERSION = 1
+#: 2: CC parameter slots deduplicated + hoisted into prologue temps.
+CODEGEN_VERSION = 2
 
 _BINOPS = {Op.AND.value: "&", Op.OR.value: "|", Op.XOR.value: "^"}
 
@@ -68,7 +79,7 @@ class _Emitter:
         self.canonical = canonical
         self.lines: List[str] = []
         self.consts_used: Set[str] = set()
-        self.cc_slot = 0
+        self.cc_slots_used: Set[int] = set()
         self.loop_id = 0
         self.loop_preinit: Set[str] = set()
         self._defined: Set[str] = set(canonical.tokens[1])  # inputs
@@ -105,11 +116,13 @@ class _Emitter:
         if cc_token == "empty":
             self.consts_used.add("Z")
             return "Z"
-        slot = self.cc_slot
-        self.cc_slot += 1
+        # Slot index comes from canonicalisation, which deduplicates
+        # identical classes; the basis expression itself lives in the
+        # prologue as _cc<slot>, shared by every consumer.
+        slot = int(cc_token[2:])
+        self.cc_slots_used.add(slot)
         self.consts_used.add("TEXT")
-        terms = [f"(b{k} ^ P[..., {slot}, {k}, None])" for k in range(8)]
-        return "TEXT & " + " & ".join(terms)
+        return f"_cc{slot}"
 
     # -- statements --------------------------------------------------------
 
@@ -177,7 +190,7 @@ class _Emitter:
                    act: Optional[str]) -> int:
         _, cond, skip_count = token
         span = tokens[index + 1:index + 1 + skip_count]
-        if not self.canonical.honour_guards:
+        if not self.canonical.honour_guards or depth >= MAX_GUARD_DEPTH:
             # Guards are pure optimisation hints; executing the range
             # despite a zero condition never changes results.
             return 1
@@ -223,6 +236,10 @@ def generate_source(canonical: CanonicalProgram,
         prologue.append(f"    b{k} = B[{k}]")
     for const in sorted(emitter.consts_used):
         prologue.append("    " + _CONST_INIT[const])
+    for slot in sorted(emitter.cc_slots_used):
+        terms = " & ".join(f"(b{k} ^ P[..., {slot}, {k}, None])"
+                           for k in range(8))
+        prologue.append(f"    _cc{slot} = TEXT & {terms}")
     for var in sorted(emitter.loop_preinit):
         prologue.append(f"    {var} = Z")
     body = emitter.lines or ["    pass"]

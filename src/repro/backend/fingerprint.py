@@ -75,8 +75,15 @@ def _stmt_token(stmt: Stmt, canon, cc_classes: List, visit) -> Tuple:
             if stmt.cc.is_empty():
                 cc_token = "empty"
             else:
-                cc_token = f"cc{len(cc_classes)}"
-                cc_classes.append(stmt.cc)
+                # Identical classes share one parameter slot, so the
+                # codegen's hoisted basis expression is computed once
+                # per distinct class, not once per MATCH_CC.
+                try:
+                    slot = cc_classes.index(stmt.cc)
+                except ValueError:
+                    slot = len(cc_classes)
+                    cc_classes.append(stmt.cc)
+                cc_token = f"cc{slot}"
             args = ()
         else:
             cc_token = None

@@ -136,6 +136,15 @@ class BitVector:
     def iter_positions(self) -> Iterator[int]:
         return iter(self.positions())
 
+    def match_ends(self) -> List[int]:
+        """Set cursors as match *end* positions: each set bit minus one,
+        with the empty-match cursor at position 0 dropped.  Equivalent
+        to ``[p - 1 for p in self.positions() if p > 0]`` without the
+        Python-level filter loop: clearing bit 0 and shifting down one
+        turns cursor *p* into end position *p - 1* directly."""
+        return BitVector(self.bits >> 1, max(0, self.length - 1)) \
+            .positions()
+
     def slice(self, start: int, stop: int) -> "BitVector":
         """Bits in [start, stop) as a new vector of length stop - start."""
         if not 0 <= start <= stop <= self.length:

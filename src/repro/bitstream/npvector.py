@@ -167,6 +167,20 @@ class NPBitVector:
                              bitorder="little")
         return np.flatnonzero(bits).tolist()
 
+    def match_ends(self) -> List[int]:
+        """Set cursors as match *end* positions: each set-bit index
+        minus one, dropping the empty-match cursor at position 0.
+        One vectorized subtract on the flatnonzero result replaces the
+        ``[p - 1 for p in positions() if p > 0]`` Python hot loop."""
+        if not len(self.words):
+            return []
+        bits = np.unpackbits(np.ascontiguousarray(self.words).view(np.uint8),
+                             bitorder="little")
+        ends = np.flatnonzero(bits)
+        if ends.size and ends[0] == 0:
+            ends = ends[1:]
+        return (ends - 1).tolist()
+
     def __eq__(self, other) -> bool:
         return (isinstance(other, NPBitVector)
                 and self.length == other.length

@@ -20,7 +20,8 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..gpu.machine import DEFAULT_GEOMETRY, CTAGeometry
 from ..gpu.metrics import KernelMetrics
 from ..ir.lower import lower_group
-from ..ir.optimize import optimize_program
+from ..ir.passes import (LEVEL2_PREGUARD_PASSES, PipelineReport,
+                         optimize_pipeline)
 from ..ir.program import Program
 from ..parallel.config import UNSET, ScanConfig, resolve_config
 from ..parallel.report import ScanReport
@@ -46,6 +47,9 @@ class CompiledGroup:
     group: RegexGroup
     program: Program
     barrier_plan: Optional[BarrierPlan] = None
+    #: merged per-pass optimizer accounting (pre- and post-rebalance
+    #: pipeline runs); None when compiled at opt_level 0.
+    opt_report: Optional[PipelineReport] = None
 
 
 @dataclass
@@ -93,6 +97,10 @@ class BitGenEngine(Engine):
         #: faults of the most recent parallel dispatch (always empty
         #: after a serial scan)
         self.last_scan_faults: list = []
+        #: how the most recent scan/match_many dispatched: "serial",
+        #: "parallel", or "serial-small-input" (workers requested but
+        #: the input was below ``min_parallel_bytes``)
+        self.last_dispatch: str = "serial"
         self._reversed_engine: Optional["BitGenEngine"] = None
         self._compiled_group_cache: Optional[list] = None
 
@@ -187,28 +195,54 @@ class BitGenEngine(Engine):
         scheme = config.scheme
         geometry = config.geometry if config.geometry is not None \
             else DEFAULT_GEOMETRY
+        level = config.effective_opt_level()
         compiled: List[CompiledGroup] = []
         for group in groups:
             members = [nodes[i] for i in group.indices]
             names = [f"R{i}" for i in group.indices]
-            program = lower_group(members, names=names)
-            if config.optimize:
-                program = optimize_program(program)
-            program = cls._transform(program, scheme, config.merge_size,
-                                     config.interval_size, geometry)
+            # opt_level=0 compiles the raw syntax-directed translation:
+            # no construction-time value numbering, no passes.  Levels
+            # >= 1 keep value-numbered lowering (the historical
+            # baseline) and layer the pass pipeline on top.
+            program = lower_group(members, names=names,
+                                  value_number=level > 0)
+            program, report = cls._transform(
+                program, scheme, level, config.interval_size)
             plan = cls._plan(program, scheme, config.merge_size,
                              geometry)
-            compiled.append(CompiledGroup(group, program, plan))
+            compiled.append(CompiledGroup(group, program, plan, report))
         return cls(compiled, len(nodes), nodes=nodes, config=config)
 
     @staticmethod
-    def _transform(program: Program, scheme: Scheme, merge_size: int,
-                   interval_size: int, geometry: CTAGeometry) -> Program:
+    def _transform(program: Program, scheme: Scheme, level: int,
+                   interval_size: int
+                   ) -> "tuple[Program, Optional[PipelineReport]]":
+        """The per-scheme transformation pipeline.  The optimizer runs
+        twice — on the lowered program and again after Shift
+        Rebalancing (whose region restructuring mints fresh names the
+        builder never value-numbered) — and always before guard
+        insertion, so no pass has to reason about live ``SkipGuard``
+        spans on this path.
+
+        Zero-skipping schemes defer CSE until after guard insertion:
+        global CSE merges subexpressions across zero paths, which
+        interleaves the chains the guard planner needs contiguous and
+        shrinks the skippable spans (a measured net loss on zero-heavy
+        workloads).  Post-guard CSE never registers facts inside a
+        guard span, so sharing cannot cross a skip region."""
+        pre = LEVEL2_PREGUARD_PASSES \
+            if scheme.zero_skipping and level >= 2 else None
+        program, report = optimize_pipeline(program, level, passes=pre)
         if scheme.rebalanced:
             program = rebalance_program(program)
+            program, post = optimize_pipeline(program, level, passes=pre)
+            report = report.merged_with(post)
         if scheme.zero_skipping:
             program = insert_guards(program, interval=interval_size)
-        return program
+            if level >= 2:
+                program, post = optimize_pipeline(program, level)
+                report = report.merged_with(post)
+        return program, (report if level > 0 else None)
 
     @staticmethod
     def _plan(program: Program, scheme: Scheme, merge_size: int,
@@ -269,8 +303,7 @@ class BitGenEngine(Engine):
             for out in compiled.program.outputs:
                 stream = NPBitVector(np.asarray(raw[out],
                                                 dtype=np.uint64), length)
-                result.ends[int(out[1:])] = [
-                    p - 1 for p in stream.positions() if p > 0]
+                result.ends[int(out[1:])] = stream.match_ends()
         return result
 
     def _run_group(self, compiled: CompiledGroup,
@@ -298,15 +331,27 @@ class BitGenEngine(Engine):
         backend, equal-length streams batch into single 2D kernel
         calls per group (:func:`~repro.backend.dispatch_streams`).
 
-        When the effective config requests ``workers > 1``, streams
-        are sharded across a worker pool (:mod:`repro.parallel`);
-        results are bit-identical to the serial path.
+        When the effective config requests ``workers > 1`` and the
+        combined input clears ``min_parallel_bytes``, streams are
+        sharded across a worker pool (:mod:`repro.parallel`); results
+        are bit-identical to the serial path.  Below the threshold the
+        scan silently runs serial (``last_dispatch`` records why).
         """
         effective = config if config is not None else self.config
+        total_bytes = sum(len(stream) for stream in streams)
         if effective.parallel_enabled():
-            from ..parallel.scan import parallel_match_many
+            if effective.parallel_for_bytes(total_bytes):
+                from ..parallel.scan import parallel_match_many
 
-            return parallel_match_many(self, streams, effective)
+                results = parallel_match_many(self, streams, effective)
+                # Set after the call: worker fallbacks re-enter
+                # match_many on this engine with a serial config and
+                # would otherwise clobber the top-level decision.
+                self.last_dispatch = "parallel"
+                return results
+            self.last_dispatch = "serial-small-input"
+        else:
+            self.last_dispatch = "serial"
         if self.backend == "compiled":
             return self._match_many_compiled(streams)
         return [self.match(stream) for stream in streams]
@@ -317,14 +362,23 @@ class BitGenEngine(Engine):
         ``workers > 1`` the engine's CTA groups are sharded across a
         worker pool (whole kernel-fingerprint buckets per shard, so
         batched dispatch survives); the merged report is bit-identical
-        to a serial :meth:`match`."""
+        to a serial :meth:`match`.  Inputs below
+        ``min_parallel_bytes`` skip the pool: the report's ``dispatch``
+        field records ``"serial-small-input"``."""
         effective = config if config is not None else self.config
         if effective.parallel_enabled():
-            from ..parallel.scan import parallel_match
+            if effective.parallel_for_bytes(len(data)):
+                from ..parallel.scan import parallel_match
 
-            result = parallel_match(self, data, effective)
+                result = parallel_match(self, data, effective)
+                self.last_dispatch = "parallel"
+                return ScanReport.from_result(
+                    result, faults=list(self.last_scan_faults),
+                    dispatch="parallel")
+            self.last_dispatch = "serial-small-input"
             return ScanReport.from_result(
-                result, faults=list(self.last_scan_faults))
+                self.match(data), dispatch="serial-small-input")
+        self.last_dispatch = "serial"
         return self.match(data).report()
 
     def _match_many_compiled(self,
@@ -350,8 +404,7 @@ class BitGenEngine(Engine):
                 for out in compiled.program.outputs:
                     vec = NPBitVector(np.asarray(raw[out],
                                                  dtype=np.uint64), length)
-                    result.ends[int(out[1:])] = [
-                        p - 1 for p in vec.positions() if p > 0]
+                    result.ends[int(out[1:])] = vec.match_ends()
         return results
 
     def match_starts(self, data: bytes) -> BitGenResult:
@@ -381,12 +434,51 @@ class BitGenEngine(Engine):
     # -- introspection ---------------------------------------------------------
 
     def program_stats(self) -> Dict[str, int]:
-        """Aggregate instruction mix over all groups (Table 1 columns)."""
+        """Aggregate instruction mix over all groups (Table 1 columns),
+        plus the optimizer's net effect: ``instrs`` is the static
+        instruction count actually compiled and ``optimized_away`` what
+        the pass pipeline removed relative to raw lowering."""
         totals = {"and": 0, "or": 0, "not": 0, "shift": 0, "while": 0}
+        instrs = 0
+        removed = 0
         for compiled in self.groups:
             for key, value in compiled.program.op_counts().items():
                 totals[key] += value
+            instrs += compiled.program.instruction_count()
+            if compiled.opt_report is not None:
+                removed += compiled.opt_report.ops_removed
+        totals["instrs"] = instrs
+        totals["optimized_away"] = removed
         return totals
+
+    def optimization_stats(self) -> Dict[str, object]:
+        """Per-pass optimizer accounting, merged over all groups: what
+        each pass rewrote and removed at this engine's ``opt_level``."""
+        level = self.config.effective_opt_level()
+        merged: Dict[str, object] = {
+            "opt_level": level,
+            "instrs_before": 0,
+            "instrs_after": 0,
+            "ops_removed": 0,
+            "passes": {},
+        }
+        passes: Dict[str, Dict[str, int]] = merged["passes"]
+        for compiled in self.groups:
+            report = compiled.opt_report
+            if report is None:
+                count = compiled.program.instruction_count()
+                merged["instrs_before"] += count
+                merged["instrs_after"] += count
+                continue
+            merged["instrs_before"] += report.before
+            merged["instrs_after"] += report.after
+            merged["ops_removed"] += report.ops_removed
+            for delta in report.passes:
+                entry = passes.setdefault(
+                    delta.name, {"rewrites": 0, "ops_removed": 0})
+                entry["rewrites"] += delta.rewrites
+                entry["ops_removed"] += delta.ops_removed
+        return merged
 
     def render_kernels(self) -> str:
         """CUDA-like source of every group's kernel."""

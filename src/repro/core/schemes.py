@@ -58,5 +58,5 @@ class ExecutionResult:
 
     def match_ends(self) -> Dict[str, list]:
         """Match end positions per output (cursor convention - 1)."""
-        return {name: [p - 1 for p in stream.positions() if p > 0]
+        return {name: stream.match_ends()
                 for name, stream in self.outputs.items()}

@@ -35,7 +35,7 @@ class CCCompiler:
     def compile(self, cc: CharClass) -> str:
         """Emit instructions computing the match stream of ``cc``;
         returns the result variable."""
-        if cc in self._results:
+        if cc in self._results and self.builder.value_number:
             return self._results[cc]
         expr = self._expand(0, cc._mask())
         var = self._finalize(cc, expr)
@@ -69,8 +69,10 @@ class CCCompiler:
             return FALSE
         if submask == full:
             return TRUE
+        # Subcube sharing is value numbering one level up; a builder
+        # compiling raw (opt_level=0) code must not get it for free.
         key = (depth, submask)
-        if key in self._memo:
+        if key in self._memo and self.builder.value_number:
             return self._memo[key]
 
         half = size // 2

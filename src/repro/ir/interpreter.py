@@ -200,7 +200,7 @@ class Interpreter:
 def match_positions(outputs: Dict[str, BitVector]) -> Dict[str, List[int]]:
     """Convert cursor-set outputs into match *end* positions (cursor - 1),
     dropping the empty match at cursor 0."""
-    return {name: [pos - 1 for pos in stream.positions() if pos > 0]
+    return {name: stream.match_ends()
             for name, stream in outputs.items()}
 
 

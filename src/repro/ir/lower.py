@@ -110,28 +110,36 @@ class _Lowerer:
 
 def lower_regex(node: ast.Regex, name: str = "R0",
                 builder: Optional[ProgramBuilder] = None,
-                normalise: bool = True) -> Program:
+                normalise: bool = True,
+                value_number: bool = True) -> Program:
     """Lower one regex AST into a complete program."""
     return lower_group([node], names=[name], builder=builder,
-                       normalise=normalise)
+                       normalise=normalise, value_number=value_number)
 
 
 def lower_group(nodes: Sequence[ast.Regex],
                 names: Optional[Sequence[str]] = None,
                 builder: Optional[ProgramBuilder] = None,
-                normalise: bool = True) -> Program:
+                normalise: bool = True,
+                value_number: bool = True) -> Program:
     """Lower a group of regexes into one shared program (Section 3.1:
     each CTA runs the program of one regex group).
 
     Outputs are cursor-set streams, one per regex; match end positions
     are each set cursor minus one.
+
+    ``value_number=False`` emits the raw syntax-directed translation
+    with no construction-time deduplication (subexpression sharing is
+    the optimizer's job at ``opt_level >= 1``; an ``opt_level=0``
+    engine compiles this form untouched).
     """
     if names is None:
         names = [f"R{i}" for i in range(len(nodes))]
     if len(names) != len(nodes):
         raise ValueError("names/nodes length mismatch")
     if builder is None:
-        builder = ProgramBuilder(name="+".join(names) or "empty_group")
+        builder = ProgramBuilder(name="+".join(names) or "empty_group",
+                                 value_number=value_number)
     lowerer = _Lowerer(builder)
     prepared = []
     for node in nodes:

@@ -6,11 +6,15 @@ empty-match stripping, occasional unused subcomputations.  These passes
 shrink programs before the BitGen-specific transformations run; they
 are semantics-preserving and conservative around loop-carried
 (reassigned) variables, whose identity is load-bearing.
+
+``optimize_program`` is the classic (opt_level 1) cleanup.  The full
+pipeline — CSE, algebraic simplification, shift coalescing, plus these
+cleanups run to a joint fixpoint — lives in :mod:`repro.ir.passes`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
 from .instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
 from .program import Program
@@ -23,24 +27,16 @@ def optimize_program(program: Program) -> Program:
     statements = program.statements
     for _ in range(_MAX_ROUNDS):
         mutable = _mutable_vars(statements)
-        propagated = _propagate_copies(statements, mutable,
-                                       set(program.outputs.values()))
-        cleaned = _eliminate_dead(propagated,
-                                  set(program.outputs.values()))
-        if _render_all(cleaned) == _render_all(statements):
-            statements = cleaned
+        statements, copies_changed = _propagate_copies(
+            statements, mutable, set(program.outputs.values()))
+        statements, dce_changed = _eliminate_dead(
+            statements, set(program.outputs.values()))
+        if not (copies_changed or dce_changed):
             break
-        statements = cleaned
     result = Program(name=program.name, statements=statements,
                      outputs=dict(program.outputs), inputs=program.inputs)
     result.validate()
     return result
-
-
-def _render_all(stmts: Sequence[Stmt]) -> str:
-    from .instructions import render_stmt
-
-    return "\n".join(render_stmt(s) for s in stmts)
 
 
 def _mutable_vars(stmts: Sequence[Stmt]) -> Set[str]:
@@ -61,11 +57,13 @@ def _mutable_vars(stmts: Sequence[Stmt]) -> Set[str]:
 
 
 def _propagate_copies(stmts: Sequence[Stmt], mutable: Set[str],
-                      outputs: Set[str]) -> List[Stmt]:
+                      outputs: Set[str]) -> Tuple[List[Stmt], int]:
     """Rewrite uses of ``x`` to ``y`` for immutable ``x = COPY(y)`` of
     immutable ``y``.  The copy itself is removed later by DCE unless it
-    is an output."""
+    is an output.  Returns the rewritten statements plus the number of
+    statements whose operands actually changed."""
     alias: Dict[str, str] = {}
+    changed = 0
 
     def resolve(name: str) -> str:
         seen = set()
@@ -75,11 +73,13 @@ def _propagate_copies(stmts: Sequence[Stmt], mutable: Set[str],
         return name
 
     def visit(items) -> List[Stmt]:
+        nonlocal changed
         out: List[Stmt] = []
         for stmt in items:
             if isinstance(stmt, Instr):
                 args = tuple(resolve(a) for a in stmt.args)
                 if args != stmt.args:
+                    changed += 1
                     stmt = Instr(stmt.dest, stmt.op, args,
                                  shift=stmt.shift, cc=stmt.cc,
                                  const=stmt.const)
@@ -88,25 +88,32 @@ def _propagate_copies(stmts: Sequence[Stmt], mutable: Set[str],
                     alias[stmt.dest] = stmt.args[0]
                 out.append(stmt)
             elif isinstance(stmt, WhileLoop):
-                out.append(WhileLoop(resolve(stmt.cond),
-                                     visit(stmt.body)))
+                cond = resolve(stmt.cond)
+                if cond != stmt.cond:
+                    changed += 1
+                out.append(WhileLoop(cond, visit(stmt.body)))
             elif isinstance(stmt, SkipGuard):
-                out.append(SkipGuard(resolve(stmt.cond),
-                                     stmt.skip_count))
+                cond = resolve(stmt.cond)
+                if cond != stmt.cond:
+                    changed += 1
+                out.append(SkipGuard(cond, stmt.skip_count))
             else:
                 out.append(stmt)
         return out
 
-    return visit(stmts)
+    return visit(stmts), changed
 
 
-def _eliminate_dead(stmts: Sequence[Stmt], outputs: Set[str]) -> List[Stmt]:
+def _eliminate_dead(stmts: Sequence[Stmt],
+                    outputs: Set[str]) -> Tuple[List[Stmt], int]:
     """Drop instructions whose result is never observed.  Conservative:
     anything used anywhere (including loop conditions and guards),
     reassigned, or exported survives.  Guards are rebuilt so their skip
-    counts stay aligned with the surviving statements."""
+    counts stay aligned with the surviving statements.  Returns the
+    surviving statements plus the number of instructions dropped."""
     live: Set[str] = set(outputs)
     mutable = _mutable_vars(stmts)
+    changed = 0
 
     def collect(items):
         for stmt in items:
@@ -124,6 +131,7 @@ def _eliminate_dead(stmts: Sequence[Stmt], outputs: Set[str]) -> List[Stmt]:
         return stmt.dest in live or stmt.dest in mutable
 
     def visit(items) -> List[Stmt]:
+        nonlocal changed
         out: List[Stmt] = []
         pending: List = []  # [guard, remaining original span, kept count]
 
@@ -144,6 +152,8 @@ def _eliminate_dead(stmts: Sequence[Stmt], outputs: Set[str]) -> List[Stmt]:
                 account(survives)
                 if survives:
                     out.append(stmt)
+                else:
+                    changed += 1
             elif isinstance(stmt, WhileLoop):
                 account(True)
                 out.append(WhileLoop(stmt.cond, visit(stmt.body)))
@@ -157,4 +167,4 @@ def _eliminate_dead(stmts: Sequence[Stmt], outputs: Set[str]) -> List[Stmt]:
                 out[index] = SkipGuard(guard.cond, kept)
         return out
 
-    return visit(stmts)
+    return visit(stmts), changed

@@ -1,0 +1,32 @@
+"""Structural optimization passes over bitstream programs.
+
+:mod:`repro.ir.optimize` holds the opt_level-1 cleanups (copy
+propagation + DCE).  This package adds the opt_level-2 pipeline:
+
+* :mod:`repro.ir.passes.cse` — common-subexpression elimination
+* :mod:`repro.ir.passes.algebraic` — constant folding / simplification
+* :mod:`repro.ir.passes.shift_coalesce` — SHIFT-chain merging
+* :mod:`repro.ir.passes.pipeline` — ``PassPipeline`` running all of the
+  above plus the cleanups to a joint fixpoint, with per-pass deltas
+  collected in a ``PipelineReport``.
+"""
+
+from .algebraic import simplify_algebraic
+from .cse import eliminate_common_subexpressions
+from .pipeline import (LEVEL1_PASSES, LEVEL2_PASSES,
+                       LEVEL2_PREGUARD_PASSES, PassDelta, PassPipeline,
+                       PipelineReport, optimize_pipeline)
+from .shift_coalesce import coalesce_shift_chains
+
+__all__ = [
+    "LEVEL1_PASSES",
+    "LEVEL2_PASSES",
+    "LEVEL2_PREGUARD_PASSES",
+    "PassDelta",
+    "PassPipeline",
+    "PipelineReport",
+    "coalesce_shift_chains",
+    "eliminate_common_subexpressions",
+    "optimize_pipeline",
+    "simplify_algebraic",
+]

@@ -1,0 +1,91 @@
+"""Shared scope/guard bookkeeping for the structural passes.
+
+Every pass in this package walks statement blocks with the same two
+pieces of conservatism:
+
+* **Loop scoping.**  Facts learned inside a ``WhileLoop`` body must not
+  escape it — a body may execute zero times, so a definition made there
+  is not available to statements after the loop.  Facts from enclosing
+  blocks *are* visible inside the body (def-before-use across a loop
+  entry is fine: the def ran before the loop did).  ``ScopeChain``
+  models this as a stack of dicts.
+
+* **Guard spans.**  Statements covered by a ``SkipGuard`` may be
+  skipped at runtime, with their destinations zero-filled in the
+  environment.  Reading such a destination from *outside* the span is
+  only sound when the guard inserter proved the value zero under the
+  skip condition — a property individual passes cannot re-derive.  The
+  safe discipline, used by every pass here, is: statements inside a
+  span may be *rewritten in place* (to something value-equal given the
+  same environment) but never *registered* as facts for later reuse.
+  ``GuardTracker`` reports whether the current statement sits inside
+  any open span.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, List, Optional, TypeVar
+
+_V = TypeVar("_V")
+
+
+class ScopeChain(Generic[_V]):
+    """A stack of fact dictionaries with enclosing-scope lookup."""
+
+    def __init__(self) -> None:
+        self._stack: List[Dict[str, _V]] = [{}]
+
+    def push(self) -> None:
+        self._stack.append({})
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    def get(self, key: str) -> Optional[_V]:
+        for scope in reversed(self._stack):
+            if key in scope:
+                return scope[key]
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def set(self, key: str, value: _V) -> None:
+        self._stack[-1][key] = value
+
+    def discard(self, key: str) -> None:
+        """Remove ``key`` from every level (used when a var is found to
+        no longer match a previously registered fact)."""
+        for scope in self._stack:
+            scope.pop(key, None)
+
+
+class GuardTracker:
+    """Tracks open ``SkipGuard`` spans within one statement block.
+
+    Usage per statement, in order:
+
+    * ``in_span()`` — whether the *next* statement is covered;
+    * ``step()`` — consume one slot from each open span (the statement
+      itself, guard or not, occupies a slot of every enclosing span);
+    * ``open(count)`` — after ``step()``, when the statement was a
+      guard, open its own span.
+
+    Spans never cross block boundaries (``Program.validate`` forbids
+    guards skipping over while loops), so each block gets a fresh
+    tracker.
+    """
+
+    def __init__(self) -> None:
+        self._remaining: List[int] = []
+
+    def in_span(self) -> bool:
+        return any(count > 0 for count in self._remaining)
+
+    def step(self) -> None:
+        self._remaining = [count - 1 for count in self._remaining
+                          if count > 1]
+
+    def open(self, count: int) -> None:
+        if count > 0:
+            self._remaining.append(count)

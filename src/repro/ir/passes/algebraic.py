@@ -1,0 +1,173 @@
+"""Algebraic simplification and constant folding.
+
+Identities over bitstreams, seeded from ``CONST`` definitions:
+
+===========================  ==========================
+``x & x``                    ``x``
+``x & <ones>``               ``x``
+``x & <zero>``               ``<zero>``
+``x | x``                    ``x``
+``x | <zero>``               ``x``
+``x | <ones>``               ``<ones>``
+``x ^ x``                    ``<zero>``
+``x ^ <zero>``               ``x``
+``x ^ <ones>``               ``~x``
+``x &~ x``                   ``<zero>``
+``x &~ <zero>``              ``x``
+``x &~ <ones>``              ``<zero>``
+``<zero> &~ x``              ``<zero>``
+``<ones> &~ x``              ``~x``
+``~~x``                      ``x``
+``~<zero>``                  ``<ones>``
+``~<ones>``                  ``<zero>``
+``<zero> >> n``              ``<zero>``
+``match(empty-class)``       ``<zero>``
+===========================  ==========================
+
+Rewrites replace one instruction with one instruction (a ``COPY``, a
+``CONST``, or a cheaper op), so block statement counts — and with them
+``SkipGuard.skip_count`` spans — are untouched.  Folded constants
+cascade within a single run: once ``d`` is rewritten to ``<zero>`` it
+immediately participates in later folds.
+
+The conservatism mirrors :mod:`repro.ir.passes.cse`: loop-carried
+variables are never touched, facts learned in a loop body or inside a
+guard span never escape it, and span-resident instructions may be
+rewritten (the replacement reads the same environment) but never
+contribute facts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..instructions import (CONST_ONES, CONST_ZERO, Instr, Op, SkipGuard,
+                            Stmt, WhileLoop)
+from ..optimize import _mutable_vars
+from ..program import Program
+from ._scopes import GuardTracker, ScopeChain
+
+
+def simplify_algebraic(program: Program) -> Tuple[Program, int]:
+    """Return ``(program, changes)`` with algebraic identities folded."""
+    mutable = _mutable_vars(program.statements)
+    kinds: ScopeChain[str] = ScopeChain()   # var -> "zero" | "ones"
+    defs: ScopeChain[Instr] = ScopeChain()  # var -> defining Instr
+    changed = 0
+
+    def kind_of(name: str) -> Optional[str]:
+        if name in mutable:
+            return None
+        return kinds.get(name)
+
+    def visit(items: Sequence[Stmt]) -> List[Stmt]:
+        nonlocal changed
+        out: List[Stmt] = []
+        guards = GuardTracker()
+        for stmt in items:
+            if isinstance(stmt, Instr):
+                in_span = guards.in_span()
+                guards.step()
+                rewritten = _simplify(stmt)
+                if rewritten is not None:
+                    changed += 1
+                    stmt = rewritten
+                if stmt.dest not in mutable and not in_span:
+                    defs.set(stmt.dest, stmt)
+                    if stmt.op is Op.CONST and stmt.const in (
+                            CONST_ZERO, CONST_ONES):
+                        kinds.set(stmt.dest, stmt.const)
+                out.append(stmt)
+            elif isinstance(stmt, WhileLoop):
+                guards.step()
+                kinds.push()
+                defs.push()
+                body = visit(stmt.body)
+                kinds.pop()
+                defs.pop()
+                out.append(WhileLoop(stmt.cond, body))
+            elif isinstance(stmt, SkipGuard):
+                guards.step()
+                guards.open(stmt.skip_count)
+                out.append(stmt)
+            else:
+                guards.step()
+                out.append(stmt)
+        return out
+
+    def _simplify(instr: Instr) -> Optional[Instr]:
+        if instr.dest in mutable or any(a in mutable for a in instr.args):
+            return None
+        d = instr.dest
+
+        def copy(src: str) -> Instr:
+            return Instr(d, Op.COPY, (src,))
+
+        def const(kind: str) -> Instr:
+            return Instr(d, Op.CONST, const=kind)
+
+        if instr.op in (Op.AND, Op.OR, Op.XOR, Op.ANDN):
+            a, b = instr.args
+            ka, kb = kind_of(a), kind_of(b)
+            if instr.op is Op.AND:
+                if a == b or kb == CONST_ONES:
+                    return copy(a)
+                if ka == CONST_ONES:
+                    return copy(b)
+                if ka == CONST_ZERO:
+                    return copy(a)
+                if kb == CONST_ZERO:
+                    return copy(b)
+            elif instr.op is Op.OR:
+                if a == b or kb == CONST_ZERO:
+                    return copy(a)
+                if ka == CONST_ZERO:
+                    return copy(b)
+                if ka == CONST_ONES:
+                    return copy(a)
+                if kb == CONST_ONES:
+                    return copy(b)
+            elif instr.op is Op.XOR:
+                if a == b:
+                    return const(CONST_ZERO)
+                if kb == CONST_ZERO:
+                    return copy(a)
+                if ka == CONST_ZERO:
+                    return copy(b)
+                if kb == CONST_ONES:
+                    return Instr(d, Op.NOT, (a,))
+                if ka == CONST_ONES:
+                    return Instr(d, Op.NOT, (b,))
+            else:  # ANDN: a & ~b
+                if a == b or ka == CONST_ZERO or kb == CONST_ONES:
+                    return const(CONST_ZERO)
+                if kb == CONST_ZERO:
+                    return copy(a)
+                if ka == CONST_ONES:
+                    return Instr(d, Op.NOT, (b,))
+            return None
+        if instr.op is Op.NOT:
+            (a,) = instr.args
+            ka = kind_of(a)
+            if ka == CONST_ZERO:
+                return const(CONST_ONES)
+            if ka == CONST_ONES:
+                return const(CONST_ZERO)
+            inner = defs.get(a)
+            if (inner is not None and inner.op is Op.NOT
+                    and inner.args[0] not in mutable):
+                return copy(inner.args[0])
+            return None
+        if instr.op is Op.SHIFT:
+            if kind_of(instr.args[0]) == CONST_ZERO:
+                return copy(instr.args[0])
+            return None
+        if instr.op is Op.MATCH_CC:
+            if instr.cc is not None and instr.cc.is_empty():
+                return const(CONST_ZERO)
+            return None
+        return None
+
+    result = Program(name=program.name, statements=visit(program.statements),
+                     outputs=dict(program.outputs), inputs=program.inputs)
+    return result, changed

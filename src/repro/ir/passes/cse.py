@@ -1,0 +1,104 @@
+"""Common-subexpression elimination for bitstream programs.
+
+Lowering value-numbers expressions through ``ProgramBuilder``, but only
+at the top level — loop bodies are never cached (they may execute more
+than once over mutating state), and the rebalancer introduces fresh
+names for expressions that already exist under another name.  This pass
+closes both gaps structurally: two instructions with the same operation,
+operands, shift distance, const kind, and character class compute the
+same stream, so the later one becomes a ``COPY`` of the earlier
+destination.  Copy propagation and DCE then erase the copy.
+
+Rewriting in place (rather than deleting) keeps the statement count of
+every block unchanged, so ``SkipGuard.skip_count`` spans stay aligned
+without any rebuild here.
+
+Conservatism:
+
+* instructions whose destination or any operand is loop-carried
+  (reassigned) are neither rewritten nor registered — their identity is
+  positional, not structural;
+* ``AND``/``OR``/``XOR`` operand order is normalised so commutative
+  duplicates still match;
+* expressions computed inside a loop body are only reused within that
+  body (the body may run zero times); facts flow *into* loops but never
+  out;
+* expressions computed inside a ``SkipGuard`` span are never registered
+  — when the guard fires their destinations are zero-filled, which is
+  only known sound for the reads the guard inserter analysed, not for
+  new aliases this pass would mint.  They may still be *replaced* by an
+  earlier out-of-span twin: a COPY reading the twin sees the same
+  environment the original operands did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ..instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
+from ..optimize import _mutable_vars
+from ..program import Program
+from ._scopes import GuardTracker, ScopeChain
+
+_COMMUTATIVE = frozenset((Op.AND, Op.OR, Op.XOR))
+
+
+def _key(instr: Instr):
+    args = instr.args
+    if instr.op in _COMMUTATIVE:
+        args = tuple(sorted(args))
+    cc = instr.cc.ranges if instr.cc is not None else None
+    return (instr.op.value, args, instr.shift, instr.const, cc)
+
+
+def eliminate_common_subexpressions(
+        program: Program) -> Tuple[Program, int]:
+    """Return ``(program, changes)`` with structural duplicates turned
+    into ``COPY`` of their first occurrence."""
+    mutable = _mutable_vars(program.statements)
+    table: ScopeChain[str] = ScopeChain()
+    changed = 0
+
+    def visit(items: Sequence[Stmt]) -> List[Stmt]:
+        nonlocal changed
+        out: List[Stmt] = []
+        guards = GuardTracker()
+        for stmt in items:
+            if isinstance(stmt, Instr):
+                in_span = guards.in_span()
+                guards.step()
+                stmt = _rewrite(stmt, in_span)
+                out.append(stmt)
+            elif isinstance(stmt, WhileLoop):
+                guards.step()
+                table.push()
+                body = visit(stmt.body)
+                table.pop()
+                out.append(WhileLoop(stmt.cond, body))
+            elif isinstance(stmt, SkipGuard):
+                guards.step()
+                guards.open(stmt.skip_count)
+                out.append(stmt)
+            else:
+                guards.step()
+                out.append(stmt)
+        return out
+
+    def _rewrite(instr: Instr, in_span: bool) -> Instr:
+        nonlocal changed
+        if instr.dest in mutable or any(a in mutable for a in instr.args):
+            return instr
+        if instr.op is Op.COPY:
+            return instr  # copy propagation's job
+        key = _key(instr)
+        prior = table.get(key)
+        if prior is not None and prior != instr.dest:
+            changed += 1
+            return Instr(instr.dest, Op.COPY, (prior,))
+        if prior is None and not in_span:
+            table.set(key, instr.dest)
+        return instr
+
+    result = Program(name=program.name, statements=visit(program.statements),
+                     outputs=dict(program.outputs), inputs=program.inputs)
+    return result, changed

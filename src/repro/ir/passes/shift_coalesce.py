@@ -1,0 +1,84 @@
+"""Shift coalescing: merge chains of SHIFT-only dataflow.
+
+``y = x >> a; d = y >> b`` becomes ``d = x >> (a + b)`` whenever the
+two distances point the same direction; the inner shift dies through
+DCE once nothing else reads it.  Every merged link removes one barrier
+pair from the interleaved simulator and one ``_shu``/``_shd`` word loop
+from the compiled backend, which is where the rebalancer's long literal
+chains pay this off.
+
+Same-sign only: bits shifted past either end of the stream are lost, so
+``(x >> a) << a != x`` in general — opposite-direction links do not
+compose.  Same-sign sums also never reach zero, so the rewrite always
+stays a valid ``SHIFT``.
+
+Chains collapse transitively in one run: a rewritten shift is itself
+registered, so ``((x >> 1) >> 1) >> 1`` needs one pass, not three.
+
+Conservatism matches the other passes: the outer and inner destinations
+and the ultimate source must all be immutable (a reassigned source
+would make the merged shift read a different value than the inner shift
+saw), inner definitions are only visible within their own block scope,
+and definitions inside ``SkipGuard`` spans are not registered — though
+a span-resident *outer* shift may still be rewritten, since the merged
+form reads the same environment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..instructions import Instr, Op, SkipGuard, Stmt, WhileLoop
+from ..optimize import _mutable_vars
+from ..program import Program
+from ._scopes import GuardTracker, ScopeChain
+
+
+def _same_sign(a: int, b: int) -> bool:
+    return (a > 0) == (b > 0)
+
+
+def coalesce_shift_chains(program: Program) -> Tuple[Program, int]:
+    """Return ``(program, changes)`` with shift-of-shift links merged."""
+    mutable = _mutable_vars(program.statements)
+    shifts: ScopeChain[Instr] = ScopeChain()  # var -> its SHIFT def
+    changed = 0
+
+    def visit(items: Sequence[Stmt]) -> List[Stmt]:
+        nonlocal changed
+        out: List[Stmt] = []
+        guards = GuardTracker()
+        for stmt in items:
+            if isinstance(stmt, Instr):
+                in_span = guards.in_span()
+                guards.step()
+                if (stmt.op is Op.SHIFT and stmt.dest not in mutable
+                        and stmt.args[0] not in mutable):
+                    inner = shifts.get(stmt.args[0])
+                    if (inner is not None
+                            and inner.args[0] not in mutable
+                            and _same_sign(inner.shift, stmt.shift)):
+                        changed += 1
+                        stmt = Instr(stmt.dest, Op.SHIFT, (inner.args[0],),
+                                     shift=inner.shift + stmt.shift)
+                    if not in_span:
+                        shifts.set(stmt.dest, stmt)
+                out.append(stmt)
+            elif isinstance(stmt, WhileLoop):
+                guards.step()
+                shifts.push()
+                body = visit(stmt.body)
+                shifts.pop()
+                out.append(WhileLoop(stmt.cond, body))
+            elif isinstance(stmt, SkipGuard):
+                guards.step()
+                guards.open(stmt.skip_count)
+                out.append(stmt)
+            else:
+                guards.step()
+                out.append(stmt)
+        return out
+
+    result = Program(name=program.name, statements=visit(program.statements),
+                     outputs=dict(program.outputs), inputs=program.inputs)
+    return result, changed

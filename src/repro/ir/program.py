@@ -106,10 +106,17 @@ class ProgramBuilder:
     Pure expressions (logic over never-reassigned variables) are
     deduplicated; anything computed inside a while loop or applied to a
     reassigned variable is not, since its value is iteration-dependent.
+
+    ``value_number=False`` turns the deduplication off, emitting one
+    instruction per construction call — the raw syntax-directed
+    translation an ``opt_level=0`` engine compiles, against which the
+    pass pipeline's CSE is measured.
     """
 
-    def __init__(self, name: str = "program"):
+    def __init__(self, name: str = "program",
+                 value_number: bool = True):
         self.program = Program(name=name)
+        self.value_number = value_number
         self._counter = 0
         self._cse: Dict[tuple, str] = {}
         self._stack: List[List[Stmt]] = [self.program.statements]
@@ -132,6 +139,8 @@ class ProgramBuilder:
         return not any(a in self._mutable for a in args)
 
     def _value_numbered(self, key: tuple, make) -> str:
+        if not self.value_number:
+            return make()
         # Reusing a cached pure value is safe anywhere, but caching a new
         # one is only safe at top level: a definition inside a loop body
         # may execute zero times.

@@ -66,6 +66,10 @@ class ScanConfig:
     interval_size: int = 8
     loop_fallback: bool = False
     optimize: bool = True
+    #: optimizer pipeline level: 0 = off, 1 = copy-prop + DCE,
+    #: 2 = full pipeline (CSE, algebraic folding, shift coalescing).
+    #: Gated behind ``optimize`` — ``optimize=False`` forces level 0.
+    opt_level: int = 2
     grouping: str = "balanced"
     backend: str = "simulate"
 
@@ -82,6 +86,11 @@ class ScanConfig:
     executor: str = "process"
     worker_timeout: Optional[float] = None
     cache_dir: Optional[str] = None
+    #: inputs smaller than this fall back to serial dispatch even when
+    #: ``workers > 1`` — worker marshalling dwarfs the scan below it
+    #: (``BENCH_parallel.json`` measured 2.4-2.7x slowdowns at 60KB).
+    #: Set to 0 to force the parallel path regardless of input size.
+    min_parallel_bytes: int = 65536
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -95,6 +104,10 @@ class ScanConfig:
                              f"expected one of {EXECUTORS}")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.opt_level not in (0, 1, 2):
+            raise ValueError("opt_level must be 0, 1, or 2")
+        if self.min_parallel_bytes < 0:
+            raise ValueError("min_parallel_bytes must be >= 0")
         if self.merge_size < 1 or self.interval_size < 1:
             raise ValueError("merge_size and interval_size must be >= 1")
         if self.max_tail_bytes < 1:
@@ -118,12 +131,24 @@ class ScanConfig:
     def parallel_enabled(self) -> bool:
         return self.workers > 1
 
+    def parallel_for_bytes(self, input_bytes: int) -> bool:
+        """Whether an input of ``input_bytes`` should take the parallel
+        path: workers requested AND the input is large enough that
+        sharding overhead can pay for itself."""
+        return (self.workers > 1
+                and input_bytes >= self.min_parallel_bytes)
+
+    def effective_opt_level(self) -> int:
+        """The optimizer level actually applied: ``opt_level`` gated
+        behind the ``optimize`` master switch."""
+        return self.opt_level if self.optimize else 0
+
     def compile_key(self) -> Tuple:
         """The fields that change what ``BitGenEngine.compile`` builds
         (dispatch knobs excluded) — a cache key for compiled engines."""
         return (self.scheme, self.geometry, self.cta_count,
                 self.merge_size, self.interval_size, self.loop_fallback,
-                self.optimize, self.grouping, self.backend)
+                self.effective_opt_level(), self.grouping, self.backend)
 
 
 def warn_deprecated_kwargs(api: str, names: Sequence[str],

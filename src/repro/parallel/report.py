@@ -40,14 +40,16 @@ class ScanReport(Mapping):
     """Matches plus provenance for one scan (or one streaming step)."""
 
     __slots__ = ("pattern_count", "matches", "stream_offset",
-                 "input_bytes", "metrics", "cta_metrics", "faults")
+                 "input_bytes", "metrics", "cta_metrics", "faults",
+                 "dispatch")
 
     def __init__(self, pattern_count: int,
                  matches: Optional[Dict[int, List[int]]] = None,
                  stream_offset: int = 0, input_bytes: int = 0,
                  metrics: Optional[KernelMetrics] = None,
                  cta_metrics: Optional[List[KernelMetrics]] = None,
-                 faults: Optional[List[ShardFault]] = None):
+                 faults: Optional[List[ShardFault]] = None,
+                 dispatch: str = "serial"):
         self.pattern_count = pattern_count
         self.matches = dict(matches) if matches else {}
         for index in range(pattern_count):
@@ -58,13 +60,17 @@ class ScanReport(Mapping):
         self.metrics = metrics if metrics is not None else KernelMetrics()
         self.cta_metrics = list(cta_metrics) if cta_metrics else []
         self.faults = list(faults) if faults else []
+        #: how the scan was dispatched: "serial", "parallel", or
+        #: "serial-small-input" (workers requested but the input was
+        #: below ``ScanConfig.min_parallel_bytes``)
+        self.dispatch = dispatch
 
     # -- construction ------------------------------------------------------
 
     @classmethod
     def from_result(cls, result, stream_offset: int = 0,
-                    faults: Optional[List[ShardFault]] = None
-                    ) -> "ScanReport":
+                    faults: Optional[List[ShardFault]] = None,
+                    dispatch: str = "serial") -> "ScanReport":
         """Wrap a :class:`~repro.engines.base.MatchResult` (plain or
         :class:`~repro.core.engine.BitGenResult`)."""
         return cls(pattern_count=result.pattern_count,
@@ -73,7 +79,7 @@ class ScanReport(Mapping):
                    input_bytes=getattr(result, "input_bytes", 0),
                    metrics=getattr(result, "metrics", None),
                    cta_metrics=getattr(result, "cta_metrics", None),
-                   faults=faults)
+                   faults=faults, dispatch=dispatch)
 
     # -- mapping interface (pattern -> end positions) ----------------------
 
@@ -137,6 +143,7 @@ class ScanReport(Mapping):
             "matches": {str(k): v for k, v in sorted(self.matches.items())},
             "stream_offset": self.stream_offset,
             "input_bytes": self.input_bytes,
+            "dispatch": self.dispatch,
             "metrics": asdict(self.metrics),
             "faults": [fault.to_dict() for fault in self.faults],
         }

@@ -174,13 +174,17 @@ class Harness:
                                         gpu or self.gpu,
                                         len(workload.data),
                                         self.extrapolation(workload))
+        opt = engine.optimization_stats()
         return EngineRun(app=app_name,
                          engine=f"BitGen[{scheme.value}]"
                          if scheme is not Scheme.ZBS else "BitGen",
                          throughput=throughput,
                          match_count=result.match_count(),
                          metrics=result.metrics,
-                         cta_metrics=result.cta_metrics)
+                         cta_metrics=result.cta_metrics,
+                         extra={"opt_level": opt["opt_level"],
+                                "ops_removed": opt["ops_removed"],
+                                "opt_passes": opt["passes"]})
 
     def run_baseline(self, app_name: str, engine_name: str,
                      gpu: Optional[GPUConfig] = None) -> EngineRun:

@@ -1,0 +1,85 @@
+"""CC parameter-slot deduplication and prologue hoisting (codegen v2).
+
+Identical character classes must collapse to one parameter slot during
+canonicalisation, and the generated source must compute each slot's
+8-term basis expression exactly once — in the prologue — no matter how
+many MATCH_CC consumers (or loop iterations) reference it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.codegen import CODEGEN_VERSION, generate_source
+from repro.backend.fingerprint import canonicalize, fingerprint
+from repro.ir.instructions import Instr, Op, WhileLoop
+from repro.ir.interpreter import Interpreter
+from repro.ir.program import Program
+from repro.regex.charclass import CharClass
+
+A = CharClass.of_char("a")
+B = CharClass.of_char("b")
+
+
+def cc_program():
+    # Three MATCH_CC of class 'a' (one inside a loop) and one of 'b',
+    # written as raw statements because ProgramBuilder value-numbers
+    # match_cc calls away at construction time.
+    program = Program("t", [
+        Instr("x", Op.MATCH_CC, cc=A),
+        Instr("y", Op.MATCH_CC, cc=A),
+        Instr("z", Op.MATCH_CC, cc=B),
+        Instr("c", Op.AND, ("x", "y")),
+        WhileLoop("c", [
+            Instr("w", Op.MATCH_CC, cc=A),
+            Instr("t", Op.SHIFT, ("c",), shift=1),
+            Instr("c", Op.AND, ("t", "w")),     # drains to zero
+        ]),
+        Instr("r", Op.OR, ("c", "z")),
+    ], {"R": "r"})
+    program.validate()
+    return program
+
+
+def test_identical_classes_share_one_slot():
+    canonical = canonicalize(cc_program())
+    assert canonical.cc_classes == [A, B]
+
+
+def test_source_hoists_each_slot_once():
+    source = generate_source(canonicalize(cc_program()))
+    assert source.count("_cc0 = TEXT &") == 1
+    assert source.count("_cc1 = TEXT &") == 1
+    # Consumers (including the loop body) only reference the temps.
+    assert "P[..., 0, 0, None]" in source
+    assert source.count("P[..., 0, 0, None]") == 1
+
+
+def test_hoisted_kernel_matches_interpreter():
+    program = cc_program()
+    data = b"aababb aa bb ab"
+    reference = Interpreter().run(program, data)
+    compiled = Interpreter(backend="compiled").run(program, data)
+    assert compiled == reference
+
+
+def test_slot_count_invariant_under_duplicates():
+    # A program with N duplicate classes fingerprints identically to
+    # the same structure over distinct variables of one class — both
+    # shapes compile to one kernel with one parameter slot.
+    single = Program("s", [
+        Instr("x", Op.MATCH_CC, cc=A),
+        Instr("y", Op.MATCH_CC, cc=A),
+        Instr("r", Op.OR, ("x", "y")),
+    ], {"R": "r"})
+    other = Program("o", [
+        Instr("p", Op.MATCH_CC, cc=B),
+        Instr("q", Op.MATCH_CC, cc=B),
+        Instr("out", Op.OR, ("p", "q")),
+    ], {"R": "out"})
+    assert fingerprint(single) == fingerprint(other)
+    assert len(canonicalize(single).cc_classes) == 1
+
+
+def test_codegen_version_bumped_for_hoisting():
+    assert CODEGEN_VERSION >= 2

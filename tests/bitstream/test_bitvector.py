@@ -143,3 +143,18 @@ def test_demorgan(v):
 @given(bit_vectors)
 def test_popcount_equals_positions(v):
     assert v.popcount() == len(v.positions())
+
+
+def test_match_ends_drops_marker_at_zero():
+    # Marker streams record a match *after* its last byte; a marker at
+    # position 0 has no preceding byte and yields no end.
+    assert BitVector.from_string("1....").match_ends() == []
+    assert BitVector.from_string(".1..1").match_ends() == [0, 3]
+    assert BitVector.zeros(0).match_ends() == []
+
+
+@given(bit_vectors)
+def test_match_ends_equals_hot_loop(v):
+    # The vectorised form must agree with the loop it replaced in the
+    # engine's extraction paths.
+    assert v.match_ends() == [p - 1 for p in v.positions() if p > 0]

@@ -109,3 +109,24 @@ def test_cross_word_shift_exact():
     assert vector.advance(1).positions() == [64]
     assert vector.advance(65).positions() == [128]
     assert vector.advance(-63).positions() == [0]
+
+
+def test_match_ends_matches_reference():
+    reference = BitVector.from_positions([0, 1, 63, 64, 127, 389], 390)
+    vector = NPBitVector.from_bitvector(reference)
+    assert vector.match_ends() == reference.match_ends()
+    assert vector.match_ends() == [0, 62, 63, 126, 388]
+    assert NPBitVector.zeros(0).match_ends() == []
+
+
+@given(st.integers(min_value=1, max_value=300),
+       st.integers(min_value=0, max_value=2**32))
+@settings(deadline=None)
+def test_match_ends_equivalent(length, seed):
+    import random
+
+    rng = random.Random(seed)
+    bits = rng.getrandbits(length) & ((1 << length) - 1)
+    reference = BitVector(bits, length)
+    vector = NPBitVector.from_bitvector(reference)
+    assert vector.match_ends() == reference.match_ends()

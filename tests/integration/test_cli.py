@@ -80,3 +80,19 @@ def test_limit_truncates(capsys):
 def test_no_patterns_errors():
     with pytest.raises(SystemExit):
         main(["--text", "x"])
+
+
+def test_scan_reports_dispatch(tmp_path, capsys):
+    import json
+
+    rules = tmp_path / "rules.txt"
+    rules.write_text("cat\ndog\n")
+    payload = tmp_path / "data.bin"
+    payload.write_bytes(b"a cat and a dog")
+    code, out = run_cli(capsys, "scan", "--patterns", str(rules),
+                        "--workers", "2", "--executor", "thread",
+                        str(payload))
+    assert code == 0
+    report = json.loads(out)
+    assert report["match_count"] == 2
+    assert report["dispatch"] == "serial-small-input"

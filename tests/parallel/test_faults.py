@@ -113,9 +113,13 @@ def test_serial_fallback_failure_propagates():
 
 
 def build(workers=2, **extra):
+    # min_parallel_bytes=0: these streams are tiny, and the point is to
+    # exercise the parallel path (and its fault recovery), not to let
+    # the small-input fallback route around it.
     return BitGenEngine.compile(
         PATTERNS, config=ScanConfig(geometry=TINY, workers=workers,
                                     executor="thread",
+                                    min_parallel_bytes=0,
                                     loop_fallback=True, **extra))
 
 

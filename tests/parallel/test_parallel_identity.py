@@ -34,9 +34,12 @@ STREAMS = [DATA[:97], DATA[:200], DATA[:97], DATA[:500], DATA[:64],
 
 
 def build(backend, scheme=Scheme.ZBS, **dispatch):
+    # min_parallel_bytes=0: identity tests want the parallel path even
+    # on these deliberately tiny inputs.
     return BitGenEngine.compile(
         PATTERNS, config=ScanConfig(geometry=TINY, backend=backend,
                                     scheme=scheme, cta_count=4,
+                                    min_parallel_bytes=0,
                                     loop_fallback=True, **dispatch))
 
 
@@ -182,7 +185,8 @@ def test_run_all_identical():
     engines = ("BitGen", "HS-1T")
     serial = Harness(config=ScanConfig()).run_all(apps, engines)
     parallel = Harness(
-        config=ScanConfig(workers=2, executor="thread")).run_all(
+        config=ScanConfig(workers=2, executor="thread",
+                          min_parallel_bytes=0)).run_all(
             apps, engines)
     assert [r.engine for r in parallel] == [r.engine for r in serial]
     for left, right in zip(parallel, serial):

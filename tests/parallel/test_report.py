@@ -150,3 +150,31 @@ def test_kernel_stats_merge():
     assert left.loop_log == [3, 5, 7]
     assert left.guard_checks == 12
     assert left.guard_hits == 5
+
+
+def test_report_records_dispatch():
+    assert ScanReport(pattern_count=1).dispatch == "serial"
+    parallel = ScanReport(pattern_count=1, dispatch="parallel")
+    assert parallel.dispatch == "parallel"
+    assert parallel.to_dict()["dispatch"] == "parallel"
+    payload = json.loads(parallel.to_json())
+    assert payload["dispatch"] == "parallel"
+
+
+def test_engine_scan_reports_small_input_fallback():
+    engine = compile_engine(["a(bc)*d"])
+    engine.config = engine.config.replace(workers=2, executor="thread",
+                                          min_parallel_bytes=1 << 20)
+    report = engine.scan(b"abcbcd abcd")
+    assert report.dispatch == "serial-small-input"
+    assert engine.last_dispatch == "serial-small-input"
+
+
+def test_match_many_dispatch_survives_worker_reentry():
+    # Worker fallbacks re-enter match_many on the same engine with a
+    # serial config; the top-level "parallel" decision must survive.
+    engine = compile_engine(["abc", "dog"])
+    engine.config = engine.config.replace(workers=2, executor="thread",
+                                          min_parallel_bytes=64)
+    engine.match_many([b"xxabcxx " * 32])
+    assert engine.last_dispatch == "parallel"

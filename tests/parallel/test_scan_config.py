@@ -203,3 +203,48 @@ def test_legacy_and_config_compile_identical_engines(
     left, right = legacy.match(data), modern.match(data)
     assert left.ends == right.ends
     assert left.metrics == right.metrics
+
+
+# -- optimizer and dispatch-threshold knobs ----------------------------------
+
+
+@pytest.mark.parametrize("bad", [
+    {"opt_level": -1},
+    {"opt_level": 3},
+    {"min_parallel_bytes": -1},
+])
+def test_invalid_opt_and_threshold_fields_rejected(bad):
+    with pytest.raises(ValueError):
+        ScanConfig(**bad)
+
+
+def test_opt_level_defaults_to_full_pipeline():
+    config = ScanConfig()
+    assert config.opt_level == 2
+    assert config.effective_opt_level() == 2
+
+
+def test_optimize_false_forces_level_zero():
+    # The legacy boolean stays authoritative: optimize=False disables
+    # the pipeline outright, whatever opt_level says.
+    config = ScanConfig(optimize=False, opt_level=2)
+    assert config.effective_opt_level() == 0
+
+
+def test_opt_level_changes_compile_key():
+    base = ScanConfig()
+    assert base.compile_key() != base.replace(opt_level=0).compile_key()
+    assert base.replace(optimize=False).compile_key() \
+        == base.replace(opt_level=0).compile_key()
+
+
+def test_parallel_for_bytes_threshold():
+    config = ScanConfig(workers=4, executor="thread",
+                        min_parallel_bytes=1024)
+    assert not config.parallel_for_bytes(1023)
+    assert config.parallel_for_bytes(1024)
+    # Serial configs never dispatch to a pool, whatever the size.
+    assert not ScanConfig(workers=1).parallel_for_bytes(1 << 30)
+    # A zero threshold restores the old always-parallel behaviour.
+    assert ScanConfig(workers=2, executor="thread",
+                      min_parallel_bytes=0).parallel_for_bytes(0)
