@@ -24,8 +24,8 @@ from .regex import CharClass, parse
 __all__ = [
     "BitGenEngine", "BitVector", "CharClass", "Interpreter", "MatchResult",
     "ScanConfig", "ScanReport", "Scheme", "StreamingMatcher",
-    "lower_group", "lower_regex", "match_positions", "parse", "run_regexes",
-    "transpose",
+    "lower_group", "lower_regex", "match_positions", "obs", "parse",
+    "run_regexes", "transpose",
 ]
 
 #: lazily imported top-level names (heavier subsystems stay off the
@@ -37,6 +37,7 @@ _LAZY = {
     "ScanReport": ("parallel.report", "ScanReport"),
     "StreamingMatcher": ("core.streaming", "StreamingMatcher"),
     "Scheme": ("core.schemes", "Scheme"),
+    "obs": ("obs", None),         # the whole tracing/metrics subpackage
 }
 
 
@@ -47,7 +48,8 @@ def __getattr__(name):
             f"module {__name__!r} has no attribute {name!r}")
     from importlib import import_module
 
-    value = getattr(import_module(f".{target[0]}", __name__), target[1])
+    module = import_module(f".{target[0]}", __name__)
+    value = module if target[1] is None else getattr(module, target[1])
     globals()[name] = value       # memoise: next access skips __getattr__
     return value
 

@@ -7,6 +7,7 @@ Usage examples::
     python -m repro 'colou?r' --text '...' --scheme SR --stats
     python -m repro 'a(bc)*d' --kernel          # print the CUDA-like kernel
     python -m repro scan --patterns rules.txt --workers 4 data.bin
+    python -m repro trace Bro217 --export chrome -o trace.json
 """
 
 from __future__ import annotations
@@ -141,10 +142,97 @@ def scan_main(argv: List[str]) -> int:
     return 0 if any(r["match_count"] for r in reports) else 1
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Run one standard workload with tracing enabled "
+                    "and export the spans (and metrics): a compile, a "
+                    "sharded parallel scan, and every pass/codegen/"
+                    "shard/exec span in between.")
+    parser.add_argument("app", help="workload application from Table 1 "
+                                    "(e.g. Snort, Bro217, ClamAV)")
+    parser.add_argument("--export",
+                        choices=("chrome", "jsonl", "prometheus"),
+                        default="chrome",
+                        help="chrome: trace_event JSON (load in "
+                             "Perfetto / chrome://tracing); jsonl: one "
+                             "span dict per line; prometheus: metrics "
+                             "text exposition")
+    parser.add_argument("-o", "--output", default=None,
+                        help="output path (default: trace-<app>.<ext>)")
+    parser.add_argument("--backend", choices=BACKENDS,
+                        default="compiled")
+    parser.add_argument("--scheme", choices=[s.name for s in Scheme],
+                        default="ZBS")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker shards for the parallel scan")
+    parser.add_argument("--executor", choices=EXECUTORS,
+                        default="thread")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="workload scale factor (rule-set fraction)")
+    parser.add_argument("--input-bytes", type=int, default=4096,
+                        help="approximate scan input size")
+    return parser
+
+
+def trace_main(argv: List[str]) -> int:
+    args = build_trace_parser().parse_args(argv)
+    from . import obs
+    from .workloads.apps import app_by_name
+
+    spec = app_by_name(args.app)
+    workload = spec.build(scale=args.scale, seed=0,
+                          input_bytes=int(args.input_bytes / args.scale))
+    # min_parallel_bytes=0 forces the worker pool even on the scaled
+    # input, so the exported trace shows real sharded dispatch.
+    config = ScanConfig(scheme=Scheme[args.scheme],
+                        backend=args.backend, workers=args.workers,
+                        executor=args.executor, cta_count=4,
+                        min_parallel_bytes=0, loop_fallback=True)
+
+    tracer = obs.start_tracing()
+    engine = BitGenEngine._compile_config(workload.nodes, config)
+    report = engine.scan(workload.data)
+    obs.stop_tracing()
+    spans = tracer.finished()
+
+    extensions = {"chrome": "json", "jsonl": "jsonl",
+                  "prometheus": "prom"}
+    out = args.output or \
+        f"trace-{spec.name.lower()}.{extensions[args.export]}"
+    if args.export == "chrome":
+        obs.export.write_chrome(spans, out)
+    elif args.export == "jsonl":
+        obs.export.write_jsonl(spans, out)
+    else:
+        obs.export.write_prometheus(obs.registry(), out)
+
+    categories: dict = {}
+    for span in spans:
+        categories[span["cat"]] = categories.get(span["cat"], 0) + 1
+    breakdown = ", ".join(f"{count} {cat}" for cat, count
+                          in sorted(categories.items()))
+    print(f"{spec.name}: {len(workload.patterns)} patterns, "
+          f"{len(workload.data)} bytes, {report.match_count()} "
+          f"matches (dispatch={report.dispatch})")
+    print(f"trace: {len(spans)} spans ({breakdown}) -> {out}")
+    cache = obs.registry().counter(
+        "repro_kernel_cache_lookups_total",
+        "In-process kernel cache lookups")
+    hits = obs.registry().counter(
+        "repro_kernel_cache_hits_total",
+        "In-process kernel cache hits")
+    print(f"kernel cache: {int(hits.value())}/{int(cache.value())} "
+          f"lookups hit")
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     argv = sys.argv[1:] if argv is None else list(argv)
     if argv and argv[0] == "scan":
         return scan_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     args = build_parser().parse_args(argv)
     patterns = load_patterns(args)
 

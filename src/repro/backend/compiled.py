@@ -15,11 +15,13 @@ parameter matrix and its output names.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..bitstream.npvector import NPBitVector
 from ..ir.program import Program
 from . import runtime
@@ -27,6 +29,26 @@ from .codegen import CompileError, generate_source
 from .fingerprint import CanonicalProgram, canonicalize
 
 _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_REG = obs.registry()
+_CACHE_LOOKUPS = _REG.counter(
+    "repro_kernel_cache_lookups_total",
+    "In-memory kernel cache lookups")
+_CACHE_HITS = _REG.counter(
+    "repro_kernel_cache_hits_total",
+    "In-memory kernel cache hits (no codegen, no compile)")
+_CACHE_MISSES = _REG.counter(
+    "repro_kernel_cache_misses_total",
+    "In-memory kernel cache misses (kernel was built or disk-loaded)")
+_CACHE_DISK_HITS = _REG.counter(
+    "repro_kernel_cache_disk_hits_total",
+    "In-memory misses served from the on-disk cache")
+_CACHE_SIZE = _REG.gauge(
+    "repro_kernel_cache_kernels",
+    "Distinct kernels resident in the in-memory cache")
+_CODEGEN_SECONDS = _REG.histogram(
+    "repro_codegen_seconds",
+    "Wall time to generate + compile one kernel on a cache miss")
 
 
 @dataclass
@@ -115,11 +137,14 @@ class KernelCache:
         from .fingerprint import cache_key
 
         self.stats.lookups += 1
+        _CACHE_LOOKUPS.inc()
         kernel = self._kernels.get(canonical.digest)
         if kernel is not None:
             self.stats.hits += 1
+            _CACHE_HITS.inc()
             return kernel
         self.stats.misses += 1
+        _CACHE_MISSES.inc()
         source = code = None
         persisted = False
         if self.disk is not None:
@@ -128,8 +153,15 @@ class KernelCache:
                 source, code = entry
                 persisted = True
                 self.stats.disk_hits += 1
-        kernel = _build_kernel(canonical, source=source, code=code)
+                _CACHE_DISK_HITS.inc()
+        begin = time.perf_counter()
+        with obs.span("codegen", category="compile",
+                      fingerprint=canonical.digest[:12],
+                      disk_hit=persisted):
+            kernel = _build_kernel(canonical, source=source, code=code)
+        _CODEGEN_SECONDS.observe(time.perf_counter() - begin)
         self._kernels[canonical.digest] = kernel
+        _CACHE_SIZE.set(len(self._kernels))
         if self.disk is not None and not persisted:
             self.disk.put(cache_key(canonical.digest), kernel.source,
                           kernel.code)

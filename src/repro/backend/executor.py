@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..gpu.machine import CTAGeometry
 from ..gpu.metrics import KernelMetrics
 from ..ir.instructions import Instr, Op, WhileLoop
@@ -62,12 +63,18 @@ def dispatch_words(compiled: Sequence[CompiledProgram], basis,
     for indices in buckets.values():
         members = [compiled[i] for i in indices]
         if len(members) == 1:
-            results[indices[0]] = members[0].run_words(basis, length)
+            with obs.span("exec.batch", category="exec", ctas=1,
+                          kernel=members[0].kernel.fingerprint[:12]):
+                results[indices[0]] = members[0].run_words(basis,
+                                                           length)
             continue
         # One fused call for the whole bucket: stack the per-CTA
         # parameter matrices into a (k, n_cc, 8) batch.
         params = np.stack([m.params for m in members])
-        raw, stats = members[0].kernel(basis, params, length)
+        with obs.span("exec.batch", category="exec",
+                      ctas=len(members),
+                      kernel=members[0].kernel.fingerprint[:12]):
+            raw, stats = members[0].kernel(basis, params, length)
         words = runtime.word_count(length)
         for row, (index, member) in enumerate(zip(indices, members)):
             outputs = {}
@@ -94,13 +101,18 @@ def dispatch_streams(compiled: CompiledProgram,
     for size, indices in by_length.items():
         length = size + 1
         if len(indices) == 1:
-            results[indices[0]] = compiled.run_words(
-                runtime.basis_environment(streams[indices[0]]), length)
+            with obs.span("exec.batch", category="exec", streams=1,
+                          stream_bytes=size):
+                results[indices[0]] = compiled.run_words(
+                    runtime.basis_environment(streams[indices[0]]),
+                    length)
             continue
         stacked = np.stack([runtime.basis_environment(streams[i])
                             for i in indices])       # (k, 8, W)
         basis = [np.ascontiguousarray(stacked[:, k, :]) for k in range(8)]
-        raw, stats = compiled.kernel(basis, compiled.params, length)
+        with obs.span("exec.batch", category="exec",
+                      streams=len(indices), stream_bytes=size):
+            raw, stats = compiled.kernel(basis, compiled.params, length)
         words = runtime.word_count(length)
         for row, index in enumerate(indices):
             outputs = {}

@@ -24,11 +24,19 @@ from typing import Optional
 
 import numpy as np
 
+from .. import obs
 from ..bitstream.npvector import popcount_words  # noqa: F401  (re-export)
 from ..bitstream.transpose import transpose_words
 
 WORD_BITS = 64
 _FULL = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: Coarse-grained by design: one update per scanned stream, never per
+#: word — the rest of this module is the kernels' per-word hot path
+#: and stays uninstrumented.
+_TRANSPOSED_BYTES = obs.registry().counter(
+    "repro_basis_transpose_bytes_total",
+    "Input bytes transposed to basis-bit word layout")
 
 
 def word_count(length: int) -> int:
@@ -47,6 +55,7 @@ def tail_mask(length: int) -> np.uint64:
 def basis_environment(data: bytes) -> np.ndarray:
     """The 8 basis streams of ``data`` as an ``(8, W)`` word array,
     padded to ``len(data) + 1`` bits (the interpreter's cursor slot)."""
+    _TRANSPOSED_BYTES.inc(len(data))
     return transpose_words(data, bits=len(data) + 1)
 
 

@@ -14,9 +14,11 @@ the CTA geometry.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
+from .. import obs
 from ..gpu.machine import DEFAULT_GEOMETRY, CTAGeometry
 from ..gpu.metrics import KernelMetrics
 from ..ir.lower import lower_group
@@ -38,6 +40,21 @@ from .sequential import SequentialExecutor
 from .zeroskip import insert_guards
 
 DEFAULT_CTA_COUNT = 256
+
+_REG = obs.registry()
+_COMPILES = _REG.counter(
+    "repro_engine_compiles_total",
+    "BitGenEngine compilations, labelled by scheme and opt level")
+_COMPILE_SECONDS = _REG.histogram(
+    "repro_engine_compile_seconds",
+    "Wall time of one BitGenEngine compilation")
+_SCAN_DISPATCH = _REG.counter(
+    "repro_scan_dispatch_total",
+    "Scan dispatch decisions: serial, parallel, serial-small-input")
+_SCAN_BYTES = _REG.counter(
+    "repro_scan_input_bytes_total", "Bytes scanned, by backend")
+_SCAN_MATCHES = _REG.counter(
+    "repro_scan_matches_total", "Match positions reported")
 
 
 @dataclass
@@ -185,32 +202,49 @@ class BitGenEngine(Engine):
     def _compile_config(cls, patterns: Sequence[Union[str, ast.Regex]],
                         config: ScanConfig) -> "BitGenEngine":
         """The warning-free compile path (internal call sites)."""
-        nodes = [parse(p) if isinstance(p, str) else p for p in patterns]
-        cta_count = config.cta_count
-        if cta_count is None:
-            cta_count = min(DEFAULT_CTA_COUNT, max(1, len(nodes)))
-        groups = group_regexes(nodes, cta_count,
-                               strategy=config.grouping)
-
-        scheme = config.scheme
-        geometry = config.geometry if config.geometry is not None \
-            else DEFAULT_GEOMETRY
+        begin = time.perf_counter()
         level = config.effective_opt_level()
-        compiled: List[CompiledGroup] = []
-        for group in groups:
-            members = [nodes[i] for i in group.indices]
-            names = [f"R{i}" for i in group.indices]
-            # opt_level=0 compiles the raw syntax-directed translation:
-            # no construction-time value numbering, no passes.  Levels
-            # >= 1 keep value-numbered lowering (the historical
-            # baseline) and layer the pass pipeline on top.
-            program = lower_group(members, names=names,
-                                  value_number=level > 0)
-            program, report = cls._transform(
-                program, scheme, level, config.interval_size)
-            plan = cls._plan(program, scheme, config.merge_size,
-                             geometry)
-            compiled.append(CompiledGroup(group, program, plan, report))
+        with obs.span("compile", category="compile",
+                      patterns=len(patterns),
+                      scheme=config.scheme.value, opt_level=level,
+                      backend=config.backend):
+            with obs.span("parse", category="compile"):
+                nodes = [parse(p) if isinstance(p, str) else p
+                         for p in patterns]
+            cta_count = config.cta_count
+            if cta_count is None:
+                cta_count = min(DEFAULT_CTA_COUNT, max(1, len(nodes)))
+            with obs.span("group", category="compile",
+                          cta_count=cta_count):
+                groups = group_regexes(nodes, cta_count,
+                                       strategy=config.grouping)
+
+            scheme = config.scheme
+            geometry = config.geometry if config.geometry is not None \
+                else DEFAULT_GEOMETRY
+            compiled: List[CompiledGroup] = []
+            for index, group in enumerate(groups):
+                members = [nodes[i] for i in group.indices]
+                names = [f"R{i}" for i in group.indices]
+                # opt_level=0 compiles the raw syntax-directed
+                # translation: no construction-time value numbering, no
+                # passes.  Levels >= 1 keep value-numbered lowering
+                # (the historical baseline) and layer the pass pipeline
+                # on top.
+                with obs.span("lower", category="compile", cta=index,
+                              regexes=len(members)):
+                    program = lower_group(members, names=names,
+                                          value_number=level > 0)
+                program, report = cls._transform(
+                    program, scheme, level, config.interval_size)
+                with obs.span("plan_barriers", category="compile",
+                              cta=index):
+                    plan = cls._plan(program, scheme,
+                                     config.merge_size, geometry)
+                compiled.append(CompiledGroup(group, program, plan,
+                                              report))
+        _COMPILES.inc(scheme=config.scheme.value, opt_level=level)
+        _COMPILE_SECONDS.observe(time.perf_counter() - begin)
         return cls(compiled, len(nodes), nodes=nodes, config=config)
 
     @staticmethod
@@ -260,14 +294,19 @@ class BitGenEngine(Engine):
     def match(self, data: bytes) -> BitGenResult:
         if self.backend == "compiled":
             return self._match_compiled(data)
-        result = BitGenResult(pattern_count=self.pattern_count,
-                              input_bytes=len(data))
-        for compiled in self.groups:
-            execution = self._run_group(compiled, data)
-            result.cta_metrics.append(execution.metrics)
-            result.metrics.merge(execution.metrics)
-            for out, ends in execution.match_ends().items():
-                result.ends[int(out[1:])] = ends
+        with obs.span("exec", category="exec", backend="simulate",
+                      input_bytes=len(data), ctas=len(self.groups)):
+            result = BitGenResult(pattern_count=self.pattern_count,
+                                  input_bytes=len(data))
+            for index, compiled in enumerate(self.groups):
+                with obs.span("exec.cta", category="exec", cta=index):
+                    execution = self._run_group(compiled, data)
+                result.cta_metrics.append(execution.metrics)
+                result.metrics.merge(execution.metrics)
+                for out, ends in execution.match_ends().items():
+                    result.ends[int(out[1:])] = ends
+        _SCAN_BYTES.inc(len(data), backend="simulate")
+        _SCAN_MATCHES.inc(result.match_count())
         return result
 
     def _compiled_programs(self) -> list:
@@ -289,21 +328,26 @@ class BitGenEngine(Engine):
                                estimate_metrics)
         from ..bitstream.npvector import NPBitVector
 
-        basis = basis_environment(data)
-        length = len(data) + 1
-        result = BitGenResult(pattern_count=self.pattern_count,
-                              input_bytes=len(data))
-        dispatched = dispatch_words(self._compiled_programs(), basis,
-                                    length)
-        for compiled, (raw, stats) in zip(self.groups, dispatched):
-            metrics = estimate_metrics(compiled.program, self.geometry,
-                                       length, stats)
-            result.cta_metrics.append(metrics)
-            result.metrics.merge(metrics)
-            for out in compiled.program.outputs:
-                stream = NPBitVector(np.asarray(raw[out],
-                                                dtype=np.uint64), length)
-                result.ends[int(out[1:])] = stream.match_ends()
+        with obs.span("exec", category="exec", backend="compiled",
+                      input_bytes=len(data), ctas=len(self.groups)):
+            basis = basis_environment(data)
+            length = len(data) + 1
+            result = BitGenResult(pattern_count=self.pattern_count,
+                                  input_bytes=len(data))
+            dispatched = dispatch_words(self._compiled_programs(),
+                                        basis, length)
+            for compiled, (raw, stats) in zip(self.groups, dispatched):
+                metrics = estimate_metrics(compiled.program,
+                                           self.geometry, length, stats)
+                result.cta_metrics.append(metrics)
+                result.metrics.merge(metrics)
+                for out in compiled.program.outputs:
+                    stream = NPBitVector(np.asarray(raw[out],
+                                                    dtype=np.uint64),
+                                         length)
+                    result.ends[int(out[1:])] = stream.match_ends()
+        _SCAN_BYTES.inc(len(data), backend="compiled")
+        _SCAN_MATCHES.inc(result.match_count())
         return result
 
     def _run_group(self, compiled: CompiledGroup,
@@ -339,22 +383,28 @@ class BitGenEngine(Engine):
         """
         effective = config if config is not None else self.config
         total_bytes = sum(len(stream) for stream in streams)
-        if effective.parallel_enabled():
-            if effective.parallel_for_bytes(total_bytes):
-                from ..parallel.scan import parallel_match_many
+        with obs.span("scan.match_many", category="scan",
+                      streams=len(streams), input_bytes=total_bytes):
+            if effective.parallel_enabled():
+                if effective.parallel_for_bytes(total_bytes):
+                    from ..parallel.scan import parallel_match_many
 
-                results = parallel_match_many(self, streams, effective)
-                # Set after the call: worker fallbacks re-enter
-                # match_many on this engine with a serial config and
-                # would otherwise clobber the top-level decision.
-                self.last_dispatch = "parallel"
-                return results
-            self.last_dispatch = "serial-small-input"
-        else:
-            self.last_dispatch = "serial"
-        if self.backend == "compiled":
-            return self._match_many_compiled(streams)
-        return [self.match(stream) for stream in streams]
+                    results = parallel_match_many(self, streams,
+                                                  effective)
+                    # Set after the call: worker fallbacks re-enter
+                    # match_many on this engine with a serial config
+                    # and would otherwise clobber the top-level
+                    # decision.
+                    self.last_dispatch = "parallel"
+                    _SCAN_DISPATCH.inc(dispatch="parallel")
+                    return results
+                self.last_dispatch = "serial-small-input"
+            else:
+                self.last_dispatch = "serial"
+            _SCAN_DISPATCH.inc(dispatch=self.last_dispatch)
+            if self.backend == "compiled":
+                return self._match_many_compiled(streams)
+            return [self.match(stream) for stream in streams]
 
     def scan(self, data: bytes,
              config: Optional[ScanConfig] = None) -> ScanReport:
@@ -366,20 +416,34 @@ class BitGenEngine(Engine):
         ``min_parallel_bytes`` skip the pool: the report's ``dispatch``
         field records ``"serial-small-input"``."""
         effective = config if config is not None else self.config
-        if effective.parallel_enabled():
-            if effective.parallel_for_bytes(len(data)):
-                from ..parallel.scan import parallel_match
+        with obs.span("scan", category="scan",
+                      input_bytes=len(data)) as sp:
+            if effective.parallel_enabled():
+                if effective.parallel_for_bytes(len(data)):
+                    from ..parallel.scan import parallel_match
 
-                result = parallel_match(self, data, effective)
-                self.last_dispatch = "parallel"
-                return ScanReport.from_result(
-                    result, faults=list(self.last_scan_faults),
-                    dispatch="parallel")
-            self.last_dispatch = "serial-small-input"
-            return ScanReport.from_result(
-                self.match(data), dispatch="serial-small-input")
-        self.last_dispatch = "serial"
-        return self.match(data).report()
+                    result = parallel_match(self, data, effective)
+                    self.last_dispatch = "parallel"
+                    report = ScanReport.from_result(
+                        result, faults=list(self.last_scan_faults),
+                        dispatch="parallel")
+                else:
+                    self.last_dispatch = "serial-small-input"
+                    report = ScanReport.from_result(
+                        self.match(data),
+                        dispatch="serial-small-input")
+            else:
+                self.last_dispatch = "serial"
+                report = self.match(data).report()
+            if sp.is_recording:
+                sp.set(dispatch=self.last_dispatch)
+        _SCAN_DISPATCH.inc(dispatch=self.last_dispatch)
+        tracer = obs.current_tracer()
+        if sp.is_recording and tracer is not None:
+            # The report's trace view: the scan span plus everything
+            # recorded (or adopted from workers) beneath it.
+            report.trace = tracer.subtree(sp.span_id)
+        return report
 
     def _match_many_compiled(self,
                              streams: Sequence[bytes]

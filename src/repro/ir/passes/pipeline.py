@@ -24,9 +24,11 @@ group and surfaces it through ``BitGenEngine.optimization_stats()``.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
+from ... import obs
 from ..instructions import iter_instrs
 from ..optimize import _eliminate_dead, _mutable_vars, _propagate_copies
 from ..program import Program
@@ -35,6 +37,20 @@ from .cse import eliminate_common_subexpressions
 from .shift_coalesce import coalesce_shift_chains
 
 _MAX_ROUNDS = 16
+
+_REG = obs.registry()
+_PASS_REWRITES = _REG.counter(
+    "repro_opt_pass_rewrites_total",
+    "Statements rewritten or dropped, per optimizer pass")
+_PASS_OPS_REMOVED = _REG.counter(
+    "repro_opt_pass_ops_removed_total",
+    "Net static instructions removed, per optimizer pass")
+_PIPELINE_RUNS = _REG.counter(
+    "repro_opt_pipeline_runs_total",
+    "Pass-pipeline executions, labelled by opt level")
+_PIPELINE_SECONDS = _REG.histogram(
+    "repro_opt_pipeline_seconds",
+    "Wall time of one pass-pipeline run to fixpoint")
 
 Pass = Callable[[Program], Tuple[Program, int]]
 
@@ -160,23 +176,43 @@ class PassPipeline:
         self.max_rounds = max_rounds
 
     def run(self, program: Program) -> Tuple[Program, PipelineReport]:
+        begin = time.perf_counter()
         report = PipelineReport(program=program.name, level=self.level,
                                 before=_instr_count(program),
                                 after=_instr_count(program))
-        for _ in range(self.max_rounds):
-            round_changes = 0
-            for name, fn in self.passes:
-                before = _instr_count(program)
-                program, changes = fn(program)
-                delta = report.delta(name)
-                delta.rewrites += changes
-                delta.ops_removed += before - _instr_count(program)
-                round_changes += changes
-            report.rounds += 1
-            if not round_changes:
-                break
-        report.after = _instr_count(program)
+        with obs.span("optimize", category="compile",
+                      program=program.name, level=self.level) as root:
+            for _ in range(self.max_rounds):
+                round_changes = 0
+                for name, fn in self.passes:
+                    before = _instr_count(program)
+                    with obs.span(f"pass:{name}",
+                                  category="compile") as sp:
+                        program, changes = fn(program)
+                    removed = before - _instr_count(program)
+                    if sp.is_recording:
+                        sp.set(rewrites=changes, ops_removed=removed)
+                    delta = report.delta(name)
+                    delta.rewrites += changes
+                    delta.ops_removed += removed
+                    round_changes += changes
+                report.rounds += 1
+                if not round_changes:
+                    break
+            report.after = _instr_count(program)
+            if root.is_recording:
+                root.set(rounds=report.rounds, before=report.before,
+                         after=report.after)
         program.validate()
+        # The registry mirrors exactly what the report carries, so the
+        # harness rows and a Prometheus scrape can never disagree.
+        _PIPELINE_RUNS.inc(level=self.level)
+        for delta in report.passes:
+            if delta.rewrites or delta.ops_removed:
+                _PASS_REWRITES.inc(delta.rewrites, pass_name=delta.name)
+                _PASS_OPS_REMOVED.inc(delta.ops_removed,
+                                      pass_name=delta.name)
+        _PIPELINE_SECONDS.observe(time.perf_counter() - begin)
         return program, report
 
 

@@ -1,0 +1,126 @@
+"""Trace and metrics exporters.
+
+Three formats, matching where each artefact is consumed:
+
+* **JSON lines** — one span dict per line, the raw archival form
+  (``grep``-able, streams well, trivially re-parsed).
+* **Chrome ``trace_event``** — loadable in Perfetto
+  (https://ui.perfetto.dev) or ``chrome://tracing``: every span
+  becomes one complete duration event (``"ph": "X"``) with
+  microsecond timestamps, keyed by the pid/tid it ran on, so worker
+  processes show up as their own tracks.
+* **Prometheus text exposition** — the whole metrics registry as
+  ``# HELP`` / ``# TYPE`` / sample lines, scrape-ready.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TextIO
+
+from .metrics import Histogram, MetricsRegistry
+
+
+# -- JSON lines --------------------------------------------------------------
+
+
+def jsonl_lines(spans: List[Dict[str, object]]) -> str:
+    return "".join(json.dumps(span, sort_keys=True) + "\n"
+                   for span in spans)
+
+
+def write_jsonl(spans: List[Dict[str, object]], path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(jsonl_lines(spans))
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def chrome_trace(spans: List[Dict[str, object]],
+                 process_names: Optional[Dict[int, str]] = None
+                 ) -> Dict[str, object]:
+    """Spans as a Chrome ``trace_event`` JSON object (the
+    ``traceEvents`` array form Perfetto and chrome://tracing load)."""
+    events: List[Dict[str, object]] = []
+    pids = sorted({span["pid"] for span in spans})
+    names = process_names or {}
+    for pid in pids:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": names.get(
+                pid, f"repro pid {pid}" if len(pids) > 1 else "repro")},
+        })
+    for span in spans:
+        args = dict(span["attrs"])
+        args["span_id"] = span["id"]
+        if span["parent"]:
+            args["parent_id"] = span["parent"]
+        args["cpu_ms"] = round(span["cpu"] * 1e3, 3)
+        events.append({
+            "name": span["name"],
+            "cat": span["cat"],
+            "ph": "X",
+            "ts": span["ts"] * 1e6,
+            "dur": span["dur"] * 1e6,
+            "pid": span["pid"],
+            "tid": span["tid"],
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(spans: List[Dict[str, object]], path: str,
+                 process_names: Optional[Dict[int, str]] = None) -> None:
+    with open(path, "w") as handle:
+        json.dump(chrome_trace(spans, process_names), handle)
+        handle.write("\n")
+
+
+# -- Prometheus text exposition ----------------------------------------------
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _sample(name: str, labels, value) -> str:
+    if labels:
+        rendered = ",".join(f'{k}="{v}"' for k, v in labels)
+        return f"{name}{{{rendered}}} {_format_value(value)}\n"
+    return f"{name} {_format_value(value)}\n"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    out: List[str] = []
+    for instrument in registry.instruments():
+        if instrument.help:
+            out.append(f"# HELP {instrument.name} {instrument.help}\n")
+        out.append(f"# TYPE {instrument.name} {instrument.kind}\n")
+        if isinstance(instrument, Histogram):
+            for labels, cell in sorted(instrument.series().items()):
+                # Stored bucket counts are already cumulative.
+                for edge, count in zip(instrument.buckets,
+                                       cell["buckets"]):
+                    out.append(_sample(
+                        f"{instrument.name}_bucket",
+                        labels + (("le", repr(edge)),), count))
+                out.append(_sample(f"{instrument.name}_bucket",
+                                   labels + (("le", "+Inf"),),
+                                   cell["count"]))
+                out.append(_sample(f"{instrument.name}_sum", labels,
+                                   cell["sum"]))
+                out.append(_sample(f"{instrument.name}_count", labels,
+                                   cell["count"]))
+        else:
+            for labels, value in sorted(instrument.series().items()):
+                out.append(_sample(instrument.name, labels, value))
+    return "".join(out)
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(registry))

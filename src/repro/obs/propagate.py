@@ -1,0 +1,73 @@
+"""Cross-process span marshalling for the worker pool.
+
+:class:`~repro.parallel.pool.WorkerPool` wraps each shard task in
+:func:`run_traced` whenever a tracer is recording.  Two cases:
+
+* **Same process** (thread or serial executor, or an inline fallback):
+  the live tracer is shared, so the shard span records directly into
+  it — only the parent pointer needs carrying, because the worker
+  thread's span stack starts empty.
+* **Different process** (process executor): the worker installs a
+  fresh collecting tracer seeded with the parent's
+  :class:`~repro.obs.trace.TraceContext`, runs the shard, and ships
+  the finished span dicts back inside a :class:`TracedShard`; the pool
+  unwraps the result and adopts the spans into the parent trace.
+
+Span ids embed the minting pid, so stitched traces never contain
+duplicates (covered by ``tests/obs`` and ``tests/parallel``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from .trace import TraceContext, Tracer
+
+
+@dataclass
+class TracedShard:
+    """A shard result plus the spans its worker process recorded."""
+
+    result: Any
+    spans: List[Dict[str, Any]]
+
+
+def run_traced(fn: Callable, ctx: Optional[TraceContext],
+               shard_index: int, payload) -> Any:
+    """Run one shard task under a ``shard`` span.
+
+    Module-level and argument-closed, so process pools pickle it by
+    reference with ``fn`` and ``ctx`` as plain arguments.
+    """
+    from . import current_tracer, install_tracer, uninstall_tracer
+
+    same_process = ctx is not None and ctx.pid == os.getpid()
+    live = current_tracer()
+    if same_process and live is not None:
+        with live.span("shard", category="scan", parent=ctx.span_id,
+                       shard=shard_index):
+            return fn(payload)
+    # Process worker: collect locally, marshal back.  Any tracer the
+    # worker inherited (fork) or configured from the environment is
+    # parked for the duration so nested instrumentation records here.
+    worker = Tracer(trace_id=ctx.trace_id if ctx else None,
+                    root_parent=ctx.span_id if ctx else None)
+    previous = install_tracer(worker)
+    try:
+        with worker.span("shard", category="scan", shard=shard_index):
+            result = fn(payload)
+    finally:
+        uninstall_tracer(worker, previous)
+    return TracedShard(result, worker.finished())
+
+
+def unwrap(raw: Any, tracer: Optional[Tracer]) -> Any:
+    """Adopt a :class:`TracedShard`'s spans and return its payload;
+    pass every other result through unchanged."""
+    if isinstance(raw, TracedShard):
+        if tracer is not None:
+            tracer.adopt(raw.spans)
+        return raw.result
+    return raw

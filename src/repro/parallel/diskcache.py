@@ -27,8 +27,23 @@ import tempfile
 from types import CodeType
 from typing import Optional, Tuple
 
+from .. import obs
+
 #: File-format magic; bump together with incompatible layout changes.
 _MAGIC = "repro-kernel-v1"
+
+_DISK_LOOKUPS = obs.registry().counter(
+    "repro_disk_cache_lookups_total",
+    "On-disk kernel cache lookups")
+_DISK_HITS = obs.registry().counter(
+    "repro_disk_cache_hits_total",
+    "On-disk kernel cache hits (valid entry loaded)")
+_DISK_MISSES = obs.registry().counter(
+    "repro_disk_cache_misses_total",
+    "On-disk kernel cache misses (absent, corrupt, or wrong version)")
+_DISK_PUTS = obs.registry().counter(
+    "repro_disk_cache_puts_total",
+    "Kernels persisted to the on-disk cache")
 
 
 def default_cache_dir() -> str:
@@ -54,23 +69,29 @@ class DiskKernelCache:
     def get(self, key: str) -> Optional[Tuple[str, CodeType]]:
         """(source, code object) for ``key``, or ``None`` on any miss —
         absent, unreadable, corrupted, or wrong format version."""
+        _DISK_LOOKUPS.inc()
         try:
             with open(self._entry_path(key), "rb") as handle:
                 payload = marshal.load(handle)
         except (OSError, ValueError, EOFError, TypeError):
+            _DISK_MISSES.inc()
             return None
         if (not isinstance(payload, tuple) or len(payload) != 3
                 or payload[0] != _MAGIC):
+            _DISK_MISSES.inc()
             return None
         magic, source, code = payload
         if not isinstance(source, str) or not isinstance(code, CodeType):
+            _DISK_MISSES.inc()
             return None
+        _DISK_HITS.inc()
         return source, code
 
     def put(self, key: str, source: str, code: CodeType) -> None:
         """Persist one kernel atomically; IO failures are swallowed
         (the disk cache is an accelerator, never a correctness layer)."""
         payload = marshal.dumps((_MAGIC, source, code))
+        _DISK_PUTS.inc()
         try:
             fd, staging = tempfile.mkstemp(dir=self.path,
                                            suffix=".kbc.tmp")

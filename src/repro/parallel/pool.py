@@ -20,8 +20,14 @@ from __future__ import annotations
 import concurrent.futures as futures
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from .. import obs
+from ..obs.propagate import run_traced, unwrap
 from .config import ScanConfig
 from .report import ShardFault
+
+_SHARD_FAULTS = obs.registry().counter(
+    "repro_shard_faults_total",
+    "Worker faults the pool degraded around, by kind")
 
 
 class WorkerPool:
@@ -46,9 +52,19 @@ class WorkerPool:
         at that point the failure is the workload's, not the pool's.
         """
         recover = serial_fn if serial_fn is not None else fn
+        tracer = obs.current_tracer()
+        ctx = tracer.current_context() if tracer is not None else None
+
+        def run_inline(index: int, payload, fallback: bool = False):
+            """A shard run in this process, under its own span."""
+            with obs.span("shard", category="scan", shard=index,
+                          inline=True, fallback=fallback):
+                return recover(payload)
+
         if (self.workers == 1 or self.executor == "serial"
                 or len(payloads) <= 1):
-            return [recover(payload) for payload in payloads], []
+            return [run_inline(i, payload)
+                    for i, payload in enumerate(payloads)], []
 
         try:
             executor = self._make_executor(min(self.workers,
@@ -56,20 +72,33 @@ class WorkerPool:
         except Exception as exc:  # pool could not start at all
             faults = [ShardFault(shard=i, kind="pool", error=repr(exc))
                       for i in range(len(payloads))]
-            return [recover(payload) for payload in payloads], faults
+            self._count_faults(faults)
+            return [run_inline(i, payload, fallback=True)
+                    for i, payload in enumerate(payloads)], faults
 
         results: List = [None] * len(payloads)
         faults: List[ShardFault] = []
         hung = False
         try:
             try:
-                pending = [executor.submit(fn, payload)
-                           for payload in payloads]
+                # With a tracer recording, shards run through the span
+                # marshaller: same-process workers record directly,
+                # process workers ship their spans back for adoption.
+                if tracer is not None:
+                    pending = [executor.submit(run_traced, fn, ctx,
+                                               index, payload)
+                               for index, payload
+                               in enumerate(payloads)]
+                else:
+                    pending = [executor.submit(fn, payload)
+                               for payload in payloads]
             except Exception as exc:
                 faults = [ShardFault(shard=i, kind="pool",
                                      error=repr(exc))
                           for i in range(len(payloads))]
-                return ([recover(payload) for payload in payloads],
+                self._count_faults(faults)
+                return ([run_inline(i, payload, fallback=True)
+                         for i, payload in enumerate(payloads)],
                         faults)
             broken = False
             for index, future in enumerate(pending):
@@ -78,30 +107,41 @@ class WorkerPool:
                     faults.append(ShardFault(shard=index, kind="pool",
                                              error="pool broken by an "
                                                    "earlier shard"))
-                    results[index] = recover(payloads[index])
+                    results[index] = run_inline(index, payloads[index],
+                                                fallback=True)
                     continue
                 try:
-                    results[index] = future.result(timeout=self.timeout)
+                    results[index] = unwrap(
+                        future.result(timeout=self.timeout), tracer)
                 except futures.TimeoutError:
                     future.cancel()
                     hung = True
                     faults.append(ShardFault(
                         shard=index, kind="timeout",
                         error=f"worker exceeded {self.timeout}s"))
-                    results[index] = recover(payloads[index])
+                    results[index] = run_inline(index, payloads[index],
+                                                fallback=True)
                 except futures.BrokenExecutor as exc:
                     broken = True
                     faults.append(ShardFault(shard=index, kind="pool",
                                              error=repr(exc)))
-                    results[index] = recover(payloads[index])
+                    results[index] = run_inline(index, payloads[index],
+                                                fallback=True)
                 except Exception as exc:
                     faults.append(ShardFault(shard=index, kind="error",
                                              error=repr(exc)))
-                    results[index] = recover(payloads[index])
+                    results[index] = run_inline(index, payloads[index],
+                                                fallback=True)
         finally:
             # Don't block shutdown on a worker we already timed out.
             executor.shutdown(wait=not hung, cancel_futures=hung)
+        self._count_faults(faults)
         return results, faults
+
+    @staticmethod
+    def _count_faults(faults: Sequence[ShardFault]) -> None:
+        for fault in faults:
+            _SHARD_FAULTS.inc(kind=fault.kind)
 
     # -- executor construction --------------------------------------------
 

@@ -41,7 +41,7 @@ class ScanReport(Mapping):
 
     __slots__ = ("pattern_count", "matches", "stream_offset",
                  "input_bytes", "metrics", "cta_metrics", "faults",
-                 "dispatch")
+                 "dispatch", "trace")
 
     def __init__(self, pattern_count: int,
                  matches: Optional[Dict[int, List[int]]] = None,
@@ -49,7 +49,8 @@ class ScanReport(Mapping):
                  metrics: Optional[KernelMetrics] = None,
                  cta_metrics: Optional[List[KernelMetrics]] = None,
                  faults: Optional[List[ShardFault]] = None,
-                 dispatch: str = "serial"):
+                 dispatch: str = "serial",
+                 trace: Optional[List[Dict[str, object]]] = None):
         self.pattern_count = pattern_count
         self.matches = dict(matches) if matches else {}
         for index in range(pattern_count):
@@ -64,6 +65,10 @@ class ScanReport(Mapping):
         #: "serial-small-input" (workers requested but the input was
         #: below ``ScanConfig.min_parallel_bytes``)
         self.dispatch = dispatch
+        #: span dicts of the scan that produced this report (the scan
+        #: span and everything beneath it, worker shards included);
+        #: ``None`` unless a :mod:`repro.obs` tracer was recording
+        self.trace = trace
 
     # -- construction ------------------------------------------------------
 
@@ -129,6 +134,8 @@ class ScanReport(Mapping):
         self.metrics.merge(other.metrics)
         self.cta_metrics.extend(other.cta_metrics)
         self.faults.extend(other.faults)
+        if other.trace:
+            self.trace = (self.trace or []) + other.trace
         return self
 
     # -- serialisation -----------------------------------------------------
@@ -137,7 +144,7 @@ class ScanReport(Mapping):
         """JSON-ready view (the ``python -m repro scan`` output)."""
         from dataclasses import asdict
 
-        return {
+        payload = {
             "pattern_count": self.pattern_count,
             "match_count": self.match_count(),
             "matches": {str(k): v for k, v in sorted(self.matches.items())},
@@ -147,6 +154,9 @@ class ScanReport(Mapping):
             "metrics": asdict(self.metrics),
             "faults": [fault.to_dict() for fault in self.faults],
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace
+        return payload
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent)

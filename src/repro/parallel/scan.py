@@ -30,10 +30,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from .config import ScanConfig
 from .pool import WorkerPool
 from .report import ScanReport, ShardFault
 from . import worker as worker_mod
+
+_SHARDS_DISPATCHED = obs.registry().counter(
+    "repro_parallel_shards_total",
+    "Shards handed to the worker pool, by plan kind")
 
 
 # -- shard planning ----------------------------------------------------------
@@ -135,11 +140,16 @@ class ParallelScanner:
             self.faults = []
             return self.engine.match_many(streams,
                                           config=self.config.serial())
-        payloads = [(self.engine, [streams[i] for i in shard],
-                     self._cache_dir) for shard in plan]
-        shard_results, self.faults = self.pool.map_shards(
-            worker_mod.scan_streams, payloads,
-            serial_fn=self._serial_streams)
+        _SHARDS_DISPATCHED.inc(len(plan), kind="stream")
+        with obs.span("scan.parallel", category="scan",
+                      kind="stream", shards=len(plan),
+                      workers=self.config.workers,
+                      executor=self.config.executor):
+            payloads = [(self.engine, [streams[i] for i in shard],
+                         self._cache_dir) for shard in plan]
+            shard_results, self.faults = self.pool.map_shards(
+                worker_mod.scan_streams, payloads,
+                serial_fn=self._serial_streams)
         results = [None] * len(streams)
         for shard, shard_result in zip(plan, shard_results):
             for index, result in zip(shard, shard_result):
@@ -160,11 +170,15 @@ class ParallelScanner:
         if len(plan) <= 1:
             self.faults = []
             return self.engine.match(data)
-        payloads = [(self.engine, shard, data, self._cache_dir)
-                    for shard in plan]
-        shard_results, self.faults = self.pool.map_shards(
-            worker_mod.scan_groups, payloads,
-            serial_fn=self._serial_groups)
+        _SHARDS_DISPATCHED.inc(len(plan), kind="group")
+        with obs.span("scan.parallel", category="scan", kind="group",
+                      shards=len(plan), workers=self.config.workers,
+                      executor=self.config.executor):
+            payloads = [(self.engine, shard, data, self._cache_dir)
+                        for shard in plan]
+            shard_results, self.faults = self.pool.map_shards(
+                worker_mod.scan_groups, payloads,
+                serial_fn=self._serial_groups)
         return self._merge_group_results(shard_results, len(data))
 
     def _serial_groups(self, payload) -> Tuple:
@@ -200,10 +214,15 @@ class ParallelScanner:
                  ) -> List[ScanReport]:
         """Run one full multi-chunk streaming session per logical
         stream, sessions fanned across the pool."""
-        payloads = [(self.engine, list(chunks), self.config,
-                     self._cache_dir) for chunks in chunk_lists]
-        reports, self.faults = self.pool.map_shards(
-            worker_mod.run_session, payloads)
+        _SHARDS_DISPATCHED.inc(len(chunk_lists), kind="session")
+        with obs.span("scan.parallel", category="scan",
+                      kind="session", shards=len(chunk_lists),
+                      workers=self.config.workers,
+                      executor=self.config.executor):
+            payloads = [(self.engine, list(chunks), self.config,
+                         self._cache_dir) for chunks in chunk_lists]
+            reports, self.faults = self.pool.map_shards(
+                worker_mod.run_session, payloads)
         for fault in self.faults:
             reports[fault.shard].faults.append(fault)
         return reports
@@ -255,8 +274,13 @@ def parallel_run_all(harness, apps: Sequence[str],
     payloads = [(spec, app, engine, cache_dir)
                 for app, engine in cells]
     pool = WorkerPool(config)
-    results, faults = pool.map_shards(
-        worker_mod.run_cell, payloads,
-        serial_fn=lambda payload: harness.run(payload[1], payload[2]))
+    _SHARDS_DISPATCHED.inc(len(cells), kind="grid")
+    with obs.span("scan.parallel", category="scan", kind="grid",
+                  shards=len(cells), workers=config.workers,
+                  executor=config.executor):
+        results, faults = pool.map_shards(
+            worker_mod.run_cell, payloads,
+            serial_fn=lambda payload: harness.run(payload[1],
+                                                  payload[2]))
     harness.last_scan_faults = faults
     return results

@@ -20,12 +20,20 @@ from __future__ import annotations
 import os
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from .report import ScanReport
 
 #: Test hook: when this variable names a fault kind, workers raise
 #: before touching their shard, so the dispatcher's graceful
 #: degradation can be exercised end to end (tests/parallel).
 FAULT_ENV = "REPRO_PARALLEL_FAULT_INJECT"
+
+_FAULTS_INJECTED = obs.registry().counter(
+    "repro_fault_injections_total",
+    f"Faults raised by the ${FAULT_ENV} test hook")
+_CELLS_RUN = obs.registry().counter(
+    "repro_worker_cells_total",
+    "Harness grid cells executed worker-side, by engine")
 
 
 class InjectedFault(RuntimeError):
@@ -34,6 +42,7 @@ class InjectedFault(RuntimeError):
 
 def _maybe_inject_fault() -> None:
     if os.environ.get(FAULT_ENV):
+        _FAULTS_INJECTED.inc()
         raise InjectedFault(f"fault injected via ${FAULT_ENV}")
 
 
@@ -111,4 +120,7 @@ def run_cell(payload):
         harness = Harness(config=config, scale=scale,
                           input_bytes=input_bytes, seed=seed)
         _HARNESS_MEMO[key] = harness
-    return harness.run(app, engine_name)
+    _CELLS_RUN.inc(engine=engine_name)
+    with obs.span("cell", category="scan", app=app,
+                  engine=engine_name):
+        return harness.run(app, engine_name)

@@ -49,6 +49,10 @@ class EngineRun:
     metrics: Optional[KernelMetrics] = None
     cta_metrics: Optional[List[KernelMetrics]] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    #: full optimisation-pass report for BitGen rows — opt level,
+    #: instruction counts before/after, and per-pass deltas; ``None``
+    #: for baseline engines, which have no IR pipeline
+    optimization_stats: Optional[Dict[str, object]] = None
 
     @property
     def mbps(self) -> float:
@@ -184,7 +188,8 @@ class Harness:
                          cta_metrics=result.cta_metrics,
                          extra={"opt_level": opt["opt_level"],
                                 "ops_removed": opt["ops_removed"],
-                                "opt_passes": opt["passes"]})
+                                "opt_passes": opt["passes"]},
+                         optimization_stats=opt)
 
     def run_baseline(self, app_name: str, engine_name: str,
                      gpu: Optional[GPUConfig] = None) -> EngineRun:

@@ -1,0 +1,110 @@
+"""Exporter formats: JSON lines, Chrome trace_event, Prometheus."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.export import (chrome_trace, jsonl_lines,
+                              prometheus_text, write_chrome,
+                              write_jsonl, write_prometheus)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+def sample_spans():
+    tracer = Tracer()
+    with tracer.span("compile", category="compile", patterns=3):
+        with tracer.span("parse", category="compile"):
+            pass
+    return tracer.finished()
+
+
+# -- JSON lines --------------------------------------------------------------
+
+
+def test_jsonl_roundtrip(tmp_path):
+    spans = sample_spans()
+    path = tmp_path / "trace.jsonl"
+    write_jsonl(spans, str(path))
+    parsed = [json.loads(line) for line in path.read_text().splitlines()]
+    assert parsed == spans
+    assert jsonl_lines(spans).count("\n") == len(spans)
+
+
+# -- Chrome trace_event ------------------------------------------------------
+
+
+def test_chrome_trace_structure():
+    spans = sample_spans()
+    doc = chrome_trace(spans)
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 1 and meta[0]["name"] == "process_name"
+    assert len(complete) == len(spans)
+    parse = next(e for e in complete if e["name"] == "parse")
+    compile_ = next(e for e in complete if e["name"] == "compile")
+    # Microsecond timestamps, nesting expressed by containment.
+    assert parse["ts"] >= compile_["ts"]
+    assert parse["dur"] <= compile_["dur"]
+    assert parse["args"]["parent_id"] == compile_["args"]["span_id"]
+    assert compile_["args"]["patterns"] == 3
+    assert compile_["cat"] == "compile"
+
+
+def test_chrome_trace_names_worker_processes(tmp_path):
+    spans = sample_spans()
+    foreign = dict(spans[0], id="ffff-1", pid=spans[0]["pid"] + 1)
+    doc = chrome_trace(spans + [foreign])
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert len(meta) == 2
+    assert all("pid" in e["args"]["name"] for e in meta)
+    path = tmp_path / "trace.json"
+    write_chrome(spans, str(path))
+    assert json.loads(path.read_text())["traceEvents"]
+
+
+# -- Prometheus --------------------------------------------------------------
+
+
+def test_prometheus_text_counters_gauges(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("repro_hits_total", "Cache hits").inc(3, app="Snort")
+    reg.gauge("repro_kernels", "Resident kernels").set(4)
+    text = prometheus_text(reg)
+    assert "# HELP repro_hits_total Cache hits\n" in text
+    assert "# TYPE repro_hits_total counter\n" in text
+    assert 'repro_hits_total{app="Snort"} 3\n' in text
+    assert "repro_kernels 4\n" in text
+    path = tmp_path / "metrics.prom"
+    write_prometheus(reg, str(path))
+    assert path.read_text() == text
+
+
+def test_prometheus_histogram_exposition():
+    reg = MetricsRegistry()
+    hist = reg.histogram("repro_lat_seconds", "Latency",
+                         buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    text = prometheus_text(reg)
+    assert 'repro_lat_seconds_bucket{le="0.1"} 1\n' in text
+    assert 'repro_lat_seconds_bucket{le="1.0"} 2\n' in text
+    assert 'repro_lat_seconds_bucket{le="+Inf"} 3\n' in text
+    assert "repro_lat_seconds_count 3\n" in text
+    assert "repro_lat_seconds_sum 5.55" in text
+
+
+def test_prometheus_every_sample_line_parses():
+    reg = MetricsRegistry()
+    reg.counter("a_total").inc()
+    reg.histogram("b_seconds").observe(0.2)
+    reg.gauge("c").set(2.5)
+    for line in prometheus_text(reg).splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        assert name
+        float(value)  # must parse as a sample value

@@ -1,0 +1,86 @@
+"""Metrics registry: instruments, labels, and reset semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram,
+                               MetricsRegistry, registry)
+
+
+def test_counter_unlabelled_and_labelled_series():
+    counter = Counter("hits")
+    counter.inc()
+    counter.inc(2)
+    counter.inc(5, app="Snort")
+    assert counter.value() == 3
+    assert counter.value(app="Snort") == 5
+    assert counter.value(app="Bro217") == 0
+    assert len(counter.series()) == 2
+
+
+def test_counter_label_order_is_canonical():
+    counter = Counter("c")
+    counter.inc(1, a="1", b="2")
+    counter.inc(1, b="2", a="1")
+    assert counter.value(a="1", b="2") == 2
+
+
+def test_gauge_last_write_wins():
+    gauge = Gauge("size")
+    gauge.set(4)
+    gauge.set(7)
+    gauge.set(1, shard="0")
+    assert gauge.value() == 7
+    assert gauge.value(shard="0") == 1
+    assert gauge.value(shard="9") is None
+
+
+def test_histogram_buckets_are_cumulative():
+    hist = Histogram("lat", buckets=(0.01, 0.1, 1.0))
+    for value in (0.005, 0.05, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    cell = hist.series()[()]
+    # 0.005 lands in every bucket, 0.05 in the last two, 0.5 in the
+    # last, 5.0 overflows into +Inf (count only).
+    assert cell["buckets"] == [1, 3, 4]
+    assert cell["count"] == 5
+    assert cell["sum"] == pytest.approx(5.605)
+
+
+def test_registry_get_or_create_and_kind_mismatch():
+    reg = MetricsRegistry()
+    counter = reg.counter("x", "help")
+    assert reg.counter("x") is counter
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    assert [i.name for i in reg.instruments()] == ["x"]
+
+
+def test_reset_zeroes_but_keeps_handles_live():
+    reg = MetricsRegistry()
+    counter = reg.counter("n")
+    hist = reg.histogram("h")
+    counter.inc(3)
+    hist.observe(0.5)
+    reg.reset()
+    assert counter.value() == 0
+    assert hist.series() == {}
+    # The module-level handle pattern: the same object keeps working.
+    counter.inc()
+    assert reg.counter("n").value() == 1
+
+
+def test_snapshot_is_json_ready():
+    import json
+
+    reg = MetricsRegistry()
+    reg.counter("c").inc(2, kind="stream")
+    reg.gauge("g").set(1.5)
+    snap = reg.snapshot()
+    assert json.loads(json.dumps(snap)) == snap
+    assert snap["c"]["series"] == {"kind=stream": 2}
+
+
+def test_global_registry_is_shared():
+    assert registry() is registry()

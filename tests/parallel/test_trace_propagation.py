@@ -1,0 +1,166 @@
+"""Trace propagation across the worker pool.
+
+The tentpole guarantee of :mod:`repro.obs.propagate`: spans recorded
+inside pool workers — threads or separate processes — stitch under the
+parent scan span with globally unique ids, and a scan run with tracing
+disabled pays (almost) nothing and reports ``trace=None``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.core.engine import BitGenEngine
+from repro.gpu.machine import CTAGeometry
+from repro.obs.propagate import TracedShard, run_traced, unwrap
+from repro.obs.trace import TraceContext, Tracer
+from repro.parallel.config import ScanConfig
+
+TINY = CTAGeometry(threads=4, word_bits=8)
+
+PATTERNS = ["a(bc)*d", "colou?r", "cat|dog", "[0-9][0-9]",
+            "xy+z", "foo(bar)?"]
+
+DATA = b"abcbcd colour cat 42 xyyz foobar color abcd " * 30
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.stop_tracing()
+    yield
+    obs.stop_tracing()
+
+
+def build(executor):
+    return BitGenEngine.compile(
+        PATTERNS, config=ScanConfig(geometry=TINY, backend="compiled",
+                                    cta_count=4, workers=2,
+                                    executor=executor,
+                                    min_parallel_bytes=0,
+                                    loop_fallback=True))
+
+
+def traced_scan(executor):
+    engine = build(executor)
+    tracer = obs.start_tracing()
+    report = engine.scan(DATA)
+    obs.stop_tracing()
+    return report, tracer.finished()
+
+
+def by_id(spans):
+    index = {span["id"]: span for span in spans}
+    assert len(index) == len(spans), "duplicate span ids"
+    return index
+
+
+def assert_shards_under_scan(spans):
+    index = by_id(spans)
+    scan = next(s for s in spans if s["name"] == "scan")
+    shards = [s for s in spans if s["name"] == "shard"]
+    assert len(shards) >= 2
+    for shard in shards:
+        # Walk the parent chain up to the scan span.
+        node = shard
+        seen = set()
+        while node["parent"] is not None:
+            assert node["id"] not in seen
+            seen.add(node["id"])
+            node = index[node["parent"]]
+        assert node is scan
+    return scan, shards
+
+
+# -- thread executor (same process, shared tracer) ---------------------------
+
+
+def test_thread_shards_stitch_under_scan():
+    report, spans = traced_scan("thread")
+    scan, shards = assert_shards_under_scan(spans)
+    assert report.dispatch == "parallel"
+    assert all(s["pid"] == scan["pid"] for s in shards)
+    # Distinct worker threads recorded the shards' execution.
+    assert {s["attrs"]["shard"] for s in shards} == \
+        set(range(len(shards)))
+
+
+def test_report_trace_view_is_the_scan_subtree():
+    report, spans = traced_scan("thread")
+    assert report.trace is not None
+    trace_ids = {s["id"] for s in report.trace}
+    scan = next(s for s in spans if s["name"] == "scan")
+    assert scan["id"] in trace_ids
+    shard_ids = {s["id"] for s in spans if s["name"] == "shard"}
+    assert shard_ids <= trace_ids
+    # Compile-time spans predate the scan and stay out of its view.
+    compile_ids = {s["id"] for s in spans if s["name"] == "compile"}
+    assert not compile_ids & trace_ids
+
+
+# -- process executor (spans marshalled back) --------------------------------
+
+
+def test_process_shards_marshal_back():
+    report, spans = traced_scan("process")
+    scan, shards = assert_shards_under_scan(spans)
+    assert report.dispatch == "parallel"
+    if not any(f.kind == "pool" for f in report.faults):
+        # Genuine process workers: shard spans carry foreign pids and
+        # their children (exec spans) came along with them.
+        worker_pids = {s["pid"] for s in shards} - {scan["pid"]}
+        assert worker_pids
+        assert any(s["name"] == "exec" and s["pid"] in worker_pids
+                   for s in spans)
+    assert len({s["trace"] for s in spans}) == 1
+
+
+# -- disabled path -----------------------------------------------------------
+
+
+def test_disabled_tracer_reports_no_trace():
+    engine = build("thread")
+    report = engine.scan(DATA)
+    assert report.dispatch == "parallel"
+    assert report.trace is None
+    assert not obs.enabled()
+
+
+def test_disabled_pool_skips_span_marshalling():
+    """Without a tracer the pool submits ``fn`` directly — results are
+    never wrapped in TracedShard."""
+    engine = build("thread")
+    results = engine.match_many([DATA[:64], DATA[:128], DATA[:64]])
+    assert not any(isinstance(r, TracedShard) for r in results)
+
+
+# -- run_traced unit behaviour -----------------------------------------------
+
+
+def test_run_traced_same_process_records_live():
+    tracer = obs.start_tracing()
+    with obs.span("scan.parallel") as parent:
+        ctx = obs.current_context()
+        result = run_traced(lambda p: p + 1, ctx, 0, 41)
+    assert result == 42  # raw result, not TracedShard
+    shard = next(s for s in tracer.finished()
+                 if s["name"] == "shard")
+    assert shard["parent"] == parent.span_id
+
+
+def test_run_traced_foreign_process_marshals():
+    """Simulate the worker side: a context minted by another pid makes
+    run_traced collect spans locally and ship them back."""
+    ctx = TraceContext(trace_id="t-x", span_id="p-1", pid=-1)
+    raw = run_traced(lambda p: p * 2, ctx, 3, 21)
+    assert isinstance(raw, TracedShard)
+    assert raw.result == 42
+    shard = next(s for s in raw.spans if s["name"] == "shard")
+    assert shard["trace"] == "t-x"
+    assert shard["parent"] == "p-1"
+    assert shard["attrs"]["shard"] == 3
+    # The worker-side tracer was uninstalled again.
+    assert not obs.enabled()
+    parent = Tracer(trace_id="t-x")
+    assert unwrap(raw, parent) == 42
+    assert parent.finished() == raw.spans
