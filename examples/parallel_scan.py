@@ -13,6 +13,7 @@ Run:  python examples/parallel_scan.py
 
 import os
 
+import repro.parallel
 from repro import BitGenEngine, ScanConfig
 from repro.parallel.worker import FAULT_ENV
 
@@ -34,9 +35,13 @@ STREAMS = [BASE[:size] for size in (512, 1024, 2048, 512, 1024, 4096,
 def main() -> None:
     serial = BitGenEngine.compile(
         PATTERNS, config=ScanConfig(backend="compiled"))
+    # min_parallel_bytes=0: this demo's streams are deliberately tiny,
+    # and the point is to show the pool — a real deployment would let
+    # the threshold route small scans straight to serial.
     parallel = BitGenEngine.compile(
         PATTERNS, config=ScanConfig(backend="compiled", workers=4,
-                                    executor="thread"))
+                                    executor="thread",
+                                    min_parallel_bytes=0))
 
     serial_results = serial.match_many(STREAMS)
     parallel_results = parallel.match_many(STREAMS)
@@ -65,6 +70,10 @@ def main() -> None:
     for fault in parallel.last_scan_faults:
         print(f"  shard {fault.shard}: {fault.kind} -> "
               f"re-ran via {fault.fallback}")
+
+    # Pools persist across scans (warm reuse); atexit would release
+    # them anyway, but long-lived processes should do it explicitly.
+    repro.parallel.shutdown()
 
 
 if __name__ == "__main__":

@@ -24,7 +24,8 @@ from .engines.hyperscan import HyperscanEngine
 from .engines.icgrep import ICgrepEngine
 from .engines.ngap import NgAPEngine
 from .engines.re2 import RE2Engine
-from .parallel.config import BACKENDS, EXECUTORS, SHARD_POLICIES, ScanConfig
+from .parallel.config import (BACKENDS, EXECUTORS, SHARD_POLICIES,
+                              START_METHODS, ScanConfig)
 
 ENGINES = {
     "bitgen": BitGenEngine,
@@ -96,6 +97,11 @@ def build_scan_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=1,
                         help="worker shards (1 = serial)")
     parser.add_argument("--executor", choices=EXECUTORS, default="process")
+    parser.add_argument("--start-method", choices=START_METHODS,
+                        default=None,
+                        help="process-pool start method (default: "
+                             "$REPRO_PARALLEL_START_METHOD, else fork "
+                             "where available)")
     parser.add_argument("--shard", choices=SHARD_POLICIES, default="auto")
     parser.add_argument("--backend", choices=BACKENDS, default="simulate")
     parser.add_argument("--scheme", choices=[s.name for s in Scheme],
@@ -114,6 +120,7 @@ def scan_main(argv: List[str]) -> int:
         raise SystemExit(f"no patterns in {args.patterns}")
     config = ScanConfig(scheme=Scheme[args.scheme], backend=args.backend,
                         workers=args.workers, executor=args.executor,
+                        start_method=args.start_method,
                         shard=args.shard, loop_fallback=True)
     engine = BitGenEngine.compile(patterns, config=config)
 

@@ -19,8 +19,10 @@ Front doors:
 from .codegen import CompileError, generate_source
 from .compiled import (CacheStats, CompiledKernel, CompiledProgram,
                        KernelCache, compile_program, kernel_cache)
-from .executor import (compile_group, dispatch_programs, dispatch_streams,
-                       dispatch_words, estimate_metrics)
+from .executor import (compile_group, dispatch_programs,
+                       dispatch_stream_classes, dispatch_streams,
+                       dispatch_words, estimate_metrics,
+                       stream_length_classes, transpose_stream_classes)
 from .fingerprint import cache_key, canonicalize, fingerprint
 from .runtime import KernelStats, basis_environment
 
@@ -37,10 +39,13 @@ __all__ = [
     "compile_group",
     "compile_program",
     "dispatch_programs",
+    "dispatch_stream_classes",
     "dispatch_streams",
     "dispatch_words",
     "estimate_metrics",
     "fingerprint",
     "generate_source",
     "kernel_cache",
+    "stream_length_classes",
+    "transpose_stream_classes",
 ]

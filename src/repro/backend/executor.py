@@ -89,27 +89,59 @@ def dispatch_words(compiled: Sequence[CompiledProgram], basis,
     return results  # type: ignore[return-value]
 
 
-def dispatch_streams(compiled: CompiledProgram,
-                     streams: Sequence[bytes]) -> List[DispatchResult]:
-    """Run one compiled program over many input streams; equal-length
-    streams batch into a single 2D call (MIMD-style CTAs)."""
+#: One equal-length batch of streams: ``(size, indices, basis)`` where
+#: ``indices`` are positions in the dispatch's stream list and
+#: ``basis`` is an ``(8, W)`` word array for a single stream or a
+#: plane-indexable ``(8, k, W)`` batch (a list of 8 ``(k, W)`` arrays
+#: or one contiguous 3D array — shared-memory shards use the latter).
+StreamClass = Tuple[int, List[int], object]
+
+
+def stream_length_classes(streams: Sequence[bytes]
+                          ) -> List[Tuple[int, List[int]]]:
+    """Group stream indices by byte length — the serial batching unit
+    stream sharding must keep whole."""
     by_length: Dict[int, List[int]] = {}
     for index, stream in enumerate(streams):
         by_length.setdefault(len(stream), []).append(index)
+    return list(by_length.items())
 
-    results: List[Optional[DispatchResult]] = [None] * len(streams)
-    for size, indices in by_length.items():
+
+def transpose_stream_classes(streams: Sequence[bytes]
+                             ) -> List[StreamClass]:
+    """Transpose every stream to the word layout, batched per length
+    class.  The result feeds :func:`dispatch_stream_classes` for any
+    number of compiled groups — the transpose is paid once, not once
+    per kernel."""
+    classes: List[StreamClass] = []
+    for size, indices in stream_length_classes(streams):
+        if len(indices) == 1:
+            basis: object = runtime.basis_environment(
+                streams[indices[0]])
+        else:
+            stacked = np.stack([runtime.basis_environment(streams[i])
+                                for i in indices])       # (k, 8, W)
+            basis = [np.ascontiguousarray(stacked[:, k, :])
+                     for k in range(8)]
+        classes.append((size, indices, basis))
+    return classes
+
+
+def dispatch_stream_classes(compiled: CompiledProgram,
+                            classes: Sequence[StreamClass],
+                            count: int) -> List[DispatchResult]:
+    """Run one compiled program over pre-transposed length classes —
+    the shared execution loop of :func:`dispatch_streams` and the
+    zero-copy shard path (workers resolve their classes straight out
+    of shared memory)."""
+    results: List[Optional[DispatchResult]] = [None] * count
+    for size, indices, basis in classes:
         length = size + 1
         if len(indices) == 1:
             with obs.span("exec.batch", category="exec", streams=1,
                           stream_bytes=size):
-                results[indices[0]] = compiled.run_words(
-                    runtime.basis_environment(streams[indices[0]]),
-                    length)
+                results[indices[0]] = compiled.run_words(basis, length)
             continue
-        stacked = np.stack([runtime.basis_environment(streams[i])
-                            for i in indices])       # (k, 8, W)
-        basis = [np.ascontiguousarray(stacked[:, k, :]) for k in range(8)]
         with obs.span("exec.batch", category="exec",
                       streams=len(indices), stream_bytes=size):
             raw, stats = compiled.kernel(basis, compiled.params, length)
@@ -124,6 +156,15 @@ def dispatch_streams(compiled: CompiledProgram,
                 assert outputs[name].shape == (words,)
             results[index] = (outputs, stats)
     return results  # type: ignore[return-value]
+
+
+def dispatch_streams(compiled: CompiledProgram,
+                     streams: Sequence[bytes]) -> List[DispatchResult]:
+    """Run one compiled program over many input streams; equal-length
+    streams batch into a single 2D call (MIMD-style CTAs)."""
+    return dispatch_stream_classes(compiled,
+                                   transpose_stream_classes(streams),
+                                   len(streams))
 
 
 # -- metric estimation -------------------------------------------------------

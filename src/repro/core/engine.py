@@ -118,6 +118,10 @@ class BitGenEngine(Engine):
         #: "parallel", or "serial-small-input" (workers requested but
         #: the input was below ``min_parallel_bytes``)
         self.last_dispatch: str = "serial"
+        #: how the most recent parallel dispatch got its executor:
+        #: "none" (no parallel dispatch yet), "inline", "warm"
+        #: (persistent pool reused), or "cold" (pool built)
+        self.last_pool_state: str = "none"
         self._reversed_engine: Optional["BitGenEngine"] = None
         self._compiled_group_cache: Optional[list] = None
 
@@ -322,18 +326,27 @@ class BitGenEngine(Engine):
     def _match_compiled(self, data: bytes) -> BitGenResult:
         """Batched CTA dispatch: one transpose, groups whose programs
         share a kernel fingerprint execute as a single 2D NumPy call."""
+        from ..backend import basis_environment
+
+        return self.match_words(basis_environment(data), len(data))
+
+    def match_words(self, basis, input_bytes: int) -> BitGenResult:
+        """Compiled match over an already-transposed ``(8, W)`` basis
+        word array (padded to ``input_bytes + 1`` bits).  This is the
+        zero-copy shard entry point: the parent transposes once into
+        shared memory and every group-shard worker executes on views
+        of the same words.  Bit-identical to :meth:`match` because the
+        basis fully determines the kernels' inputs."""
         import numpy as np
 
-        from ..backend import (basis_environment, dispatch_words,
-                               estimate_metrics)
+        from ..backend import dispatch_words, estimate_metrics
         from ..bitstream.npvector import NPBitVector
 
         with obs.span("exec", category="exec", backend="compiled",
-                      input_bytes=len(data), ctas=len(self.groups)):
-            basis = basis_environment(data)
-            length = len(data) + 1
+                      input_bytes=input_bytes, ctas=len(self.groups)):
+            length = input_bytes + 1
             result = BitGenResult(pattern_count=self.pattern_count,
-                                  input_bytes=len(data))
+                                  input_bytes=input_bytes)
             dispatched = dispatch_words(self._compiled_programs(),
                                         basis, length)
             for compiled, (raw, stats) in zip(self.groups, dispatched):
@@ -346,7 +359,7 @@ class BitGenEngine(Engine):
                                                     dtype=np.uint64),
                                          length)
                     result.ends[int(out[1:])] = stream.match_ends()
-        _SCAN_BYTES.inc(len(data), backend="compiled")
+        _SCAN_BYTES.inc(input_bytes, backend="compiled")
         _SCAN_MATCHES.inc(result.match_count())
         return result
 
@@ -448,19 +461,33 @@ class BitGenEngine(Engine):
     def _match_many_compiled(self,
                              streams: Sequence[bytes]
                              ) -> List[BitGenResult]:
+        from ..backend import transpose_stream_classes
+
+        return self.match_many_words([len(s) for s in streams],
+                                     transpose_stream_classes(streams))
+
+    def match_many_words(self, sizes: Sequence[int],
+                         classes) -> List[BitGenResult]:
+        """Compiled multi-stream match over pre-transposed length
+        classes (:func:`~repro.backend.transpose_stream_classes`
+        layout).  The transpose is paid once for all groups — and, on
+        the zero-copy shard path, once in the *parent*, with workers
+        executing on shared-memory views."""
         import numpy as np
 
-        from ..backend import dispatch_streams, estimate_metrics
+        from ..backend import dispatch_stream_classes, estimate_metrics
         from ..bitstream.npvector import NPBitVector
 
         results = [BitGenResult(pattern_count=self.pattern_count,
-                                input_bytes=len(stream))
-                   for stream in streams]
+                                input_bytes=size)
+                   for size in sizes]
         for compiled, cprog in zip(self.groups,
                                    self._compiled_programs()):
-            for stream, result, (raw, stats) in zip(
-                    streams, results, dispatch_streams(cprog, streams)):
-                length = len(stream) + 1
+            for size, result, (raw, stats) in zip(
+                    sizes, results,
+                    dispatch_stream_classes(cprog, classes,
+                                            len(results))):
+                length = size + 1
                 metrics = estimate_metrics(compiled.program,
                                            self.geometry, length, stats)
                 result.cta_metrics.append(metrics)

@@ -11,8 +11,9 @@ Light by design: importing the package only loads the config and
 report types; the pool, dispatcher, and disk cache load on first use.
 """
 
-from .config import (BACKENDS, EXECUTORS, SHARD_POLICIES, UNSET,
-                     ScanConfig, resolve_config, warn_deprecated_kwargs)
+from .config import (BACKENDS, EXECUTORS, SHARD_POLICIES, START_METHOD_ENV,
+                     START_METHODS, UNSET, ScanConfig, default_start_method,
+                     resolve_config, warn_deprecated_kwargs)
 from .report import ScanReport, ShardFault
 
 __all__ = [
@@ -21,26 +22,35 @@ __all__ = [
     "EXECUTORS",
     "ParallelScanner",
     "SHARD_POLICIES",
+    "START_METHODS",
+    "START_METHOD_ENV",
     "ScanConfig",
     "ScanReport",
+    "SharedArena",
     "ShardFault",
     "UNSET",
     "WorkerPool",
     "default_cache_dir",
+    "default_start_method",
     "parallel_match",
     "parallel_match_many",
     "parallel_run_all",
     "parallel_sessions",
     "plan_group_shards",
     "plan_stream_shards",
+    "pool_stats",
     "resolve_config",
+    "shutdown",
     "warn_deprecated_kwargs",
 ]
 
 _LAZY = {
     "DiskKernelCache": ("diskcache", "DiskKernelCache"),
     "default_cache_dir": ("diskcache", "default_cache_dir"),
+    "SharedArena": ("shm", "SharedArena"),
     "WorkerPool": ("pool", "WorkerPool"),
+    "pool_stats": ("pool", "pool_stats"),
+    "shutdown": ("pool", "shutdown"),
     "ParallelScanner": ("scan", "ParallelScanner"),
     "parallel_match": ("scan", "parallel_match"),
     "parallel_match_many": ("scan", "parallel_match_many"),

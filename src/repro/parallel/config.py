@@ -52,6 +52,20 @@ UNSET = _Unset()
 BACKENDS = ("simulate", "compiled")
 SHARD_POLICIES = ("auto", "stream", "group")
 EXECUTORS = ("process", "thread", "serial")
+START_METHODS = ("fork", "spawn", "forkserver")
+
+#: Environment override for :meth:`ScanConfig.resolved_start_method`.
+START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (cheapest, and warm
+    workers inherit the parent's in-memory kernel cache), else
+    ``spawn``."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
 
 
 @dataclass(frozen=True)
@@ -84,6 +98,17 @@ class ScanConfig:
     workers: int = 1
     shard: str = "auto"
     executor: str = "process"
+    #: process-pool start method; ``None`` resolves through
+    #: ``$REPRO_PARALLEL_START_METHOD`` and then the platform default
+    #: (:func:`default_start_method`).  Persistent warm pools are keyed
+    #: by the resolved value, so two configs differing only here get
+    #: separate pools.
+    start_method: Optional[str] = None
+    #: ship shard payloads (input bytes, pre-transposed word arrays)
+    #: through ``multiprocessing.shared_memory`` instead of pickling
+    #: them into process workers.  Ignored for thread/serial executors,
+    #: which already share the parent's memory.
+    shared_memory: bool = True
     worker_timeout: Optional[float] = None
     cache_dir: Optional[str] = None
     #: inputs smaller than this fall back to serial dispatch even when
@@ -102,6 +127,11 @@ class ScanConfig:
         if self.executor not in EXECUTORS:
             raise ValueError(f"unknown executor {self.executor!r}; "
                              f"expected one of {EXECUTORS}")
+        if (self.start_method is not None
+                and self.start_method not in START_METHODS):
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}; "
+                f"expected one of {START_METHODS}")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.opt_level not in (0, 1, 2):
@@ -137,6 +167,24 @@ class ScanConfig:
         sharding overhead can pay for itself."""
         return (self.workers > 1
                 and input_bytes >= self.min_parallel_bytes)
+
+    def resolved_start_method(self) -> str:
+        """The process-pool start method actually used: the explicit
+        field, else ``$REPRO_PARALLEL_START_METHOD``, else the
+        platform default.  Read at dispatch time, so the environment
+        override reaches long-lived processes too."""
+        import os
+
+        if self.start_method is not None:
+            return self.start_method
+        env = os.environ.get(START_METHOD_ENV)
+        if env:
+            if env not in START_METHODS:
+                raise ValueError(
+                    f"${START_METHOD_ENV}={env!r}: expected one of "
+                    f"{START_METHODS}")
+            return env
+        return default_start_method()
 
     def effective_opt_level(self) -> int:
         """The optimizer level actually applied: ``opt_level`` gated

@@ -1,4 +1,4 @@
-"""Worker pools with graceful degradation.
+"""Worker pools with graceful degradation — persistent and warm.
 
 :class:`WorkerPool` is the dispatch layer's only executor abstraction:
 a process pool for the CPU-bound compiled kernels, a thread pool when
@@ -13,102 +13,265 @@ scanner relies on:
   :class:`~repro.parallel.report.ShardFault`;
 * ``workers=1`` (or ``executor="serial"``) bypasses pools entirely, so
   the serial path stays the single source of truth for results.
+
+Executors are no longer built per dispatch.  A module-level registry
+keeps one **persistent pool** per ``(executor, workers, start_method)``
+key, reused across scans: ``BENCH_parallel.json`` showed a fresh
+``ProcessPoolExecutor`` per scan costing more than the scan itself.
+Process pools are created with an initializer that pre-attaches the
+shared on-disk kernel cache, so even a cold pool's workers start with
+the parent's compiled artefacts (and, under ``fork``, its entire
+in-memory kernel cache).  The registry is fork-aware — a pool created
+before ``os.fork()`` is silently abandoned in the child, never joined —
+and torn down via ``atexit`` or an explicit
+:func:`repro.parallel.shutdown`.  A pool poisoned by a timeout or a
+crash is discarded (the next scan pays one cold start) rather than
+reused; warm/cold acquisitions and discards are counted in
+:mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
+import atexit
 import concurrent.futures as futures
-from typing import Callable, List, Optional, Sequence, Tuple
+import os
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..obs.propagate import run_traced, unwrap
 from .config import ScanConfig
 from .report import ShardFault
+from . import worker as worker_mod
 
-_SHARD_FAULTS = obs.registry().counter(
+_REG = obs.registry()
+_SHARD_FAULTS = _REG.counter(
     "repro_shard_faults_total",
     "Worker faults the pool degraded around, by kind")
+_POOL_REUSE = _REG.counter(
+    "repro_parallel_pool_reuse_total",
+    "Executor acquisitions by the sharded dispatcher: state=warm "
+    "reused a persistent pool, state=cold built one")
+_POOL_DISCARDS = _REG.counter(
+    "repro_parallel_pool_discards_total",
+    "Persistent pools discarded, by reason "
+    "(timeout, broken, fork, shutdown)")
+_POOLS_ACTIVE = _REG.gauge(
+    "repro_parallel_pools_active",
+    "Persistent worker pools currently alive in the registry")
+
+#: (executor kind, workers, start method or None) → live pool
+PoolKey = Tuple[str, int, Optional[str]]
+
+
+class _PoolEntry:
+    __slots__ = ("executor", "pid", "dispatches")
+
+    def __init__(self, executor, pid: int):
+        self.executor = executor
+        self.pid = pid
+        self.dispatches = 0
+
+
+_POOLS: Dict[PoolKey, _PoolEntry] = {}
+_POOLS_LOCK = threading.RLock()
+
+
+def _acquire_persistent(key: PoolKey, build: Callable
+                        ) -> Tuple[object, str]:
+    """The registry's get-or-create: ``(executor, "warm"|"cold")``.
+
+    The executor is built outside the lock — worker start-up must
+    never fork/spawn while registry state is held.
+    """
+    with _POOLS_LOCK:
+        entry = _POOLS.get(key)
+        if entry is not None and entry.pid != os.getpid():
+            # Fork-awareness: the child inherited the registry dict
+            # but not the pool's worker processes/threads.  Abandon
+            # the entry (never join another process's children).
+            _POOLS.pop(key, None)
+            _POOLS_ACTIVE.set(len(_POOLS))
+            _POOL_DISCARDS.inc(reason="fork")
+            entry = None
+        if entry is not None:
+            entry.dispatches += 1
+            _POOL_REUSE.inc(state="warm")
+            return entry.executor, "warm"
+    executor = build()
+    with _POOLS_LOCK:
+        entry = _POOLS.get(key)
+        if entry is not None and entry.pid == os.getpid():
+            # Lost a (rare) build race; keep the registered pool.
+            entry.dispatches += 1
+            _POOL_REUSE.inc(state="warm")
+            racing = executor
+        else:
+            new_entry = _PoolEntry(executor, os.getpid())
+            new_entry.dispatches = 1
+            _POOLS[key] = new_entry
+            _POOLS_ACTIVE.set(len(_POOLS))
+            _POOL_REUSE.inc(state="cold")
+            return executor, "cold"
+    racing.shutdown(wait=False, cancel_futures=True)
+    return entry.executor, "warm"
+
+
+def _discard(executor, reason: str) -> None:
+    """Drop ``executor`` from the registry and stop it without
+    waiting — a pool that timed out or broke must not poison the next
+    scan, and a hung worker must not block this one."""
+    with _POOLS_LOCK:
+        for key, entry in list(_POOLS.items()):
+            if entry.executor is executor:
+                _POOLS.pop(key, None)
+        _POOLS_ACTIVE.set(len(_POOLS))
+    _POOL_DISCARDS.inc(reason=reason)
+    try:
+        executor.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def shutdown(wait: bool = True) -> None:
+    """Tear down every persistent pool.  Long-lived processes (servers,
+    notebooks) should call :func:`repro.parallel.shutdown` when done
+    scanning; short-lived ones are covered by ``atexit``."""
+    with _POOLS_LOCK:
+        entries = [entry for entry in _POOLS.values()
+                   if entry.pid == os.getpid()]
+        count = len(_POOLS)
+        _POOLS.clear()
+        _POOLS_ACTIVE.set(0)
+    if count:
+        _POOL_DISCARDS.inc(count, reason="shutdown")
+    for entry in entries:
+        try:
+            entry.executor.shutdown(wait=wait, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def pool_stats() -> Dict[str, float]:
+    """Warm/cold acquisition counters plus live-pool count — what the
+    bench records per row."""
+    return {
+        "warm": _POOL_REUSE.value(state="warm"),
+        "cold": _POOL_REUSE.value(state="cold"),
+        "active": _POOLS_ACTIVE.value() or 0,
+    }
+
+
+atexit.register(shutdown, wait=False)
 
 
 class WorkerPool:
     """Runs one payload list through a pool, falling back per shard."""
 
-    def __init__(self, config: ScanConfig):
+    def __init__(self, config: ScanConfig,
+                 cache_dir: Optional[str] = None):
         self.config = config
         self.workers = max(1, config.workers)
         self.executor = config.executor
         self.timeout = config.worker_timeout
+        #: resolved kernel-cache directory handed to the process-pool
+        #: initializer, so warm workers pre-attach it at spawn
+        self.cache_dir = cache_dir if cache_dir is not None \
+            else config.cache_dir
+        #: how the last dispatch got its executor:
+        #: "inline" | "warm" | "cold"
+        self.last_pool_state = "inline"
 
     # -- the one entry point ----------------------------------------------
 
     def map_shards(self, fn: Callable, payloads: Sequence,
-                   serial_fn: Optional[Callable] = None
+                   serial_fn: Optional[Callable] = None,
+                   prepare: Optional[Callable] = None
                    ) -> Tuple[List, List[ShardFault]]:
-        """``[fn(p) for p in payloads]`` through the pool.
+        """``[fn(prepare(p)) for p in payloads]`` through the pool.
 
         Returns ``(results, faults)`` with results in payload order.
         ``serial_fn`` (default ``fn``) recovers any shard whose worker
         faulted; a fault in the serial fallback itself propagates —
         at that point the failure is the workload's, not the pool's.
+
+        ``prepare`` (optional) maps each raw payload to the payload
+        actually submitted, and runs **interleaved with execution**:
+        shard N is prepared in the parent while shards < N already run
+        in workers.  The sharded scanner uses it to overlap the
+        transpose/pack stage with kernel execution.
         """
         recover = serial_fn if serial_fn is not None else fn
         tracer = obs.current_tracer()
         ctx = tracer.current_context() if tracer is not None else None
+        self.last_pool_state = "inline"
 
-        def run_inline(index: int, payload, fallback: bool = False):
+        prepared: List = [None] * len(payloads)
+        ready = [False] * len(payloads)
+
+        def prep(index: int):
+            if not ready[index]:
+                prepared[index] = payloads[index] if prepare is None \
+                    else prepare(payloads[index])
+                ready[index] = True
+            return prepared[index]
+
+        def run_inline(index: int, fallback: bool = False):
             """A shard run in this process, under its own span."""
             with obs.span("shard", category="scan", shard=index,
                           inline=True, fallback=fallback):
-                return recover(payload)
+                return recover(prep(index))
 
         if (self.workers == 1 or self.executor == "serial"
                 or len(payloads) <= 1):
-            return [run_inline(i, payload)
-                    for i, payload in enumerate(payloads)], []
+            return [run_inline(i) for i in range(len(payloads))], []
 
         try:
-            executor = self._make_executor(min(self.workers,
-                                               len(payloads)))
+            executor, persistent = self._acquire(len(payloads))
         except Exception as exc:  # pool could not start at all
             faults = [ShardFault(shard=i, kind="pool", error=repr(exc))
                       for i in range(len(payloads))]
             self._count_faults(faults)
-            return [run_inline(i, payload, fallback=True)
-                    for i, payload in enumerate(payloads)], faults
+            return [run_inline(i, fallback=True)
+                    for i in range(len(payloads))], faults
 
         results: List = [None] * len(payloads)
         faults: List[ShardFault] = []
         hung = False
+        broken = False
         try:
             try:
-                # With a tracer recording, shards run through the span
+                # Submission doubles as the overlap stage: prep(i)
+                # (transpose + shared-memory packing) for shard i runs
+                # while shards < i already execute in workers.  With a
+                # tracer recording, shards run through the span
                 # marshaller: same-process workers record directly,
                 # process workers ship their spans back for adoption.
-                if tracer is not None:
-                    pending = [executor.submit(run_traced, fn, ctx,
-                                               index, payload)
-                               for index, payload
-                               in enumerate(payloads)]
-                else:
-                    pending = [executor.submit(fn, payload)
-                               for payload in payloads]
+                pending = []
+                for index in range(len(payloads)):
+                    payload = prep(index)
+                    if tracer is not None:
+                        pending.append(executor.submit(
+                            run_traced, fn, ctx, index, payload))
+                    else:
+                        pending.append(executor.submit(fn, payload))
             except Exception as exc:
+                broken = True
                 faults = [ShardFault(shard=i, kind="pool",
                                      error=repr(exc))
                           for i in range(len(payloads))]
                 self._count_faults(faults)
-                return ([run_inline(i, payload, fallback=True)
-                         for i, payload in enumerate(payloads)],
+                return ([run_inline(i, fallback=True)
+                         for i in range(len(payloads))],
                         faults)
-            broken = False
+            pool_broken = False
             for index, future in enumerate(pending):
-                if broken:
+                if pool_broken:
                     future.cancel()
                     faults.append(ShardFault(shard=index, kind="pool",
                                              error="pool broken by an "
                                                    "earlier shard"))
-                    results[index] = run_inline(index, payloads[index],
-                                                fallback=True)
+                    results[index] = run_inline(index, fallback=True)
                     continue
                 try:
                     results[index] = unwrap(
@@ -119,22 +282,29 @@ class WorkerPool:
                     faults.append(ShardFault(
                         shard=index, kind="timeout",
                         error=f"worker exceeded {self.timeout}s"))
-                    results[index] = run_inline(index, payloads[index],
-                                                fallback=True)
+                    results[index] = run_inline(index, fallback=True)
                 except futures.BrokenExecutor as exc:
+                    pool_broken = True
                     broken = True
                     faults.append(ShardFault(shard=index, kind="pool",
                                              error=repr(exc)))
-                    results[index] = run_inline(index, payloads[index],
-                                                fallback=True)
+                    results[index] = run_inline(index, fallback=True)
                 except Exception as exc:
                     faults.append(ShardFault(shard=index, kind="error",
                                              error=repr(exc)))
-                    results[index] = run_inline(index, payloads[index],
-                                                fallback=True)
+                    results[index] = run_inline(index, fallback=True)
         finally:
-            # Don't block shutdown on a worker we already timed out.
-            executor.shutdown(wait=not hung, cancel_futures=hung)
+            if persistent:
+                # A clean persistent pool outlives the dispatch (the
+                # whole point); one that hung or broke is discarded so
+                # the next scan starts from a clean cold pool.
+                if hung:
+                    _discard(executor, "timeout")
+                elif broken:
+                    _discard(executor, "broken")
+            else:
+                # Don't block on a worker we already timed out.
+                executor.shutdown(wait=not hung, cancel_futures=hung)
         self._count_faults(faults)
         return results, faults
 
@@ -145,7 +315,48 @@ class WorkerPool:
 
     # -- executor construction --------------------------------------------
 
+    def _pool_key(self) -> PoolKey:
+        method = self.config.resolved_start_method() \
+            if self.executor == "process" else None
+        return (self.executor, self.workers, method)
+
+    def _acquire(self, payload_count: int):
+        """``(executor, persistent?)`` for one dispatch.  Fault
+        injection bypasses the warm registry: the hook works by
+        mutating the environment, which only reaches workers forked
+        *after* the mutation."""
+        if os.environ.get(worker_mod.FAULT_ENV):
+            executor = self._make_executor(min(self.workers,
+                                               payload_count))
+            self.last_pool_state = "cold"
+            _POOL_REUSE.inc(state="cold")
+            return executor, False
+        executor, state = _acquire_persistent(
+            self._pool_key(), lambda: self._make_executor(self.workers))
+        self.last_pool_state = state
+        return executor, True
+
     def _make_executor(self, max_workers: int):
         if self.executor == "thread":
-            return futures.ThreadPoolExecutor(max_workers=max_workers)
-        return futures.ProcessPoolExecutor(max_workers=max_workers)
+            return futures.ThreadPoolExecutor(
+                max_workers=max_workers,
+                thread_name_prefix="repro-shard")
+        import multiprocessing
+
+        try:
+            from multiprocessing import resource_tracker
+
+            # Start the resource tracker BEFORE forking workers.  A
+            # worker forked with no tracker inherits none, spawns its
+            # own on its first shared-memory attach, and that private
+            # tracker — which never sees the parent's unregister —
+            # warns about "leaked" segments at exit.
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker internals moved
+            pass
+        ctx = multiprocessing.get_context(
+            self.config.resolved_start_method())
+        return futures.ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=ctx,
+            initializer=worker_mod.init_worker,
+            initargs=(self.cache_dir,))

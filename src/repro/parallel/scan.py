@@ -20,6 +20,17 @@ execution would have made.
   :func:`~repro.backend.executor.dispatch_words` fuses same-kernel CTAs
   into one 2D call, so buckets must survive sharding intact.
 
+Process dispatch is **zero-copy**: instead of pickling word arrays and
+input batches into each worker, the parent packs them into one
+:class:`~repro.parallel.shm.SharedArena` segment per dispatch and
+ships only descriptors.  For the compiled backend the parent also
+*pre-transposes* every shard's length classes into the arena — paying
+the transpose once for all kernel groups — and shard preparation runs
+interleaved with execution (``WorkerPool.map_shards(prepare=...)``):
+shard N transposes in the parent while shard N-1 executes in a
+worker.  The arena is ref-counted and unlinked on every exit path
+(clean, worker fault, timeout, exception).
+
 Degradation: any worker fault re-runs that shard in-process through
 the identical serial path (see :class:`~repro.parallel.pool.WorkerPool`)
 and is recorded as a :class:`ShardFault`; a parallel scan therefore
@@ -34,7 +45,9 @@ from .. import obs
 from .config import ScanConfig
 from .pool import WorkerPool
 from .report import ScanReport, ShardFault
+from .shm import SharedArena
 from . import worker as worker_mod
+from .worker import GroupShardSpec, StreamShardSpec
 
 _SHARDS_DISPATCHED = obs.registry().counter(
     "repro_parallel_shards_total",
@@ -106,10 +119,10 @@ class ParallelScanner:
     def __init__(self, engine, config: Optional[ScanConfig] = None):
         self.engine = engine
         self.config = config if config is not None else engine.config
-        self.pool = WorkerPool(self.config)
         #: faults of the most recent dispatch (empty on a clean run)
         self.faults: List[ShardFault] = []
         self._cache_dir = self._prepare_cache()
+        self.pool = WorkerPool(self.config, cache_dir=self._cache_dir)
 
     def _prepare_cache(self) -> Optional[str]:
         """Attach (and pre-seed) the shared on-disk kernel cache when
@@ -130,35 +143,128 @@ class ParallelScanner:
             self.engine._compiled_programs()
         return cache_dir
 
+    def _zero_copy(self) -> bool:
+        """Whether shard data should ride in shared memory: only
+        process workers live in another address space."""
+        return (self.config.executor == "process"
+                and self.config.shared_memory)
+
     # -- many streams, whole engine per shard -----------------------------
 
     def match_many(self, streams: Sequence[bytes]) -> List:
-        plan = plan_stream_shards(
-            streams, self.config.workers,
-            preserve_batches=self.engine.backend == "compiled")
+        compiled = self.engine.backend == "compiled"
+        plan = plan_stream_shards(streams, self.config.workers,
+                                  preserve_batches=compiled)
         if len(plan) <= 1:
             self.faults = []
             return self.engine.match_many(streams,
                                           config=self.config.serial())
         _SHARDS_DISPATCHED.inc(len(plan), kind="stream")
-        with obs.span("scan.parallel", category="scan",
-                      kind="stream", shards=len(plan),
-                      workers=self.config.workers,
-                      executor=self.config.executor):
-            payloads = [(self.engine, [streams[i] for i in shard],
-                         self._cache_dir) for shard in plan]
-            shard_results, self.faults = self.pool.map_shards(
-                worker_mod.scan_streams, payloads,
-                serial_fn=self._serial_streams)
+        zero_copy = self._zero_copy()
+        arena = self._stream_arena(streams, plan, compiled) \
+            if zero_copy else None
+        try:
+            with obs.span("scan.parallel", category="scan",
+                          kind="stream", shards=len(plan),
+                          workers=self.config.workers,
+                          executor=self.config.executor,
+                          zero_copy=zero_copy):
+                if arena is not None:
+                    prepare = self._stream_prepare(streams, arena,
+                                                   compiled)
+                    shard_results, self.faults = self.pool.map_shards(
+                        worker_mod.scan_streams, plan,
+                        serial_fn=self._serial_streams,
+                        prepare=prepare)
+                else:
+                    payloads = [(self.engine,
+                                 [streams[i] for i in shard],
+                                 self._cache_dir) for shard in plan]
+                    shard_results, self.faults = self.pool.map_shards(
+                        worker_mod.scan_streams, payloads,
+                        serial_fn=self._serial_streams)
+        finally:
+            if arena is not None:
+                arena.release()
         results = [None] * len(streams)
         for shard, shard_result in zip(plan, shard_results):
             for index, result in zip(shard, shard_result):
                 results[index] = result
         return results
 
+    def _stream_arena(self, streams, plan, compiled: bool
+                      ) -> SharedArena:
+        """One arena sized for every shard's payload, up front — the
+        per-shard prepare stage then bump-allocates into it."""
+        from ..backend.runtime import word_count
+
+        capacity = 0
+        for shard in plan:
+            if compiled:
+                sizes: Dict[int, int] = {}
+                for i in shard:
+                    size = len(streams[i])
+                    sizes[size] = sizes.get(size, 0) + 1
+                for size, k in sizes.items():
+                    capacity += 8 * k * word_count(size + 1) * 8 + 64
+            else:
+                for i in shard:
+                    capacity += len(streams[i]) + 64
+        return SharedArena(capacity, tag="streams")
+
+    def _stream_prepare(self, streams, arena: SharedArena,
+                        compiled: bool):
+        """The overlap stage: pack (and for the compiled backend,
+        pre-transpose) one shard's payload into the arena.  Called by
+        the pool's submission loop, so shard N packs while shard N-1
+        already executes."""
+        from ..backend.executor import stream_length_classes
+        from ..backend.runtime import basis_environment, word_count
+
+        def prepare(shard: List[int]):
+            shard_streams = [streams[i] for i in shard]
+            with obs.span("shard.prepare", category="scan",
+                          streams=len(shard_streams),
+                          compiled=compiled):
+                sizes = tuple(len(s) for s in shard_streams)
+                if not compiled:
+                    spec = StreamShardSpec(
+                        sizes=sizes,
+                        raw=tuple(arena.put_bytes(s)
+                                  for s in shard_streams))
+                    return (self.engine, spec, self._cache_dir)
+                classes = []
+                for size, members in \
+                        stream_length_classes(shard_streams):
+                    words = word_count(size + 1)
+                    if len(members) == 1:
+                        view, ref = arena.alloc_array((8, words))
+                        view[...] = basis_environment(
+                            shard_streams[members[0]])
+                    else:
+                        view, ref = arena.alloc_array(
+                            (8, len(members), words))
+                        for row, member in enumerate(members):
+                            view[:, row, :] = basis_environment(
+                                shard_streams[member])
+                    classes.append((size, tuple(members), ref))
+                spec = StreamShardSpec(sizes=sizes,
+                                       classes=tuple(classes))
+            return (self.engine, spec, self._cache_dir)
+
+        return prepare
+
     def _serial_streams(self, payload) -> List:
-        engine, streams, _ = payload
-        return engine.match_many(streams, config=self.config.serial())
+        """In-process recovery: identical maths whether the shard's
+        payload is inline streams or shared-memory descriptors (the
+        parent resolves its own arena without re-attaching)."""
+        engine, shard, _ = payload
+        if isinstance(shard, StreamShardSpec):
+            if shard.classes is not None:
+                return engine.match_many_words(list(shard.sizes),
+                                               shard.resolve_classes())
+            shard = shard.resolve_streams()
+        return engine.match_many(shard, config=self.config.serial())
 
     # -- one stream, groups sharded ---------------------------------------
 
@@ -171,14 +277,35 @@ class ParallelScanner:
             self.faults = []
             return self.engine.match(data)
         _SHARDS_DISPATCHED.inc(len(plan), kind="group")
-        with obs.span("scan.parallel", category="scan", kind="group",
-                      shards=len(plan), workers=self.config.workers,
-                      executor=self.config.executor):
-            payloads = [(self.engine, shard, data, self._cache_dir)
-                        for shard in plan]
-            shard_results, self.faults = self.pool.map_shards(
-                worker_mod.scan_groups, payloads,
-                serial_fn=self._serial_groups)
+        compiled = self.engine.backend == "compiled"
+        zero_copy = self._zero_copy() and compiled
+        arena = None
+        payload_data: object = data
+        if zero_copy:
+            from ..backend.runtime import basis_environment, word_count
+
+            words = word_count(len(data) + 1)
+            arena = SharedArena(8 * words * 8 + 64, tag="groups")
+            # One transpose, shared by every group shard — serial
+            # transposes once too, so the parallel path no longer
+            # multiplies that cost by the worker count.
+            view, ref = arena.alloc_array((8, words))
+            view[...] = basis_environment(data)
+            payload_data = GroupShardSpec(len(data), ref)
+        try:
+            with obs.span("scan.parallel", category="scan",
+                          kind="group", shards=len(plan),
+                          workers=self.config.workers,
+                          executor=self.config.executor,
+                          zero_copy=zero_copy):
+                payloads = [(self.engine, shard, payload_data,
+                             self._cache_dir) for shard in plan]
+                shard_results, self.faults = self.pool.map_shards(
+                    worker_mod.scan_groups, payloads,
+                    serial_fn=self._serial_groups)
+        finally:
+            if arena is not None:
+                arena.release()
         return self._merge_group_results(shard_results, len(data))
 
     def _serial_groups(self, payload) -> Tuple:
@@ -188,6 +315,9 @@ class ParallelScanner:
         sub = BitGenEngine([engine.groups[i] for i in group_indices],
                            engine.pattern_count,
                            config=self.config.serial())
+        if isinstance(data, GroupShardSpec):
+            return group_indices, sub.match_words(data.basis.resolve(),
+                                                  data.input_bytes)
         return group_indices, sub.match(data)
 
     def _merge_group_results(self, shard_results, input_bytes: int):
@@ -236,6 +366,7 @@ def parallel_match_many(engine, streams: Sequence[bytes],
     scanner = ParallelScanner(engine, config)
     results = scanner.match_many(streams)
     engine.last_scan_faults = scanner.faults
+    engine.last_pool_state = scanner.pool.last_pool_state
     return results
 
 
@@ -244,6 +375,7 @@ def parallel_match(engine, data: bytes,
     scanner = ParallelScanner(engine, config)
     result = scanner.match(data)
     engine.last_scan_faults = scanner.faults
+    engine.last_pool_state = scanner.pool.last_pool_state
     return result
 
 
@@ -253,6 +385,7 @@ def parallel_sessions(engine, chunk_lists: Sequence[Sequence[bytes]],
     scanner = ParallelScanner(engine, config)
     reports = scanner.sessions(chunk_lists)
     engine.last_scan_faults = scanner.faults
+    engine.last_pool_state = scanner.pool.last_pool_state
     return reports
 
 
@@ -273,7 +406,7 @@ def parallel_run_all(harness, apps: Sequence[str],
             harness.input_bytes, harness.seed)
     payloads = [(spec, app, engine, cache_dir)
                 for app, engine in cells]
-    pool = WorkerPool(config)
+    pool = WorkerPool(config, cache_dir=cache_dir)
     _SHARDS_DISPATCHED.inc(len(cells), kind="grid")
     with obs.span("scan.parallel", category="scan", kind="grid",
                   shards=len(cells), workers=config.workers,

@@ -7,26 +7,42 @@ shard result.  Workers always run their shard **serially**
 construction — and attach the shared on-disk kernel cache before
 compiling anything, so a kernel the parent (or a sibling) already
 built is loaded from its marshalled artefact instead of being
-re-generated.
+re-generated.  Persistent pools attach the cache once at spawn via
+:func:`init_worker` (the executor initializer), so even a worker's
+first shard starts warm.
 
-Shard payloads deliberately carry the whole engine: programs, plans and
-groups pickle cheaply, while the memoised *compiled* kernels are
-dropped by :meth:`BitGenEngine.__getstate__` and rebuilt in the worker
-through the disk cache.
+Shard payloads stay small: the engine's programs/plans pickle cheaply
+(compiled kernels are dropped by :meth:`BitGenEngine.__getstate__` and
+rebuilt through the disk cache — or inherited outright under the
+``fork`` start method), while the *bulk* — input byte batches and
+pre-transposed basis word arrays — crosses as
+:class:`~repro.parallel.shm.ShmBytes` / :class:`ShmArray` descriptors
+resolved zero-copy out of the parent's :class:`SharedArena` segment
+(:class:`StreamShardSpec`, :class:`GroupShardSpec`).
 """
 
 from __future__ import annotations
 
 import os
+import time
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from .report import ScanReport
+from .shm import ShmArray, ShmBytes
 
-#: Test hook: when this variable names a fault kind, workers raise
-#: before touching their shard, so the dispatcher's graceful
-#: degradation can be exercised end to end (tests/parallel).
+#: Test hook: when this variable is set, workers misbehave before
+#: touching their shard so the dispatcher's graceful degradation can
+#: be exercised end to end (tests/parallel).  Values select the fault:
+#: ``timeout`` sleeps past any reasonable ``worker_timeout``, ``exit``
+#: kills the worker process outright (a BrokenExecutor for process
+#: pools — never use with thread executors), and anything else raises
+#: :class:`InjectedFault`.
 FAULT_ENV = "REPRO_PARALLEL_FAULT_INJECT"
+
+#: how long a ``timeout`` injection sleeps (bounds test teardown)
+_INJECT_SLEEP_SECONDS = 2.5
 
 _FAULTS_INJECTED = obs.registry().counter(
     "repro_fault_injections_total",
@@ -41,9 +57,16 @@ class InjectedFault(RuntimeError):
 
 
 def _maybe_inject_fault() -> None:
-    if os.environ.get(FAULT_ENV):
-        _FAULTS_INJECTED.inc()
-        raise InjectedFault(f"fault injected via ${FAULT_ENV}")
+    kind = os.environ.get(FAULT_ENV)
+    if not kind:
+        return
+    _FAULTS_INJECTED.inc(kind=kind)
+    if kind == "timeout":
+        time.sleep(_INJECT_SLEEP_SECONDS)
+        return
+    if kind == "exit":
+        os._exit(13)
+    raise InjectedFault(f"fault injected via ${FAULT_ENV}")
 
 
 def attach_disk_cache(cache_dir: Optional[str]) -> None:
@@ -59,17 +82,70 @@ def attach_disk_cache(cache_dir: Optional[str]) -> None:
         cache.attach_disk(DiskKernelCache(cache_dir))
 
 
+def init_worker(cache_dir: Optional[str] = None) -> None:
+    """Persistent-pool initializer: pre-seed the worker at spawn so
+    its first shard is as warm as its hundredth.  Failures are
+    swallowed — the cache is an accelerator, and an initializer that
+    raises would poison the whole pool."""
+    try:
+        attach_disk_cache(cache_dir)
+    except Exception:
+        pass
+
+
+# -- zero-copy shard payloads ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StreamShardSpec:
+    """One stream shard's data, resident in shared memory.
+
+    ``sizes`` are the per-stream byte lengths in shard-local order.
+    Exactly one of the two carriers is set: ``classes`` holds
+    pre-transposed basis word arrays per length class (compiled
+    backend — workers skip the transpose entirely), ``raw`` holds the
+    input byte ranges (simulating backend)."""
+
+    sizes: Tuple[int, ...]
+    classes: Optional[Tuple[Tuple[int, Tuple[int, ...], ShmArray],
+                            ...]] = None
+    raw: Optional[Tuple[ShmBytes, ...]] = None
+
+    def resolve_classes(self) -> List[Tuple[int, List[int], object]]:
+        return [(size, list(indices), ref.resolve())
+                for size, indices, ref in self.classes]
+
+    def resolve_streams(self) -> List[bytes]:
+        return [bytes(ref.resolve()) for ref in self.raw]
+
+
+@dataclass(frozen=True)
+class GroupShardSpec:
+    """One group shard's input: the whole input's basis words,
+    transposed once by the parent and shared by every shard."""
+
+    input_bytes: int
+    basis: ShmArray
+
+
 # -- shard tasks -------------------------------------------------------------
 
 
 def scan_streams(payload) -> List:
     """One stream-shard: ``engine.match_many`` over a subset of the
     dispatch's streams, serial inside the worker (batched CTA dispatch
-    stays intact because shards hold whole length classes)."""
-    engine, streams, cache_dir = payload
+    stays intact because shards hold whole length classes).  Shared-
+    memory shards execute straight on the parent's transposed words."""
+    engine, shard, cache_dir = payload
     _maybe_inject_fault()
     attach_disk_cache(cache_dir)
-    return engine.match_many(streams, config=engine.config.serial())
+    if isinstance(shard, StreamShardSpec):
+        if shard.classes is not None:
+            return engine.match_many_words(list(shard.sizes),
+                                           shard.resolve_classes())
+        return engine.match_many(shard.resolve_streams(),
+                                 config=engine.config.serial())
+    return engine.match_many(shard, config=engine.config.serial())
 
 
 def scan_groups(payload) -> Tuple:
@@ -85,6 +161,9 @@ def scan_groups(payload) -> Tuple:
     sub = BitGenEngine([engine.groups[i] for i in group_indices],
                        engine.pattern_count,
                        config=engine.config.serial())
+    if isinstance(data, GroupShardSpec):
+        return group_indices, sub.match_words(data.basis.resolve(),
+                                              data.input_bytes)
     return group_indices, sub.match(data)
 
 

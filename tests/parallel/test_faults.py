@@ -17,7 +17,7 @@ import pytest
 from repro.core.engine import BitGenEngine
 from repro.gpu.machine import CTAGeometry
 from repro.parallel.config import ScanConfig
-from repro.parallel.pool import WorkerPool
+from repro.parallel.pool import WorkerPool, shutdown
 from repro.parallel.worker import FAULT_ENV
 
 TINY = CTAGeometry(threads=4, word_bits=8)
@@ -91,6 +91,9 @@ def test_timeout_recovers_serially():
 
 
 def test_unstartable_pool_degrades_to_all_serial(monkeypatch):
+    # Drop any warm pool first: a persistent executor would satisfy the
+    # dispatch without ever calling the patched constructor.
+    shutdown()
     pool = thread_pool()
     monkeypatch.setattr(
         WorkerPool, "_make_executor",

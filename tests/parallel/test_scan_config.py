@@ -248,3 +248,57 @@ def test_parallel_for_bytes_threshold():
     # A zero threshold restores the old always-parallel behaviour.
     assert ScanConfig(workers=2, executor="thread",
                       min_parallel_bytes=0).parallel_for_bytes(0)
+
+
+# -- process-pool start method ------------------------------------------------
+
+
+def test_invalid_start_method_rejected():
+    with pytest.raises(ValueError):
+        ScanConfig(start_method="thread")
+
+
+def test_explicit_start_method_wins_over_env(monkeypatch):
+    from repro.parallel.config import START_METHOD_ENV
+
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    config = ScanConfig(start_method="forkserver")
+    assert config.resolved_start_method() == "forkserver"
+
+
+def test_env_override_reaches_default_config(monkeypatch):
+    from repro.parallel.config import START_METHOD_ENV
+
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    assert ScanConfig().resolved_start_method() == "spawn"
+
+
+def test_invalid_env_start_method_raises(monkeypatch):
+    from repro.parallel.config import START_METHOD_ENV
+
+    monkeypatch.setenv(START_METHOD_ENV, "greenlet")
+    with pytest.raises(ValueError):
+        ScanConfig().resolved_start_method()
+
+
+def test_default_start_method_prefers_fork(monkeypatch):
+    import multiprocessing
+
+    from repro.parallel.config import (START_METHOD_ENV,
+                                       default_start_method)
+
+    monkeypatch.delenv(START_METHOD_ENV, raising=False)
+    expected = "fork" \
+        if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+    assert default_start_method() == expected
+    assert ScanConfig().resolved_start_method() == expected
+
+
+def test_start_method_resolved_at_dispatch_time(monkeypatch):
+    """The env override is read when a pool is built, not when the
+    config object was constructed — long-lived processes can retarget."""
+    from repro.parallel.config import START_METHOD_ENV
+
+    config = ScanConfig()
+    monkeypatch.setenv(START_METHOD_ENV, "forkserver")
+    assert config.resolved_start_method() == "forkserver"
