@@ -24,8 +24,8 @@ from .engines.hyperscan import HyperscanEngine
 from .engines.icgrep import ICgrepEngine
 from .engines.ngap import NgAPEngine
 from .engines.re2 import RE2Engine
-from .parallel.config import (BACKENDS, EXECUTORS, SHARD_POLICIES,
-                              START_METHODS, ScanConfig)
+from .parallel.config import (BACKENDS, EXECUTORS, ON_FAULT_POLICIES,
+                              SHARD_POLICIES, START_METHODS, ScanConfig)
 
 ENGINES = {
     "bitgen": BitGenEngine,
@@ -106,6 +106,19 @@ def build_scan_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", choices=BACKENDS, default="simulate")
     parser.add_argument("--scheme", choices=[s.name for s in Scheme],
                         default="ZBS")
+    parser.add_argument("--on-fault", choices=ON_FAULT_POLICIES,
+                        default="degrade",
+                        help="worker-fault policy: degrade inline "
+                             "(default), retry on a fresh pool with "
+                             "backoff, or fail the scan")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        help="retries per faulted shard "
+                             "(--on-fault retry only)")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="scan-level deadline; expired shards "
+                             "degrade inline and are reported as "
+                             "deadline faults")
     parser.add_argument("--indent", type=int, default=2,
                         help="JSON indentation (0 = compact)")
     return parser
@@ -121,7 +134,10 @@ def scan_main(argv: List[str]) -> int:
     config = ScanConfig(scheme=Scheme[args.scheme], backend=args.backend,
                         workers=args.workers, executor=args.executor,
                         start_method=args.start_method,
-                        shard=args.shard, loop_fallback=True)
+                        shard=args.shard, loop_fallback=True,
+                        on_fault=args.on_fault,
+                        max_retries=args.max_retries,
+                        deadline_s=args.deadline)
     engine = BitGenEngine.compile(patterns, config=config)
 
     if args.inputs:
@@ -134,7 +150,14 @@ def scan_main(argv: List[str]) -> int:
         names = ["<stdin>"]
         streams = [sys.stdin.buffer.read()]
 
-    results = engine.match_many(streams)
+    from .resilience import ScanAbortedError
+
+    try:
+        results = engine.match_many(streams)
+    except ScanAbortedError as exc:
+        print(f"scan aborted (on_fault=fail): {exc.fault.summary()}",
+              file=sys.stderr)
+        return 2
     reports = []
     for name, result in zip(names, results):
         report = result.report()
@@ -143,6 +166,8 @@ def scan_main(argv: List[str]) -> int:
         payload["dispatch"] = engine.last_dispatch
         payload["faults"] = [f.to_dict() for f in engine.last_scan_faults]
         reports.append(payload)
+    for fault in engine.last_scan_faults:
+        print(f"fault: {fault.summary()}", file=sys.stderr)
     indent = args.indent if args.indent > 0 else None
     out = reports[0] if len(reports) == 1 else reports
     print(json.dumps(out, indent=indent))

@@ -11,7 +11,8 @@ Light by design: importing the package only loads the config and
 report types; the pool, dispatcher, and disk cache load on first use.
 """
 
-from .config import (BACKENDS, EXECUTORS, SHARD_POLICIES, START_METHOD_ENV,
+from .config import (BACKENDS, EXECUTORS, ON_FAULT_POLICIES,
+                     SHARD_POLICIES, START_METHOD_ENV,
                      START_METHODS, UNSET, ScanConfig, default_start_method,
                      resolve_config, warn_deprecated_kwargs)
 from .report import ScanReport, ShardFault
@@ -20,6 +21,7 @@ __all__ = [
     "BACKENDS",
     "DiskKernelCache",
     "EXECUTORS",
+    "ON_FAULT_POLICIES",
     "ParallelScanner",
     "SHARD_POLICIES",
     "START_METHODS",
@@ -30,6 +32,7 @@ __all__ = [
     "ShardFault",
     "UNSET",
     "WorkerPool",
+    "breaker",
     "default_cache_dir",
     "default_start_method",
     "parallel_match",
@@ -49,6 +52,7 @@ _LAZY = {
     "default_cache_dir": ("diskcache", "default_cache_dir"),
     "SharedArena": ("shm", "SharedArena"),
     "WorkerPool": ("pool", "WorkerPool"),
+    "breaker": ("pool", "breaker"),
     "pool_stats": ("pool", "pool_stats"),
     "shutdown": ("pool", "shutdown"),
     "ParallelScanner": ("scan", "ParallelScanner"),

@@ -53,6 +53,8 @@ BACKENDS = ("simulate", "compiled")
 SHARD_POLICIES = ("auto", "stream", "group")
 EXECUTORS = ("process", "thread", "serial")
 START_METHODS = ("fork", "spawn", "forkserver")
+#: fault-handling policy vocabulary (see :mod:`repro.resilience`)
+ON_FAULT_POLICIES = ("degrade", "retry", "fail")
 
 #: Environment override for :meth:`ScanConfig.resolved_start_method`.
 START_METHOD_ENV = "REPRO_PARALLEL_START_METHOD"
@@ -111,6 +113,25 @@ class ScanConfig:
     shared_memory: bool = True
     worker_timeout: Optional[float] = None
     cache_dir: Optional[str] = None
+
+    # -- resilience (repro.resilience) -------------------------------------
+    #: what a worker fault does to the scan: ``"degrade"`` reruns the
+    #: shard inline through the serial path (the always-safe default),
+    #: ``"retry"`` retries on a fresh pool with backoff before
+    #: degrading, ``"fail"`` aborts the scan with
+    #: :class:`~repro.resilience.ScanAbortedError`.
+    on_fault: str = "degrade"
+    #: bounded retries per faulted shard (``on_fault="retry"`` only)
+    max_retries: int = 2
+    #: base backoff before the first retry; attempt ``n`` waits
+    #: ``retry_backoff * 2**(n-1)`` plus jitter
+    retry_backoff: float = 0.05
+    #: scan-level deadline in seconds: one budget shared by every
+    #: blocking wait of a dispatch, so a hung worker can never stall
+    #: the scan past it (expired shards degrade inline and are
+    #: reported as ``ShardFault(kind="deadline")``).  ``None`` = no
+    #: deadline.
+    deadline_s: Optional[float] = None
     #: inputs smaller than this fall back to serial dispatch even when
     #: ``workers > 1`` — worker marshalling dwarfs the scan below it
     #: (``BENCH_parallel.json`` measured 2.4-2.7x slowdowns at 60KB).
@@ -144,6 +165,15 @@ class ScanConfig:
             raise ValueError("max_tail_bytes must be >= 1")
         if self.worker_timeout is not None and self.worker_timeout <= 0:
             raise ValueError("worker_timeout must be positive")
+        if self.on_fault not in ON_FAULT_POLICIES:
+            raise ValueError(f"unknown on_fault {self.on_fault!r}; "
+                             f"expected one of {ON_FAULT_POLICIES}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
 
     # -- derived views -----------------------------------------------------
 

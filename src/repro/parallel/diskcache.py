@@ -44,6 +44,9 @@ _DISK_MISSES = obs.registry().counter(
 _DISK_PUTS = obs.registry().counter(
     "repro_disk_cache_puts_total",
     "Kernels persisted to the on-disk cache")
+_DISK_CORRUPT = obs.registry().counter(
+    "repro_disk_cache_corrupt_total",
+    "Corrupt disk-cache entries quarantined (renamed to .kbc.bad)")
 
 
 def default_cache_dir() -> str:
@@ -68,24 +71,46 @@ class DiskKernelCache:
 
     def get(self, key: str) -> Optional[Tuple[str, CodeType]]:
         """(source, code object) for ``key``, or ``None`` on any miss —
-        absent, unreadable, corrupted, or wrong format version."""
+        absent, unreadable, corrupted, or wrong format version.
+        Corrupt entries are **quarantined** (renamed to ``.kbc.bad``)
+        so a bad file is never re-parsed on every lookup and the next
+        ``put`` writes a clean entry in its place; the originals are
+        kept for post-mortems until :meth:`clear`."""
         _DISK_LOOKUPS.inc()
+        path = self._entry_path(key)
         try:
-            with open(self._entry_path(key), "rb") as handle:
+            with open(path, "rb") as handle:
                 payload = marshal.load(handle)
-        except (OSError, ValueError, EOFError, TypeError):
+        except OSError:
+            _DISK_MISSES.inc()
+            return None
+        except (ValueError, EOFError, TypeError):
+            # The file exists but marshal rejected it: corrupt or
+            # cross-version bytes, not a racing writer (writes are
+            # atomic os.replace).
+            self._quarantine(path)
             _DISK_MISSES.inc()
             return None
         if (not isinstance(payload, tuple) or len(payload) != 3
-                or payload[0] != _MAGIC):
+                or payload[0] != _MAGIC
+                or not isinstance(payload[1], str)
+                or not isinstance(payload[2], CodeType)):
+            self._quarantine(path)
             _DISK_MISSES.inc()
             return None
-        magic, source, code = payload
-        if not isinstance(source, str) or not isinstance(code, CodeType):
-            _DISK_MISSES.inc()
-            return None
+        _, source, code = payload
         _DISK_HITS.inc()
         return source, code
+
+    @staticmethod
+    def _quarantine(path: str) -> None:
+        """Move a corrupt entry aside (``name.kbc`` → ``name.kbc.bad``,
+        last corruption wins) and count it."""
+        _DISK_CORRUPT.inc()
+        try:
+            os.replace(path, path + ".bad")
+        except OSError:
+            pass
 
     def put(self, key: str, source: str, code: CodeType) -> None:
         """Persist one kernel atomically; IO failures are swallowed
@@ -121,7 +146,8 @@ class DiskKernelCache:
         except OSError:
             return
         for name in names:
-            if name.endswith(".kbc") or name.endswith(".kbc.tmp"):
+            if (name.endswith(".kbc") or name.endswith(".kbc.tmp")
+                    or name.endswith(".kbc.bad")):
                 try:
                     os.unlink(os.path.join(self.path, name))
                 except OSError:

@@ -35,13 +35,19 @@ from __future__ import annotations
 import atexit
 import concurrent.futures as futures
 import os
+import random
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..obs.propagate import run_traced, unwrap
+from ..resilience import chaos
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.deadline import Deadline
+from ..resilience.policy import RetryPolicy, ScanAbortedError
 from .config import ScanConfig
-from .report import ShardFault
+from .report import ShardFault, format_fault_traceback
 from . import worker as worker_mod
 
 _REG = obs.registry()
@@ -59,6 +65,37 @@ _POOL_DISCARDS = _REG.counter(
 _POOLS_ACTIVE = _REG.gauge(
     "repro_parallel_pools_active",
     "Persistent worker pools currently alive in the registry")
+_RETRY_ATTEMPTS = _REG.counter(
+    "repro_retry_attempts_total",
+    "Per-shard retry attempts under on_fault='retry', by outcome")
+_DEADLINE_EXCEEDED = _REG.counter(
+    "repro_deadline_exceeded_total",
+    "Shard waits cut short because the scan deadline expired")
+_BREAKER_INLINE = _REG.counter(
+    "repro_breaker_inline_total",
+    "Dispatches forced inline because the pool circuit was open")
+
+#: The circuit breaker guarding the persistent-pool registry: K
+#: consecutive *pool-level* faults (broken executor, hung worker, an
+#: executor that would not start) open it, and dispatch goes inline
+#: for a cooldown instead of paying a cold-start storm against a
+#: broken start method.  Shard-level faults (a worker exception) never
+#: trip it.  Tests monkeypatch the module attribute.
+_BREAKER = CircuitBreaker(
+    name="pool",
+    threshold=int(os.environ.get("REPRO_BREAKER_THRESHOLD", "3")),
+    cooldown_s=float(os.environ.get("REPRO_BREAKER_COOLDOWN", "30")))
+
+#: jitter source for retry backoff (never affects results)
+_RETRY_RNG = random.Random()
+
+#: sentinel: every retry attempt faulted (or the deadline ran out)
+_RETRY_FAILED = object()
+
+
+def breaker() -> CircuitBreaker:
+    """The pool registry's circuit breaker (one per process)."""
+    return _BREAKER
 
 #: (executor kind, workers, start method or None) → live pool
 PoolKey = Tuple[str, int, Optional[str]]
@@ -186,7 +223,8 @@ class WorkerPool:
 
     def map_shards(self, fn: Callable, payloads: Sequence,
                    serial_fn: Optional[Callable] = None,
-                   prepare: Optional[Callable] = None
+                   prepare: Optional[Callable] = None,
+                   deadline: Optional[Deadline] = None
                    ) -> Tuple[List, List[ShardFault]]:
         """``[fn(prepare(p)) for p in payloads]`` through the pool.
 
@@ -200,11 +238,25 @@ class WorkerPool:
         shard N is prepared in the parent while shards < N already run
         in workers.  The sharded scanner uses it to overlap the
         transpose/pack stage with kernel execution.
+
+        Fault handling follows ``config.on_fault``: ``"degrade"``
+        recovers inline (the historical behaviour), ``"retry"`` first
+        retries the shard on a fresh pool with backoff
+        (:class:`RetryPolicy`), ``"fail"`` raises
+        :class:`ScanAbortedError` on the first fault.  ``deadline``
+        (or ``config.deadline_s``) caps every blocking wait of the
+        dispatch with one shared monotonic budget; expired shards are
+        reported as ``ShardFault(kind="deadline")`` and recovered
+        inline, never retried.
         """
         recover = serial_fn if serial_fn is not None else fn
         tracer = obs.current_tracer()
         ctx = tracer.current_context() if tracer is not None else None
         self.last_pool_state = "inline"
+        config = self.config
+        if deadline is None:
+            deadline = Deadline.start(config.deadline_s)
+        retry = RetryPolicy.from_config(config)
 
         prepared: List = [None] * len(payloads)
         ready = [False] * len(payloads)
@@ -217,26 +269,72 @@ class WorkerPool:
             return prepared[index]
 
         def run_inline(index: int, fallback: bool = False):
-            """A shard run in this process, under its own span."""
+            """A shard run in this process, under its own span.  Chaos
+            is suppressed for the recovery thread: inline degrade must
+            stay the always-safe path even mid-injection (an "exit"
+            fault re-raised here would kill the parent)."""
             with obs.span("shard", category="scan", shard=index,
                           inline=True, fallback=fallback):
-                return recover(prep(index))
+                with chaos.suppress():
+                    return recover(prep(index))
 
         if (self.workers == 1 or self.executor == "serial"
                 or len(payloads) <= 1):
             return [run_inline(i) for i in range(len(payloads))], []
 
-        try:
-            executor, persistent = self._acquire(len(payloads))
-        except Exception as exc:  # pool could not start at all
-            faults = [ShardFault(shard=i, kind="pool", error=repr(exc))
-                      for i in range(len(payloads))]
-            self._count_faults(faults)
-            return [run_inline(i, fallback=True)
-                    for i in range(len(payloads))], faults
+        if not _BREAKER.allow():
+            # Circuit open: the registry recently produced K broken
+            # pools in a row.  Run inline for the cooldown instead of
+            # paying a cold-start storm; a half-open probe dispatch
+            # will test the pool path again once the cooldown elapses.
+            self.last_pool_state = "breaker-open"
+            _BREAKER_INLINE.inc()
+            return [run_inline(i) for i in range(len(payloads))], []
 
         results: List = [None] * len(payloads)
         faults: List[ShardFault] = []
+
+        def settle(index: int, kind: str, error: str,
+                   tb: str = "", retryable: bool = True) -> None:
+            """One faulted shard, resolved per ``config.on_fault``:
+            abort, retry on a fresh pool, or degrade inline."""
+            if config.on_fault == "fail":
+                fault = ShardFault(shard=index, kind=kind, error=error,
+                                   traceback=tb, fallback="abort")
+                faults.append(fault)
+                self._count_faults([fault])
+                raise ScanAbortedError(fault)
+            retries_used = 0
+            if (config.on_fault == "retry" and retryable
+                    and retry.max_retries > 0
+                    and not (deadline is not None
+                             and deadline.expired())):
+                attempts, value = self._retry_shard(
+                    fn, prep(index), index, tracer, ctx, retry,
+                    deadline)
+                if value is not _RETRY_FAILED:
+                    faults.append(ShardFault(
+                        shard=index, kind=kind, error=error,
+                        traceback=tb, fallback="retry",
+                        retries=attempts))
+                    results[index] = value
+                    return
+                retries_used = attempts
+            faults.append(ShardFault(shard=index, kind=kind,
+                                     error=error, traceback=tb,
+                                     retries=retries_used))
+            results[index] = run_inline(index, fallback=True)
+
+        try:
+            executor, persistent = self._acquire(len(payloads))
+        except Exception as exc:  # pool could not start at all
+            _BREAKER.record_failure()
+            error, tb = repr(exc), format_fault_traceback(exc)
+            for i in range(len(payloads)):
+                settle(i, "pool", error, tb)
+            self._count_faults(faults)
+            return results, faults
+
         hung = False
         broken = False
         try:
@@ -257,43 +355,51 @@ class WorkerPool:
                         pending.append(executor.submit(fn, payload))
             except Exception as exc:
                 broken = True
-                faults = [ShardFault(shard=i, kind="pool",
-                                     error=repr(exc))
-                          for i in range(len(payloads))]
+                error, tb = repr(exc), format_fault_traceback(exc)
+                for i in range(len(payloads)):
+                    settle(i, "pool", error, tb)
                 self._count_faults(faults)
-                return ([run_inline(i, fallback=True)
-                         for i in range(len(payloads))],
-                        faults)
+                return results, faults
             pool_broken = False
             for index, future in enumerate(pending):
                 if pool_broken:
                     future.cancel()
-                    faults.append(ShardFault(shard=index, kind="pool",
-                                             error="pool broken by an "
-                                                   "earlier shard"))
-                    results[index] = run_inline(index, fallback=True)
+                    settle(index, "pool",
+                           "pool broken by an earlier shard")
                     continue
+                budget = self.timeout if deadline is None \
+                    else deadline.wait_budget(self.timeout)
                 try:
                     results[index] = unwrap(
-                        future.result(timeout=self.timeout), tracer)
+                        future.result(timeout=budget), tracer)
                 except futures.TimeoutError:
                     future.cancel()
                     hung = True
-                    faults.append(ShardFault(
-                        shard=index, kind="timeout",
-                        error=f"worker exceeded {self.timeout}s"))
-                    results[index] = run_inline(index, fallback=True)
+                    if deadline is not None and deadline.expired():
+                        _DEADLINE_EXCEEDED.inc()
+                        settle(index, "deadline",
+                               f"scan deadline of "
+                               f"{deadline.budget_s}s exceeded",
+                               retryable=False)
+                    else:
+                        settle(index, "timeout",
+                               f"worker exceeded {self.timeout}s")
                 except futures.BrokenExecutor as exc:
                     pool_broken = True
                     broken = True
-                    faults.append(ShardFault(shard=index, kind="pool",
-                                             error=repr(exc)))
-                    results[index] = run_inline(index, fallback=True)
+                    settle(index, "pool", repr(exc),
+                           format_fault_traceback(exc))
                 except Exception as exc:
-                    faults.append(ShardFault(shard=index, kind="error",
-                                             error=repr(exc)))
-                    results[index] = run_inline(index, fallback=True)
+                    settle(index, "error", repr(exc),
+                           format_fault_traceback(exc))
         finally:
+            # Pool-level health feeds the breaker; shard-level faults
+            # (a worker exception) do not — those say nothing about
+            # whether the *pool machinery* works.
+            if hung or broken:
+                _BREAKER.record_failure()
+            else:
+                _BREAKER.record_success()
             if persistent:
                 # A clean persistent pool outlives the dispatch (the
                 # whole point); one that hung or broke is discarded so
@@ -308,6 +414,49 @@ class WorkerPool:
         self._count_faults(faults)
         return results, faults
 
+    def _retry_shard(self, fn: Callable, payload, index: int,
+                     tracer, ctx, retry: RetryPolicy,
+                     deadline: Optional[Deadline]
+                     ) -> Tuple[int, object]:
+        """Bounded retries of one shard, each on a **fresh**
+        single-worker executor (the pool that faulted may be poisoned;
+        the registry is left alone so a healthy warm pool survives).
+        Returns ``(attempts_used, value)`` — ``value`` is
+        :data:`_RETRY_FAILED` when every attempt faulted or the
+        deadline ran out."""
+        for attempt in range(1, retry.max_retries + 1):
+            delay = retry.delay_s(attempt, _RETRY_RNG)
+            if deadline is not None:
+                remaining = deadline.remaining()
+                if remaining <= 0:
+                    return attempt - 1, _RETRY_FAILED
+                delay = min(delay, remaining)
+            if delay > 0:
+                time.sleep(delay)
+            executor = None
+            with obs.span("shard.retry", category="scan", shard=index,
+                          attempt=attempt):
+                try:
+                    executor = self._make_executor(1)
+                    if tracer is not None:
+                        future = executor.submit(
+                            run_traced, fn, ctx, index, payload)
+                    else:
+                        future = executor.submit(fn, payload)
+                    budget = self.timeout if deadline is None \
+                        else deadline.wait_budget(self.timeout)
+                    value = unwrap(future.result(timeout=budget),
+                                   tracer)
+                    _RETRY_ATTEMPTS.inc(outcome="success")
+                    return attempt, value
+                except Exception:
+                    _RETRY_ATTEMPTS.inc(outcome="fault")
+                finally:
+                    if executor is not None:
+                        executor.shutdown(wait=False,
+                                          cancel_futures=True)
+        return retry.max_retries, _RETRY_FAILED
+
     @staticmethod
     def _count_faults(faults: Sequence[ShardFault]) -> None:
         for fault in faults:
@@ -321,11 +470,13 @@ class WorkerPool:
         return (self.executor, self.workers, method)
 
     def _acquire(self, payload_count: int):
-        """``(executor, persistent?)`` for one dispatch.  Fault
-        injection bypasses the warm registry: the hook works by
-        mutating the environment, which only reaches workers forked
-        *after* the mutation."""
-        if os.environ.get(worker_mod.FAULT_ENV):
+        """``(executor, persistent?)`` for one dispatch.  Active chaos
+        (a ChaosPlan or the legacy env hook) bypasses the warm
+        registry: env-based injection only reaches workers forked
+        *after* the mutation, and injected faults would constantly
+        poison (and discard) warm pools anyway."""
+        chaos.maybe_inject("pool.acquire")
+        if chaos.armed():
             executor = self._make_executor(min(self.workers,
                                                payload_count))
             self.last_pool_state = "cold"

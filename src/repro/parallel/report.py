@@ -22,18 +22,54 @@ from typing import Dict, Iterator, List, Optional
 from ..gpu.metrics import KernelMetrics
 
 
+#: traceback text per fault is truncated to this many trailing
+#: characters — the tail carries the raising frame, and reports must
+#: stay cheap to ship/serialise even with many faults
+TRACEBACK_LIMIT = 2000
+
+
+def format_fault_traceback(exc: BaseException,
+                           limit: int = TRACEBACK_LIMIT) -> str:
+    """The exception's full traceback (cause chain included — for
+    process-pool futures that is where the worker-side remote
+    traceback lives), truncated to its ``limit`` trailing chars."""
+    import traceback
+
+    text = "".join(traceback.format_exception(
+        type(exc), exc, exc.__traceback__)).rstrip()
+    if len(text) > limit:
+        text = "...(truncated)...\n" + text[-limit:]
+    return text
+
+
 @dataclass(frozen=True)
 class ShardFault:
-    """One worker failure the dispatcher degraded around."""
+    """One worker failure the dispatcher handled."""
 
     shard: int              # shard index within the dispatch
-    kind: str               # "error" | "timeout" | "pool"
+    kind: str               # "error" | "timeout" | "pool" | "deadline"
     error: str              # stringified cause
-    fallback: str = "serial"  # how the shard's work was recovered
+    #: how the shard's work was recovered: ``"serial"`` (inline
+    #: degrade), ``"retry"`` (a retry attempt succeeded), or
+    #: ``"abort"`` (``on_fault="fail"`` — nothing recovered)
+    fallback: str = "serial"
+    #: truncated traceback of the cause (empty for timeouts/deadlines,
+    #: which have no exception object worth keeping)
+    traceback: str = ""
+    #: retry attempts spent on this shard before it settled
+    retries: int = 0
 
     def to_dict(self) -> Dict[str, object]:
         return {"shard": self.shard, "kind": self.kind,
-                "error": self.error, "fallback": self.fallback}
+                "error": self.error, "fallback": self.fallback,
+                "traceback": self.traceback, "retries": self.retries}
+
+    def summary(self) -> str:
+        """One log-friendly line (the ``python -m repro scan`` fault
+        listing)."""
+        return (f"shard={self.shard} kind={self.kind} "
+                f"retries={self.retries} fallback={self.fallback} "
+                f"error={self.error}")
 
 
 class ScanReport(Mapping):

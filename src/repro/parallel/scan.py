@@ -42,6 +42,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..resilience.deadline import Deadline
 from .config import ScanConfig
 from .pool import WorkerPool
 from .report import ScanReport, ShardFault
@@ -160,6 +161,10 @@ class ParallelScanner:
             return self.engine.match_many(streams,
                                           config=self.config.serial())
         _SHARDS_DISPATCHED.inc(len(plan), kind="stream")
+        # The deadline starts *before* arena sizing and shard prep:
+        # ScanConfig.deadline_s bounds the whole dispatch, not just
+        # the worker waits.
+        deadline = Deadline.start(self.config.deadline_s)
         zero_copy = self._zero_copy()
         arena = self._stream_arena(streams, plan, compiled) \
             if zero_copy else None
@@ -175,14 +180,15 @@ class ParallelScanner:
                     shard_results, self.faults = self.pool.map_shards(
                         worker_mod.scan_streams, plan,
                         serial_fn=self._serial_streams,
-                        prepare=prepare)
+                        prepare=prepare, deadline=deadline)
                 else:
                     payloads = [(self.engine,
                                  [streams[i] for i in shard],
                                  self._cache_dir) for shard in plan]
                     shard_results, self.faults = self.pool.map_shards(
                         worker_mod.scan_streams, payloads,
-                        serial_fn=self._serial_streams)
+                        serial_fn=self._serial_streams,
+                        deadline=deadline)
         finally:
             if arena is not None:
                 arena.release()
@@ -277,6 +283,7 @@ class ParallelScanner:
             self.faults = []
             return self.engine.match(data)
         _SHARDS_DISPATCHED.inc(len(plan), kind="group")
+        deadline = Deadline.start(self.config.deadline_s)
         compiled = self.engine.backend == "compiled"
         zero_copy = self._zero_copy() and compiled
         arena = None
@@ -302,7 +309,7 @@ class ParallelScanner:
                              self._cache_dir) for shard in plan]
                 shard_results, self.faults = self.pool.map_shards(
                     worker_mod.scan_groups, payloads,
-                    serial_fn=self._serial_groups)
+                    serial_fn=self._serial_groups, deadline=deadline)
         finally:
             if arena is not None:
                 arena.release()
@@ -345,6 +352,7 @@ class ParallelScanner:
         """Run one full multi-chunk streaming session per logical
         stream, sessions fanned across the pool."""
         _SHARDS_DISPATCHED.inc(len(chunk_lists), kind="session")
+        deadline = Deadline.start(self.config.deadline_s)
         with obs.span("scan.parallel", category="scan",
                       kind="session", shards=len(chunk_lists),
                       workers=self.config.workers,
@@ -352,7 +360,7 @@ class ParallelScanner:
             payloads = [(self.engine, list(chunks), self.config,
                          self._cache_dir) for chunks in chunk_lists]
             reports, self.faults = self.pool.map_shards(
-                worker_mod.run_session, payloads)
+                worker_mod.run_session, payloads, deadline=deadline)
         for fault in self.faults:
             reports[fault.shard].faults.append(fault)
         return reports

@@ -23,50 +23,23 @@ resolved zero-copy out of the parent's :class:`SharedArena` segment
 
 from __future__ import annotations
 
-import os
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
+from ..resilience import chaos
+from ..resilience.chaos import InjectedFault  # noqa: F401  (back-compat)
 from .report import ScanReport
 from .shm import ShmArray, ShmBytes
 
-#: Test hook: when this variable is set, workers misbehave before
-#: touching their shard so the dispatcher's graceful degradation can
-#: be exercised end to end (tests/parallel).  Values select the fault:
-#: ``timeout`` sleeps past any reasonable ``worker_timeout``, ``exit``
-#: kills the worker process outright (a BrokenExecutor for process
-#: pools — never use with thread executors), and anything else raises
-#: :class:`InjectedFault`.
-FAULT_ENV = "REPRO_PARALLEL_FAULT_INJECT"
+#: Legacy all-sites fault hook, still honoured as a shim by the chaos
+#: framework; new code should use ``$REPRO_CHAOS`` / a ChaosPlan
+#: (:mod:`repro.resilience.chaos`) for site/probability/count control.
+FAULT_ENV = chaos.LEGACY_FAULT_ENV
 
-#: how long a ``timeout`` injection sleeps (bounds test teardown)
-_INJECT_SLEEP_SECONDS = 2.5
-
-_FAULTS_INJECTED = obs.registry().counter(
-    "repro_fault_injections_total",
-    f"Faults raised by the ${FAULT_ENV} test hook")
 _CELLS_RUN = obs.registry().counter(
     "repro_worker_cells_total",
     "Harness grid cells executed worker-side, by engine")
-
-
-class InjectedFault(RuntimeError):
-    """Raised by workers when the fault-injection hook is armed."""
-
-
-def _maybe_inject_fault() -> None:
-    kind = os.environ.get(FAULT_ENV)
-    if not kind:
-        return
-    _FAULTS_INJECTED.inc(kind=kind)
-    if kind == "timeout":
-        time.sleep(_INJECT_SLEEP_SECONDS)
-        return
-    if kind == "exit":
-        os._exit(13)
-    raise InjectedFault(f"fault injected via ${FAULT_ENV}")
 
 
 def attach_disk_cache(cache_dir: Optional[str]) -> None:
@@ -137,7 +110,7 @@ def scan_streams(payload) -> List:
     stays intact because shards hold whole length classes).  Shared-
     memory shards execute straight on the parent's transposed words."""
     engine, shard, cache_dir = payload
-    _maybe_inject_fault()
+    chaos.maybe_inject("worker.stream")
     attach_disk_cache(cache_dir)
     if isinstance(shard, StreamShardSpec):
         if shard.classes is not None:
@@ -156,7 +129,7 @@ def scan_groups(payload) -> Tuple:
     from ..core.engine import BitGenEngine
 
     engine, group_indices, data, cache_dir = payload
-    _maybe_inject_fault()
+    chaos.maybe_inject("worker.group")
     attach_disk_cache(cache_dir)
     sub = BitGenEngine([engine.groups[i] for i in group_indices],
                        engine.pattern_count,
@@ -173,7 +146,7 @@ def run_session(payload) -> ScanReport:
     from ..core.streaming import StreamingMatcher
 
     engine, chunks, config, cache_dir = payload
-    _maybe_inject_fault()
+    chaos.maybe_inject("worker.session")
     attach_disk_cache(cache_dir)
     matcher = StreamingMatcher(engine, config=config.serial())
     return matcher.feed_all(chunks)
@@ -190,7 +163,7 @@ def run_cell(payload):
     from ..perf.harness import Harness
 
     spec, app, engine_name, cache_dir = payload
-    _maybe_inject_fault()
+    chaos.maybe_inject("worker.cell")
     attach_disk_cache(cache_dir)
     config, scale, input_bytes, seed = spec
     key = (config, scale, input_bytes, seed)

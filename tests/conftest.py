@@ -4,9 +4,25 @@ from __future__ import annotations
 
 import random
 import re
+import sys
 from typing import Dict, List, Sequence
 
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _resilience_isolation():
+    """Disarm chaos and close the pool circuit breaker around every
+    test — resilience state is process-global and must never leak
+    between tests.  Touches the modules only if already imported, so
+    the fixture costs nothing for the non-parallel suite."""
+    yield
+    chaos_mod = sys.modules.get("repro.resilience.chaos")
+    if chaos_mod is not None:
+        chaos_mod.reset()
+    pool_mod = sys.modules.get("repro.parallel.pool")
+    if pool_mod is not None:
+        pool_mod._BREAKER.reset()
 
 
 def oracle_end_positions(pattern: str, data: bytes) -> List[int]:

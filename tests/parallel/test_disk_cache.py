@@ -68,6 +68,41 @@ def test_corrupted_entries_fail_closed(tmp_path):
     assert disk.get("k1") is not None
 
 
+def test_corrupted_entries_are_quarantined(tmp_path):
+    from repro import obs
+
+    counter = obs.registry().counter(
+        "repro_disk_cache_corrupt_total",
+        "Corrupted disk-cache entries quarantined")
+    before = counter.value()
+
+    disk = DiskKernelCache(str(tmp_path))
+    source = "x = 1\n"
+    disk.put("k1", source, compile(source, "<kernel>", "exec"))
+    (tmp_path / "k1.kbc").write_bytes(b"\x00garbage")
+    assert disk.get("k1") is None
+    # The bad payload is moved aside — kept for post-mortems, out of
+    # the lookup path — and counted.
+    assert not (tmp_path / "k1.kbc").exists()
+    assert (tmp_path / "k1.kbc.bad").exists()
+    assert counter.value() == before + 1
+    # Next lookup is a clean miss (no re-parse of the bad file, no
+    # second quarantine tick).
+    assert disk.get("k1") is None
+    assert counter.value() == before + 1
+
+    # clear() sweeps quarantined files along with live entries.
+    disk.put("k2", source, compile(source, "<kernel>", "exec"))
+    disk.clear()
+    assert list(tmp_path.glob("*.kbc")) == []
+    assert list(tmp_path.glob("*.kbc.bad")) == []
+
+    # An unreadable-but-present file (OSError path) is a plain miss,
+    # not corruption: nothing to quarantine.
+    assert disk.get("nonexistent") is None
+    assert counter.value() == before + 1
+
+
 def test_wrong_magic_is_a_miss(tmp_path):
     import marshal
 

@@ -125,14 +125,21 @@ def test_to_json_round_trips():
     assert payload["stream_offset"] == 7
     assert payload["faults"] == [{"shard": 0, "kind": "timeout",
                                   "error": "worker exceeded 1s",
-                                  "fallback": "serial"}]
+                                  "fallback": "serial",
+                                  "traceback": "", "retries": 0}]
     assert "thread_word_ops" in payload["metrics"]
 
 
 def test_shard_fault_to_dict():
-    fault = ShardFault(shard=3, kind="pool", error="broken")
+    fault = ShardFault(shard=3, kind="pool", error="broken",
+                       traceback="Traceback: boom", retries=1,
+                       fallback="retry")
     assert fault.to_dict() == {"shard": 3, "kind": "pool",
-                               "error": "broken", "fallback": "serial"}
+                               "error": "broken", "fallback": "retry",
+                               "traceback": "Traceback: boom",
+                               "retries": 1}
+    assert "kind=pool" in fault.summary()
+    assert "retries=1" in fault.summary()
 
 
 # -- KernelStats.merge (the per-shard runtime stats fold) --------------------

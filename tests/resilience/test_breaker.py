@@ -1,0 +1,128 @@
+"""CircuitBreaker state machine: closed -> open -> half-open probe."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.resilience.breaker import (CLOSED, HALF_OPEN, OPEN,
+                                      STATE_CODES, CircuitBreaker)
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make(threshold=3, cooldown=10.0, clock=None, name="test-breaker"):
+    return CircuitBreaker(name=name, threshold=threshold,
+                          cooldown_s=cooldown,
+                          clock=clock if clock is not None else FakeClock())
+
+
+def test_starts_closed_and_allows():
+    breaker = make()
+    assert breaker.state() == CLOSED
+    assert breaker.allow()
+    assert breaker.failures() == 0
+
+
+def test_opens_after_threshold_consecutive_failures():
+    breaker = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state() == CLOSED
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state() == OPEN
+    assert not breaker.allow()
+
+
+def test_success_resets_the_consecutive_count():
+    breaker = make(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state() == CLOSED
+    assert breaker.failures() == 1
+
+
+def test_half_open_probe_after_cooldown():
+    clock = FakeClock()
+    breaker = make(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure()
+    assert breaker.state() == OPEN
+    assert not breaker.allow()
+    clock.advance(9.9)
+    assert not breaker.allow()
+    clock.advance(0.2)
+    # The first allow() after the cooldown IS the probe...
+    assert breaker.allow()
+    assert breaker.state() == HALF_OPEN
+    # ...and exactly one probe flies at a time.
+    assert not breaker.allow()
+
+
+def test_probe_success_closes():
+    clock = FakeClock()
+    breaker = make(threshold=1, cooldown=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state() == CLOSED
+    assert breaker.allow()
+
+
+def test_probe_failure_reopens_and_restarts_cooldown():
+    clock = FakeClock()
+    breaker = make(threshold=1, cooldown=10.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(10.5)
+    assert breaker.allow()          # probe
+    breaker.record_failure()        # probe failed
+    assert breaker.state() == OPEN
+    clock.advance(9.0)              # cooldown restarted at the re-open
+    assert not breaker.allow()
+    clock.advance(1.5)
+    assert breaker.allow()
+
+
+def test_reset_returns_to_clean_closed():
+    breaker = make(threshold=1)
+    breaker.record_failure()
+    assert breaker.state() == OPEN
+    breaker.reset()
+    assert breaker.state() == CLOSED
+    assert breaker.failures() == 0
+    assert breaker.allow()
+
+
+def test_state_gauge_tracks_transitions():
+    gauge = obs.registry().gauge(
+        "repro_breaker_state",
+        "Circuit-breaker state by name: 0 closed, 1 open, 2 half-open")
+    clock = FakeClock()
+    breaker = make(threshold=1, cooldown=1.0, clock=clock,
+                   name="gauge-probe")
+    assert gauge.value(name="gauge-probe") == STATE_CODES[CLOSED]
+    breaker.record_failure()
+    assert gauge.value(name="gauge-probe") == STATE_CODES[OPEN]
+    clock.advance(2.0)
+    breaker.allow()
+    assert gauge.value(name="gauge-probe") == STATE_CODES[HALF_OPEN]
+    breaker.record_success()
+    assert gauge.value(name="gauge-probe") == STATE_CODES[CLOSED]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown_s=-1.0)

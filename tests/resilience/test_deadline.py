@@ -1,0 +1,62 @@
+"""Deadline: one monotonic budget for every blocking wait."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.deadline import Deadline
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_start_propagates_none():
+    assert Deadline.start(None) is None
+    assert Deadline.start(1.0) is not None
+
+
+def test_budget_must_be_positive():
+    with pytest.raises(ValueError):
+        Deadline(0)
+    with pytest.raises(ValueError):
+        Deadline(-1.0)
+
+
+def test_remaining_decrements_with_the_clock():
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock)
+    assert deadline.remaining() == pytest.approx(2.0)
+    clock.advance(0.5)
+    assert deadline.remaining() == pytest.approx(1.5)
+    assert not deadline.expired()
+    clock.advance(1.5)
+    assert deadline.expired()
+    clock.advance(1.0)
+    assert deadline.remaining() == pytest.approx(-1.0)
+
+
+def test_wait_budget_is_min_of_timeout_and_remaining():
+    clock = FakeClock()
+    deadline = Deadline(2.0, clock=clock)
+    # per-wait timeout smaller than the budget: timeout wins
+    assert deadline.wait_budget(0.5) == pytest.approx(0.5)
+    # unbounded per-wait timeout: the budget caps it
+    assert deadline.wait_budget(None) == pytest.approx(2.0)
+    clock.advance(1.9)
+    assert deadline.wait_budget(0.5) == pytest.approx(0.1)
+
+
+def test_expired_deadline_floors_waits_at_zero():
+    clock = FakeClock()
+    deadline = Deadline(1.0, clock=clock)
+    clock.advance(5.0)
+    assert deadline.wait_budget(10.0) == 0.0
+    assert deadline.wait_budget(None) == 0.0

@@ -1,0 +1,76 @@
+"""RetryPolicy backoff math and ScanAbortedError plumbing."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.parallel.config import ScanConfig
+from repro.parallel.report import ShardFault
+from repro.resilience.policy import (ON_FAULT_POLICIES, RetryPolicy,
+                                     ScanAbortedError)
+
+
+def test_policy_vocabulary_matches_config():
+    from repro.parallel import config
+
+    assert ON_FAULT_POLICIES == config.ON_FAULT_POLICIES
+    assert ON_FAULT_POLICIES == ("degrade", "retry", "fail")
+
+
+def test_delays_double_without_jitter():
+    policy = RetryPolicy(max_retries=4, backoff_s=0.1, jitter=0.0)
+    assert policy.delay_s(1) == pytest.approx(0.1)
+    assert policy.delay_s(2) == pytest.approx(0.2)
+    assert policy.delay_s(3) == pytest.approx(0.4)
+    assert policy.delay_s(4) == pytest.approx(0.8)
+
+
+def test_jitter_is_additive_only():
+    policy = RetryPolicy(max_retries=1, backoff_s=0.1, jitter=0.5)
+    rng = random.Random(42)
+    for _ in range(50):
+        delay = policy.delay_s(1, rng)
+        assert 0.1 <= delay <= 0.1 * 1.5 + 1e-9
+
+
+def test_delay_cap():
+    policy = RetryPolicy(max_retries=10, backoff_s=1.0, jitter=0.0,
+                         max_delay_s=3.0)
+    assert policy.delay_s(10) == 3.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_s=-0.1)
+
+
+def test_from_config():
+    config = ScanConfig(max_retries=5, retry_backoff=0.25)
+    policy = RetryPolicy.from_config(config)
+    assert policy.max_retries == 5
+    assert policy.backoff_s == 0.25
+
+
+def test_scan_aborted_error_carries_the_fault():
+    fault = ShardFault(shard=2, kind="timeout", error="worker exceeded 1s",
+                       fallback="abort")
+    error = ScanAbortedError(fault)
+    assert error.fault is fault
+    assert "shard 2" in str(error)
+    assert "timeout" in str(error)
+
+
+def test_config_validates_resilience_fields():
+    with pytest.raises(ValueError):
+        ScanConfig(on_fault="panic")
+    with pytest.raises(ValueError):
+        ScanConfig(max_retries=-1)
+    with pytest.raises(ValueError):
+        ScanConfig(retry_backoff=-1.0)
+    with pytest.raises(ValueError):
+        ScanConfig(deadline_s=0)
+    assert ScanConfig(on_fault="retry", deadline_s=1.5).deadline_s == 1.5
