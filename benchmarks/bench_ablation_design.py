@@ -17,6 +17,7 @@ import statistics
 
 from repro.core import BitGenEngine, Scheme, imbalance
 from repro.gpu.machine import CTAGeometry
+from repro.parallel.config import ScanConfig
 from repro.perf import model
 from repro.perf.report import format_table
 
@@ -34,10 +35,11 @@ def test_ablation_grouping(ctx, benchmark):
         results = {}
         for strategy in ("balanced", "round_robin"):
             engine = BitGenEngine.compile(
-                workload.nodes, scheme=Scheme.ZBS,
-                geometry=ctx.harness.geometry,
-                cta_count=ctx.harness.cta_count(workload),
-                loop_fallback=True, grouping=strategy)
+                workload.nodes,
+                config=ScanConfig(
+                    scheme=Scheme.ZBS, geometry=ctx.harness.geometry,
+                    cta_count=ctx.harness.cta_count(workload),
+                    loop_fallback=True, grouping=strategy))
             result = engine.match(workload.data)
             throughput = model.model_bitgen(
                 result.cta_metrics, ctx.harness.gpu,
@@ -67,7 +69,8 @@ def test_ablation_grouping(ctx, benchmark):
     assert max(balanced_imbalance) < 1.2, \
         "LPT keeps CTA loads within 20% of the mean"
     benchmark(lambda: imbalance([g.group for g in BitGenEngine.compile(
-        ctx.harness.workload("Snort").nodes, cta_count=8).groups]))
+        ctx.harness.workload("Snort").nodes,
+        config=ScanConfig(cta_count=8)).groups]))
 
 
 def test_ablation_group_compilation(ctx, benchmark):
@@ -96,8 +99,8 @@ def test_ablation_group_compilation(ctx, benchmark):
     assert all(s > 0.05 for s in savings), \
         "grouping shares at least 5% of the instructions on every app"
     workload = ctx.harness.workload("TCP")
-    benchmark(lambda: BitGenEngine.compile(workload.nodes[:3],
-                                           optimize=True))
+    benchmark(lambda: BitGenEngine.compile(
+        workload.nodes[:3], config=ScanConfig(optimize=True)))
 
 
 GEOMETRIES = (CTAGeometry(threads=16, word_bits=32),    # 512-bit blocks
@@ -114,9 +117,11 @@ def test_ablation_block_size(ctx, benchmark):
     for geometry in GEOMETRIES:
         workload = ctx.harness.workload("Snort")
         engine = BitGenEngine.compile(
-            workload.nodes, scheme=Scheme.ZBS, geometry=geometry,
-            cta_count=ctx.harness.cta_count(workload),
-            loop_fallback=True)
+            workload.nodes,
+            config=ScanConfig(
+                scheme=Scheme.ZBS, geometry=geometry,
+                cta_count=ctx.harness.cta_count(workload),
+                loop_fallback=True))
         result = engine.match(workload.data)
         metrics = result.metrics
         barrier_counts.append(metrics.barriers)

@@ -16,6 +16,7 @@ import time
 
 from repro.backend import kernel_cache
 from repro.ir.interpreter import Interpreter
+from repro.parallel.config import ScanConfig
 
 APP = "Snort"
 MIN_SPEEDUP = 5.0
@@ -54,9 +55,10 @@ def test_compiled_backend_speedup(ctx, benchmark):
     from repro.core.engine import BitGenEngine
 
     recompiled = BitGenEngine.compile(
-        workload.nodes, geometry=harness.geometry,
-        cta_count=harness.cta_count(workload), loop_fallback=True,
-        backend="compiled")
+        workload.nodes,
+        config=ScanConfig(geometry=harness.geometry,
+                          cta_count=harness.cta_count(workload),
+                          loop_fallback=True, backend="compiled"))
     recompiled.match(data[:2048])
 
     # Secondary reference: whole-stream big-integer interpretation of

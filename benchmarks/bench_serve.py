@@ -1,0 +1,217 @@
+"""Gateway serving latency and the interleaved-session soak.
+
+Not a paper experiment — this measures the reproduction's own serving
+layer (:mod:`repro.serve`).  Two claims are on the line:
+
+* **Latency under load.**  Closed-loop clients issue one-shot scans
+  through the in-process :class:`Gateway` at several concurrency
+  levels; every request's admission-to-response latency is recorded
+  and summarised as p50/p99 against the achieved offered load.  The
+  in-process API is measured deliberately: it isolates the gateway's
+  own queueing/admission/execution path from TCP and JSON overhead,
+  which is what the CI latency guard needs to be stable.
+* **Bit-identity at scale.**  A soak interleaves >= 100 streaming
+  sessions round-robin across tenants and pattern sets over one
+  gateway, then checks every session's merged stream matches against
+  a serial one-shot scan of the same bytes — the acceptance bar for
+  the multiplexer (multiplexing and policy, never a different answer).
+
+Results land in ``BENCH_serve.json``.  ``check_assertions`` enforces
+the soak's bit-identity and a deliberately generous p99 budget at the
+lowest concurrency (catching order-of-magnitude serving regressions,
+not scheduling noise).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import repro
+from repro.parallel.config import ScanConfig
+from repro.serve import Gateway, ServeConfig
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+PATTERN_SETS = {
+    "web": ["GET /[a-z]+", "cat|dog", "[0-9][0-9]"],
+    "ids": ["a(bc)*d", "virus[0-9]+", "colou?r", "xy+z"],
+}
+BASE = (b"abcbcd colour cat 42 xyyz virus7 GET /index "
+        b"foo bar qux color abcd and 99 dogs " * 24)
+
+#: closed-loop client counts; >= 3 levels per the serving spec
+CONCURRENCY_LEVELS = (1, 4, 16)
+REQUESTS_PER_CLIENT = 24
+SCAN_BYTES = 1536
+
+#: CI latency-guard budget: p99 of a ~1.5KB scan at concurrency 1.
+#: Generous on purpose — the guard exists to catch the gateway
+#: suddenly queueing, recompiling, or serializing where it should
+#: not, not to benchmark the machine.
+P99_BUDGET_S = 0.75
+
+SOAK_SESSIONS = 120
+SOAK_CHUNK = 96
+SOAK_CHUNKS = 6
+
+
+def percentile(samples: List[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1,
+                max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+async def measure_level(gateway: Gateway, concurrency: int) -> Dict:
+    """Closed-loop: ``concurrency`` clients, back-to-back scans."""
+    patterns = PATTERN_SETS["web"]
+    data = BASE[:SCAN_BYTES]
+    latencies: List[float] = []
+
+    async def client(tenant: str) -> None:
+        for _ in range(REQUESTS_PER_CLIENT):
+            begin = time.perf_counter()
+            await gateway.scan(tenant, patterns, data)
+            latencies.append(time.perf_counter() - begin)
+
+    # one tenant per client: levels measure concurrent lanes, not a
+    # single lane's serialization
+    begin = time.perf_counter()
+    await asyncio.gather(*(client(f"load-{index}")
+                           for index in range(concurrency)))
+    elapsed = time.perf_counter() - begin
+    total = concurrency * REQUESTS_PER_CLIENT
+    return {
+        "concurrency": concurrency,
+        "requests": total,
+        "seconds": elapsed,
+        "offered_load_rps": total / elapsed,
+        "p50_s": percentile(latencies, 0.50),
+        "p99_s": percentile(latencies, 0.99),
+        "mean_s": sum(latencies) / len(latencies),
+        "max_s": max(latencies),
+    }
+
+
+async def soak(gateway: Gateway) -> Dict:
+    """>= 100 interleaved sessions, checked against serial scans."""
+    set_names = sorted(PATTERN_SETS)
+    plans = []
+    for index in range(SOAK_SESSIONS):
+        name = set_names[index % len(set_names)]
+        offset = (index * 37) % (len(BASE) - SOAK_CHUNK * SOAK_CHUNKS)
+        data = BASE[offset:offset + SOAK_CHUNK * SOAK_CHUNKS]
+        plans.append({"tenant": f"soak-{index % 5}",
+                      "patterns": PATTERN_SETS[name],
+                      "data": data})
+
+    for plan in plans:
+        opened = await gateway.open_session(plan["tenant"],
+                                            plan["patterns"])
+        plan["session"] = opened["session"]
+        plan["streamed"] = {}
+
+    # round-robin: every session's chunk k goes out before any
+    # session's chunk k+1 — maximal interleaving on shared engines
+    for chunk_index in range(SOAK_CHUNKS):
+        begin = chunk_index * SOAK_CHUNK
+        for plan in plans:
+            report = await gateway.feed(
+                plan["tenant"], plan["session"],
+                plan["data"][begin:begin + SOAK_CHUNK])
+            for pattern, ends in report.matches.items():
+                plan["streamed"].setdefault(pattern, []).extend(ends)
+
+    mismatches = 0
+    total_matches = 0
+    for plan in plans:
+        await gateway.close_session(plan["tenant"], plan["session"])
+        reference = repro.scan(plan["patterns"], plan["data"])
+        expected = {p: list(ends)
+                    for p, ends in reference.matches.items() if ends}
+        streamed = {p: ends for p, ends in plan["streamed"].items()
+                    if ends}
+        total_matches += reference.match_count()
+        if streamed != expected:
+            mismatches += 1
+    return {
+        "sessions": len(plans),
+        "tenants": 5,
+        "pattern_sets": len(PATTERN_SETS),
+        "chunks_per_session": SOAK_CHUNKS,
+        "total_matches": total_matches,
+        "mismatched_sessions": mismatches,
+        "bit_identical": mismatches == 0,
+    }
+
+
+async def run_async() -> Dict:
+    # capacity >= max concurrency level: every load tenant's engine
+    # stays resident, so the levels measure queueing and execution,
+    # not LRU-eviction recompile thrash
+    gateway = Gateway(ServeConfig(
+        max_engines=max(CONCURRENCY_LEVELS) + 8, queue_depth=256,
+        scan=ScanConfig(loop_fallback=True)))
+    # warm the engine once so levels measure serving, not compilation
+    await gateway.compile("load-0", PATTERN_SETS["web"])
+
+    rows = []
+    for concurrency in CONCURRENCY_LEVELS:
+        rows.append(await measure_level(gateway, concurrency))
+    soak_result = await soak(gateway)
+    host = gateway.host.stats()
+    await gateway.close()
+    return {
+        "benchmark": "serving gateway: closed-loop scan latency and "
+                     "interleaved-session soak (repro.serve)",
+        "scan_bytes": SCAN_BYTES,
+        "requests_per_client": REQUESTS_PER_CLIENT,
+        "p99_budget_s": P99_BUDGET_S,
+        "levels": rows,
+        "soak": soak_result,
+        "host": {"capacity": host["capacity"],
+                 "resident": host["resident"],
+                 "acquires": host["acquires"]},
+    }
+
+
+def run_benchmark() -> Dict:
+    payload = asyncio.run(run_async())
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print()
+    for row in payload["levels"]:
+        print(f"  concurrency={row['concurrency']:3d}: "
+              f"{row['offered_load_rps']:8.1f} req/s  "
+              f"p50={row['p50_s'] * 1e3:6.2f}ms  "
+              f"p99={row['p99_s'] * 1e3:6.2f}ms")
+    soak_result = payload["soak"]
+    print(f"  soak: {soak_result['sessions']} sessions, "
+          f"{soak_result['total_matches']} matches, "
+          f"bit_identical={soak_result['bit_identical']}")
+    return payload
+
+
+def check_assertions(payload: Dict) -> None:
+    assert len(payload["levels"]) >= 3
+    assert payload["soak"]["sessions"] >= 100
+    assert payload["soak"]["bit_identical"], \
+        (f"{payload['soak']['mismatched_sessions']} sessions diverged "
+         f"from serial one-shot scans")
+    lowest = payload["levels"][0]
+    assert lowest["p99_s"] <= P99_BUDGET_S, \
+        (f"p99 at concurrency {lowest['concurrency']} is "
+         f"{lowest['p99_s']:.3f}s, over the {P99_BUDGET_S}s budget")
+
+
+def test_serve_latency_and_soak():
+    payload = run_benchmark()
+    check_assertions(payload)
+
+
+if __name__ == "__main__":
+    check_assertions(run_benchmark())
+    print(f"wrote {OUTPUT}")

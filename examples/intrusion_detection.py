@@ -12,6 +12,7 @@ Run:  python examples/intrusion_detection.py
 """
 
 from repro.core import SCHEME_LADDER, BitGenEngine
+from repro.parallel.config import ScanConfig
 from repro.workloads import app_by_name
 
 
@@ -31,8 +32,9 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for scheme in SCHEME_LADDER:
-        engine = BitGenEngine.compile(workload.patterns, scheme=scheme,
-                                      cta_count=4)
+        engine = BitGenEngine.compile(
+            workload.patterns, config=ScanConfig(scheme=scheme,
+                                                 cta_count=4))
         result = engine.match(workload.data)
         if reference is None:
             reference = result

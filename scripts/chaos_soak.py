@@ -22,9 +22,10 @@ Usage::
 
     python scripts/chaos_soak.py [--rounds N] [--seed S]
 
-Artifacts: ``chaos_soak_metrics.json`` (per-cell fault counts and the
-final obs counter snapshot) and ``chaos_soak_metrics.prom`` (the full
-metrics registry, Prometheus text exposition) in the repo root.
+Artifacts: ``results/chaos_soak_metrics.json`` (per-cell fault counts
+and the final obs counter snapshot) and
+``results/chaos_soak_metrics.prom`` (the full metrics registry,
+Prometheus text exposition).
 """
 
 from __future__ import annotations
@@ -279,11 +280,13 @@ def main(argv=None) -> int:
         "total_mismatches": total_mismatches,
         "counters": counter_snapshot(),
     }
-    (ROOT / "chaos_soak_metrics.json").write_text(
+    out_dir = ROOT / "results"
+    out_dir.mkdir(exist_ok=True)
+    (out_dir / "chaos_soak_metrics.json").write_text(
         json.dumps(payload, indent=2) + "\n")
     try:
         obs.export.write_prometheus(
-            obs.registry(), str(ROOT / "chaos_soak_metrics.prom"))
+            obs.registry(), str(out_dir / "chaos_soak_metrics.prom"))
     except Exception as exc:  # metrics dump must not mask a clean soak
         print(f"  (prometheus dump skipped: {exc!r})")
 

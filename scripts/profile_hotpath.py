@@ -36,13 +36,15 @@ def main(argv=None) -> int:
 
     from repro.core.schemes import Scheme
     from repro.perf.harness import Harness
+    from repro.parallel.config import ScanConfig
 
     scheme = next((s for s in Scheme if s.value.lower()
                    == args.scheme.lower()), None)
     if scheme is None:
         parser.error(f"unknown scheme {args.scheme!r}")
 
-    harness = Harness(scale=args.scale, backend=args.backend)
+    harness = Harness(scale=args.scale,
+                      config=ScanConfig(backend=args.backend))
     workload = harness.workload(args.app)
     engine = harness.bitgen_engine(workload, scheme=scheme)
     print(f"profiling {args.app} / {scheme.value} / {args.backend} "

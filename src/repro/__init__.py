@@ -4,11 +4,15 @@ interleaved bitstream execution for multi-pattern regex matching on
 
 Quickstart::
 
-    from repro import BitGenEngine
+    import repro
 
-    engine = BitGenEngine.compile(["a(bc)*d", "colou?r"])
-    result = engine.match(b"abcbcd has colour and color")
-    print(result.match_count())
+    matcher = repro.compile(["a(bc)*d", "colou?r"])
+    report = matcher.scan(b"abcbcd has colour and color")
+    print(report.match_count())
+
+``repro.compile`` / ``repro.scan`` are the supported public surface
+(:mod:`repro.api`); the deeper layers (``BitGenEngine``, the IR and
+executor machinery) remain importable but are internal.
 
 See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-reproduction results.
@@ -23,9 +27,9 @@ from .regex import CharClass, parse
 
 __all__ = [
     "BitGenEngine", "BitVector", "CharClass", "Interpreter", "MatchResult",
-    "ScanConfig", "ScanReport", "Scheme", "StreamingMatcher",
-    "lower_group", "lower_regex", "match_positions", "obs", "parse",
-    "run_regexes", "transpose",
+    "Matcher", "ScanConfig", "ScanReport", "Scheme", "StreamingMatcher",
+    "compile", "lower_group", "lower_regex", "match_positions", "obs",
+    "parse", "run_regexes", "scan", "serve", "transpose",
 ]
 
 #: lazily imported top-level names (heavier subsystems stay off the
@@ -33,11 +37,15 @@ __all__ = [
 _LAZY = {
     "BitGenEngine": ("core.engine", "BitGenEngine"),
     "MatchResult": ("engines.base", "MatchResult"),
+    "Matcher": ("api", "Matcher"),
     "ScanConfig": ("parallel.config", "ScanConfig"),
     "ScanReport": ("parallel.report", "ScanReport"),
     "StreamingMatcher": ("core.streaming", "StreamingMatcher"),
     "Scheme": ("core.schemes", "Scheme"),
+    "compile": ("api", "compile"),
     "obs": ("obs", None),         # the whole tracing/metrics subpackage
+    "scan": ("api", "scan"),
+    "serve": ("serve", None),     # the async matching gateway
 }
 
 

@@ -8,6 +8,8 @@ Usage examples::
     python -m repro 'a(bc)*d' --kernel          # print the CUDA-like kernel
     python -m repro scan --patterns rules.txt --workers 4 data.bin
     python -m repro trace Bro217 --export chrome -o trace.json
+    python -m repro serve --port 8321        # persistent matching gateway
+    python -m repro serve --self-test        # end-to-end smoke, exit 0/1
 """
 
 from __future__ import annotations
@@ -265,6 +267,10 @@ def main(argv: List[str] = None) -> int:
         return scan_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .serve.cli import serve_main
+
+        return serve_main(argv[1:])
     args = build_parser().parse_args(argv)
     patterns = load_patterns(args)
 

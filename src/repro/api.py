@@ -1,0 +1,150 @@
+"""repro.api — the one-obvious public entry point.
+
+Two functions are the supported surface for matching::
+
+    import repro
+
+    matcher = repro.compile(["a(bc)*d", "colou?r"], workers=4)
+    report = matcher.scan(data)                 # one-shot
+    session = matcher.stream()                  # chunked
+    report = repro.scan(["cat|dog"], data)      # compile-and-scan
+
+``repro.compile`` returns a :class:`Matcher` — a thin handle over the
+compiled :class:`~repro.core.engine.BitGenEngine` exposing ``.scan()``,
+``.stream()``, and ``.config``.  Configuration knobs are the
+:class:`~repro.parallel.ScanConfig` fields, passed either as keywords
+(``repro.compile(p, scheme=Scheme.SR, workers=4)``) or as one
+``config=ScanConfig(...)`` object; keywords layer on top of ``config``.
+
+Everything deeper — ``BitGenEngine``, ``StreamingMatcher``, the
+executor and IR layers — is internal: stable enough to import for
+research, but the facade is what the serving gateway
+(:mod:`repro.serve`) and the CLI build on, and what stays compatible.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import List, Optional, Sequence, Union
+
+from .parallel.config import ScanConfig
+from .parallel.report import ScanReport
+
+#: ScanConfig field names accepted as keyword knobs by the facade.
+CONFIG_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(ScanConfig))
+
+
+def resolve_knobs(config: Optional[ScanConfig], knobs) -> ScanConfig:
+    """One ScanConfig from an optional base ``config`` plus keyword
+    knobs (keywords win).  Unknown knobs raise ``TypeError`` naming
+    the valid fields, so typos fail loudly instead of silently
+    configuring nothing."""
+    unknown = sorted(set(knobs) - CONFIG_FIELDS)
+    if unknown:
+        raise TypeError(
+            f"unknown ScanConfig field(s) {', '.join(unknown)}; "
+            f"valid fields: {', '.join(sorted(CONFIG_FIELDS))}")
+    base = config if config is not None else ScanConfig()
+    return base.replace(**knobs) if knobs else base
+
+
+def fingerprint_patterns(patterns: Sequence[Union[str, object]],
+                         config: ScanConfig) -> str:
+    """Stable identity of (patterns, compile-relevant config) —
+    computable *without* compiling, so engine registries can key
+    lookups before paying a compile."""
+    digest = hashlib.sha256()
+    for pattern in patterns:
+        text = pattern if isinstance(pattern, str) else repr(pattern)
+        digest.update(text.encode("utf-8", "surrogatepass"))
+        digest.update(b"\x00")
+    digest.update(repr(config.compile_key()).encode())
+    return digest.hexdigest()[:16]
+
+
+class Matcher:
+    """A compiled pattern set, ready to scan.
+
+    Holds the engine, the patterns it was compiled from, and the
+    resolved :class:`ScanConfig`.  One matcher serves any number of
+    scans and streaming sessions concurrently — per-scan state lives
+    in the report / session objects, not here.
+    """
+
+    def __init__(self, engine, patterns: Sequence[Union[str, object]]):
+        self._engine = engine
+        self.patterns: List[Union[str, object]] = list(patterns)
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def config(self) -> ScanConfig:
+        return self._engine.config
+
+    @property
+    def pattern_count(self) -> int:
+        return self._engine.pattern_count
+
+    @property
+    def engine(self):
+        """The underlying :class:`BitGenEngine` (internal surface)."""
+        return self._engine
+
+    def fingerprint(self) -> str:
+        """Stable identity of (patterns, compile-relevant config): the
+        key persistent engine registries (:mod:`repro.serve`) cache
+        compiled matchers under."""
+        return fingerprint_patterns(self.patterns, self.config)
+
+    def __repr__(self) -> str:
+        return (f"Matcher(patterns={self.pattern_count}, "
+                f"scheme={self.config.scheme.name}, "
+                f"backend={self.config.backend!r})")
+
+    # -- matching ----------------------------------------------------------
+
+    def scan(self, data: bytes,
+             config: Optional[ScanConfig] = None, **knobs) -> ScanReport:
+        """Scan one input; dispatch knobs may be overridden per call
+        (``matcher.scan(data, workers=4)``)."""
+        if config is not None or knobs:
+            return self._engine.scan(
+                data, config=resolve_knobs(config or self.config, knobs))
+        return self._engine.scan(data)
+
+    def scan_many(self, streams: Sequence[bytes],
+                  config: Optional[ScanConfig] = None,
+                  **knobs) -> List[ScanReport]:
+        """Scan several independent inputs, one report each."""
+        effective = resolve_knobs(config or self.config, knobs) \
+            if (config is not None or knobs) else None
+        results = self._engine.match_many(streams, config=effective)
+        return [result.report() for result in results]
+
+    def stream(self, config: Optional[ScanConfig] = None, **knobs):
+        """A chunked :class:`~repro.core.streaming.StreamingMatcher`
+        session over this matcher (fresh carried-history state)."""
+        from .core.streaming import StreamingMatcher
+
+        effective = resolve_knobs(config or self.config, knobs) \
+            if (config is not None or knobs) else None
+        return StreamingMatcher(self._engine, config=effective)
+
+
+def compile(patterns: Sequence[Union[str, object]],
+            config: Optional[ScanConfig] = None, **knobs) -> Matcher:
+    """Compile ``patterns`` (regex strings or ASTs) into a
+    :class:`Matcher`.  Keyword knobs are :class:`ScanConfig` fields."""
+    from .core.engine import BitGenEngine
+
+    resolved = resolve_knobs(config, knobs)
+    engine = BitGenEngine._compile_config(patterns, resolved)
+    return Matcher(engine, patterns)
+
+
+def scan(patterns: Sequence[Union[str, object]], data: bytes,
+         config: Optional[ScanConfig] = None, **knobs) -> ScanReport:
+    """Compile-and-scan in one call — the simplest possible use."""
+    return compile(patterns, config=config, **knobs).scan(data)

@@ -25,7 +25,7 @@ from ..ir.lower import lower_group
 from ..ir.passes import (LEVEL2_PREGUARD_PASSES, PipelineReport,
                          optimize_pipeline)
 from ..ir.program import Program
-from ..parallel.config import UNSET, ScanConfig, resolve_config
+from ..parallel.config import ScanConfig, reject_legacy_kwargs
 from ..parallel.report import ScanReport
 from ..regex import ast
 from ..regex.parser import parse
@@ -91,22 +91,11 @@ class BitGenEngine(Engine):
     name = "BitGen"
 
     def __init__(self, groups: List[CompiledGroup], pattern_count: int,
-                 scheme: Scheme = UNSET,
-                 geometry: CTAGeometry = UNSET,
-                 merge_size: int = UNSET, interval_size: int = UNSET,
-                 loop_fallback: bool = UNSET,
                  nodes: Optional[List[ast.Regex]] = None,
-                 backend: str = UNSET,
-                 config: Optional[ScanConfig] = None):
+                 config: Optional[ScanConfig] = None, **legacy):
+        reject_legacy_kwargs("BitGenEngine", legacy)
         if config is None:
             config = ScanConfig()
-        legacy = {name: value for name, value in (
-            ("scheme", scheme), ("geometry", geometry),
-            ("merge_size", merge_size), ("interval_size", interval_size),
-            ("loop_fallback", loop_fallback), ("backend", backend))
-            if value is not UNSET}
-        if legacy:
-            config = config.replace(**legacy)
         self.groups = groups
         self.pattern_count = pattern_count
         self.config = config
@@ -171,36 +160,23 @@ class BitGenEngine(Engine):
 
     @classmethod
     def compile(cls, patterns: Sequence[Union[str, ast.Regex]],
-                scheme: Scheme = UNSET,
-                geometry: CTAGeometry = UNSET,
-                cta_count: Optional[int] = UNSET,
-                merge_size: int = UNSET,
-                interval_size: int = UNSET,
-                loop_fallback: bool = UNSET,
-                optimize: bool = UNSET,
-                grouping: str = UNSET,
-                backend: str = UNSET,
-                config: Optional[ScanConfig] = None) -> "BitGenEngine":
+                config: Optional[ScanConfig] = None,
+                **legacy) -> "BitGenEngine":
         """Compile ``patterns`` (strings or ASTs).
 
         Pass a :class:`~repro.parallel.ScanConfig` to configure the
         scheme ladder, geometry, backend, and parallel dispatch in one
-        object; the individual keyword arguments are deprecated and
-        kept for one release (each call emits one
-        :class:`DeprecationWarning`).
+        object (the pre-ScanConfig scattered keyword arguments were
+        removed after their one-release deprecation window; passing
+        one raises :class:`TypeError` with a migration hint).
 
         ``backend="compiled"`` executes matches through the cached
         NumPy kernels of :mod:`repro.backend` with batched CTA
         dispatch — bit-identical match sets, estimated metrics.
         """
-        config = resolve_config(
-            "BitGenEngine.compile", config,
-            {"scheme": scheme, "geometry": geometry,
-             "cta_count": cta_count, "merge_size": merge_size,
-             "interval_size": interval_size,
-             "loop_fallback": loop_fallback, "optimize": optimize,
-             "grouping": grouping, "backend": backend})
-        return cls._compile_config(patterns, config)
+        reject_legacy_kwargs("BitGenEngine.compile", legacy)
+        return cls._compile_config(
+            patterns, config if config is not None else ScanConfig())
 
     @classmethod
     def _compile_config(cls, patterns: Sequence[Union[str, ast.Regex]],

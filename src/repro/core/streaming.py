@@ -29,7 +29,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..engines.hyperscan import max_match_length
-from ..parallel.config import UNSET, ScanConfig, resolve_config
+from ..parallel.config import ScanConfig, reject_legacy_kwargs
 from ..parallel.report import ScanReport
 from .engine import BitGenEngine
 
@@ -40,14 +40,11 @@ class StreamingMatcher:
     """Chunked matcher over one compiled engine."""
 
     def __init__(self, engine: BitGenEngine,
-                 max_tail_bytes: int = UNSET,
-                 config: Optional[ScanConfig] = None):
+                 config: Optional[ScanConfig] = None, **legacy):
+        reject_legacy_kwargs("StreamingMatcher", legacy)
         if engine._nodes is None:
             raise ValueError("engine was built without pattern ASTs")
-        self.config = resolve_config(
-            "StreamingMatcher", config,
-            {"max_tail_bytes": max_tail_bytes},
-            base=engine.config)
+        self.config = config if config is not None else engine.config
         self.engine = engine
         bounded: List[int] = []
         self.has_unbounded = False

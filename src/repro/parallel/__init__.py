@@ -13,8 +13,8 @@ report types; the pool, dispatcher, and disk cache load on first use.
 
 from .config import (BACKENDS, EXECUTORS, ON_FAULT_POLICIES,
                      SHARD_POLICIES, START_METHOD_ENV,
-                     START_METHODS, UNSET, ScanConfig, default_start_method,
-                     resolve_config, warn_deprecated_kwargs)
+                     START_METHODS, ScanConfig, default_start_method,
+                     reject_legacy_kwargs)
 from .report import ScanReport, ShardFault
 
 __all__ = [
@@ -30,7 +30,6 @@ __all__ = [
     "ScanReport",
     "SharedArena",
     "ShardFault",
-    "UNSET",
     "WorkerPool",
     "breaker",
     "default_cache_dir",
@@ -42,9 +41,8 @@ __all__ = [
     "plan_group_shards",
     "plan_stream_shards",
     "pool_stats",
-    "resolve_config",
+    "reject_legacy_kwargs",
     "shutdown",
-    "warn_deprecated_kwargs",
 ]
 
 _LAZY = {

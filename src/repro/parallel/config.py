@@ -1,14 +1,15 @@
 """The unified scan configuration.
 
-Every public entry point — :meth:`repro.core.engine.BitGenEngine.compile`,
+Every public entry point — :func:`repro.compile`, :func:`repro.scan`,
+:meth:`repro.core.engine.BitGenEngine.compile`,
 :class:`repro.core.streaming.StreamingMatcher`,
 :class:`repro.perf.harness.Harness`, and the ``python -m repro scan``
 CLI — accepts one :class:`ScanConfig` carrying the compile-time knobs
 (scheme ladder, merge/interval sizes, CTA geometry, backend) and the
 dispatch-time knobs (worker count, shard policy, executor kind, kernel
 cache directory).  The scattered positional kwargs those entry points
-grew over PRs 0–2 keep working for one release behind a single
-:class:`DeprecationWarning` per call (:func:`resolve_config`).
+grew over PRs 0–2 were deprecated for one release and are now
+rejected with a migration hint (:func:`reject_legacy_kwargs`).
 
 Fields default to ``None`` where the right default depends on the
 consumer (the engine resolves ``geometry=None`` to the paper's 512x32
@@ -20,34 +21,12 @@ consumer-specific default.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Mapping, Optional, Tuple
 
 from ..core.schemes import Scheme
 from ..gpu.config import CPUConfig, GPUConfig
 from ..gpu.machine import CTAGeometry
-
-
-class _Unset:
-    """Sentinel distinguishing "not passed" from any real value."""
-
-    _instance: Optional["_Unset"] = None
-
-    def __new__(cls):
-        if cls._instance is None:
-            cls._instance = super().__new__(cls)
-        return cls._instance
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return "<unset>"
-
-    def __bool__(self) -> bool:
-        return False
-
-
-#: Default marker for deprecated keyword parameters.
-UNSET = _Unset()
 
 BACKENDS = ("simulate", "compiled")
 SHARD_POLICIES = ("auto", "stream", "group")
@@ -229,37 +208,20 @@ class ScanConfig:
                 self.effective_opt_level(), self.grouping, self.backend)
 
 
-def warn_deprecated_kwargs(api: str, names: Sequence[str],
-                           stacklevel: int = 3) -> None:
-    """Emit the single :class:`DeprecationWarning` for one legacy call."""
-    listed = ", ".join(sorted(names))
-    warnings.warn(
-        f"{api}: keyword argument(s) {listed} are deprecated; pass "
-        f"config=ScanConfig(...) instead (legacy kwargs are kept for "
-        f"one release)",
-        DeprecationWarning, stacklevel=stacklevel)
+def reject_legacy_kwargs(api: str, legacy: Mapping[str, object]) -> None:
+    """Refuse the pre-ScanConfig scattered keyword arguments.
 
-
-def resolve_config(api: str, config: Optional[ScanConfig],
-                   legacy: Dict[str, object],
-                   base: Optional[ScanConfig] = None,
-                   stacklevel: int = 4) -> ScanConfig:
-    """Fold deprecated keyword arguments into a :class:`ScanConfig`.
-
-    ``legacy`` maps field names to the values the caller passed, with
-    :data:`UNSET` marking parameters left at their defaults.  When any
-    legacy parameter was passed explicitly, exactly ONE
-    :class:`DeprecationWarning` is emitted for the call, regardless of
-    how many legacy parameters it used.  Explicit legacy values win
-    over ``config`` fields, so half-migrated call sites behave
-    predictably during the deprecation window.
+    PR 2 kept them working for one release behind a
+    ``DeprecationWarning``; that window has closed.  Any legacy
+    keyword now raises :class:`TypeError` with the migration spelled
+    out, so old call sites fail loudly at the call, not with a bare
+    "unexpected keyword argument".
     """
-    explicit = {name: value for name, value in legacy.items()
-                if value is not UNSET}
-    if explicit:
-        warn_deprecated_kwargs(api, explicit, stacklevel=stacklevel)
-    resolved = config if config is not None \
-        else (base if base is not None else ScanConfig())
-    if explicit:
-        resolved = resolved.replace(**explicit)
-    return resolved
+    if not legacy:
+        return
+    listed = ", ".join(sorted(legacy))
+    raise TypeError(
+        f"{api}: keyword argument(s) {listed} were removed; pass "
+        f"config=ScanConfig({listed.replace(', ', '=..., ')}=...) "
+        f"instead, or use the repro.compile()/repro.scan() facade "
+        f"(ScanConfig fields are accepted there as plain keywords)")

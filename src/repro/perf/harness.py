@@ -22,7 +22,7 @@ from ..engines.ngap import NgAPEngine
 from ..gpu.config import RTX_3090, XEON_8562Y, CPUConfig, GPUConfig
 from ..gpu.machine import CTAGeometry
 from ..gpu.metrics import KernelMetrics
-from ..parallel.config import UNSET, ScanConfig, resolve_config
+from ..parallel.config import ScanConfig, reject_legacy_kwargs
 from ..workloads.apps import (ALL_APPS, FULL_INPUT_BYTES, Workload,
                               app_by_name)
 from . import model
@@ -64,24 +64,19 @@ class Harness:
 
     Accepts one :class:`~repro.parallel.ScanConfig` for the scan-side
     knobs (devices, geometry, backend, workers); the individual
-    ``gpu``/``cpu``/``geometry``/``backend`` keyword arguments are
-    deprecated and kept for one release.  The harness-only scaling
+    ``gpu``/``cpu``/``geometry``/``backend`` keyword arguments were
+    removed after their deprecation window.  The harness-only scaling
     policy (``scale``, ``input_bytes``, ``seed``) stays as plain
     keywords — it describes the experiment, not the scan.
     """
 
-    def __init__(self, gpu: GPUConfig = UNSET,
-                 cpu: CPUConfig = UNSET,
-                 geometry: CTAGeometry = UNSET,
-                 scale: float = DEFAULT_SCALE,
+    def __init__(self, scale: float = DEFAULT_SCALE,
                  input_bytes: int = DEFAULT_INPUT_BYTES,
                  seed: int = 0,
-                 backend: str = UNSET,
-                 config: Optional[ScanConfig] = None):
-        config = resolve_config(
-            "Harness", config,
-            {"gpu": gpu, "cpu": cpu, "geometry": geometry,
-             "backend": backend})
+                 config: Optional[ScanConfig] = None, **legacy):
+        reject_legacy_kwargs("Harness", legacy)
+        if config is None:
+            config = ScanConfig()
         # Pin the harness's own defaults for fields the caller left
         # unset, so one config object moves between entry points.
         if config.gpu is None:

@@ -1,0 +1,87 @@
+"""repro.serve — the persistent-engine serving gateway.
+
+The paper's engine amortizes compilation across scans; this package is
+the long-lived process that does the amortizing for many clients at
+once.  A :class:`Gateway` owns a registry of compiled engines keyed by
+``(tenant, fingerprint)`` (:class:`EngineHost`), multiplexes streaming
+match sessions over them, sheds load at a per-tenant high-water mark,
+and degrades to inline serial scans behind a circuit breaker.  The
+:class:`GatewayServer`/:class:`GatewayClient` pair speaks JSONL over
+TCP; ``python -m repro serve`` runs it.
+
+Quickstart (in-process)::
+
+    import asyncio
+    from repro.serve import Gateway
+
+    async def main():
+        gateway = Gateway()
+        report = await gateway.scan("tenant-a", ["a(bc)*d"], data)
+        sid = (await gateway.open_session("tenant-a", ["a(bc)*d"]))
+        ...
+
+Results are bit-identical to serial one-shot scans — the gateway adds
+multiplexing and policy, never a different answer.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "AdmissionController",
+    "BadRequestError",
+    "DeadlineExceededError",
+    "EngineHost",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "GatewayServer",
+    "HostedEngine",
+    "OverloadedError",
+    "ServeConfig",
+    "Session",
+    "SessionLimitError",
+    "UnknownSessionError",
+]
+
+_LAZY = {
+    "AdmissionController": ("admission", "AdmissionController"),
+    "BadRequestError": ("config", "BadRequestError"),
+    "DeadlineExceededError": ("config", "DeadlineExceededError"),
+    "EngineHost": ("host", "EngineHost"),
+    "Gateway": ("gateway", "Gateway"),
+    "GatewayClient": ("server", "GatewayClient"),
+    "GatewayError": ("config", "GatewayError"),
+    "GatewayServer": ("server", "GatewayServer"),
+    "HostedEngine": ("host", "HostedEngine"),
+    "OverloadedError": ("config", "OverloadedError"),
+    "ServeConfig": ("config", "ServeConfig"),
+    "Session": ("session", "Session"),
+    "SessionLimitError": ("config", "SessionLimitError"),
+    "UnknownSessionError": ("config", "UnknownSessionError"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static analysis only
+    from .admission import AdmissionController
+    from .config import (BadRequestError, DeadlineExceededError,
+                         GatewayError, OverloadedError, ServeConfig,
+                         SessionLimitError, UnknownSessionError)
+    from .gateway import Gateway
+    from .host import EngineHost, HostedEngine
+    from .server import GatewayClient, GatewayServer
+    from .session import Session
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,111 @@
+"""Admission control and backpressure accounting.
+
+The gateway serializes each tenant's requests through one lane; this
+module is the bookkeeping in front of that lane.  Every request asks
+for a :class:`Ticket` before it may enqueue.  Past the tenant's
+high-water mark (``ServeConfig.queue_depth``) admission refuses with
+:class:`~repro.serve.config.OverloadedError` — shedding at the door is
+the backpressure signal; an unbounded queue would just convert
+overload into unbounded latency.  Crossing the warning threshold
+(``effective_warn_depth``) bumps a counter operators can alert on
+*before* clients start seeing sheds.
+
+Everything observable is exported through :mod:`repro.obs`:
+
+* ``repro_serve_queue_depth`` gauge, per tenant — admitted requests
+  not yet executing;
+* ``repro_serve_queue_delay_seconds`` histogram — time from admission
+  to the start of execution (the queueing component of latency);
+* ``repro_serve_shed_total`` counter, per tenant — refused admissions;
+* ``repro_serve_queue_warnings_total`` counter, per tenant.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict
+
+from .. import obs
+from .config import OverloadedError, ServeConfig
+
+_REG = obs.registry()
+_DEPTH = _REG.gauge(
+    "repro_serve_queue_depth",
+    "Admitted requests not yet executing, per tenant")
+_DELAY = _REG.histogram(
+    "repro_serve_queue_delay_seconds",
+    "Admission-to-execution queue delay")
+_SHED = _REG.counter(
+    "repro_serve_shed_total",
+    "Requests refused at admission (tenant queue at high-water mark)")
+_WARNINGS = _REG.counter(
+    "repro_serve_queue_warnings_total",
+    "Admissions that crossed the queue-depth warning threshold")
+
+
+@dataclass
+class Ticket:
+    """Proof of admission; carries what delay accounting needs."""
+
+    tenant: str
+    enqueued_at: float
+    #: set by :meth:`AdmissionController.started`
+    queue_delay_s: float = -1.0
+
+
+class AdmissionController:
+    """Per-tenant depth accounting with shed and warn thresholds."""
+
+    def __init__(self, config: ServeConfig):
+        self.config = config
+        self._depths: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.shed = 0
+
+    def try_admit(self, tenant: str) -> Ticket:
+        """Admit one request or raise :class:`OverloadedError`."""
+        warn_depth = self.config.effective_warn_depth()
+        with self._lock:
+            depth = self._depths.get(tenant, 0)
+            if depth >= self.config.queue_depth:
+                self.shed += 1
+                _SHED.inc(tenant=tenant)
+                raise OverloadedError(
+                    f"tenant {tenant!r} queue at high-water mark "
+                    f"({depth}/{self.config.queue_depth}); retry later")
+            depth += 1
+            self._depths[tenant] = depth
+            self.admitted += 1
+            _DEPTH.set(depth, tenant=tenant)
+            if depth >= warn_depth:
+                _WARNINGS.inc(tenant=tenant)
+        return Ticket(tenant=tenant, enqueued_at=time.monotonic())
+
+    def started(self, ticket: Ticket) -> float:
+        """The ticket's request left the queue and is executing now;
+        returns (and records) its queue delay in seconds."""
+        delay = time.monotonic() - ticket.enqueued_at
+        ticket.queue_delay_s = delay
+        _DELAY.observe(delay)
+        with self._lock:
+            depth = max(0, self._depths.get(ticket.tenant, 0) - 1)
+            self._depths[ticket.tenant] = depth
+            _DEPTH.set(depth, tenant=ticket.tenant)
+        return delay
+
+    def depth(self, tenant: str) -> int:
+        with self._lock:
+            return self._depths.get(tenant, 0)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {"admitted": self.admitted,
+                    "shed": self.shed,
+                    "queue_depth": self.config.queue_depth,
+                    "warn_depth": self.config.effective_warn_depth(),
+                    "depths": {tenant: depth
+                               for tenant, depth in self._depths.items()
+                               if depth}}

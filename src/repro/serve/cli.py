@@ -1,0 +1,171 @@
+"""``python -m repro serve`` — run (or self-test) the gateway.
+
+Foreground server::
+
+    python -m repro serve --port 8321 --max-engines 16 --deadline 2.0
+
+Self-test (CI smoke)::
+
+    python -m repro serve --self-test
+
+The self-test starts a server on an ephemeral port, drives a client
+through the full protocol — ping, compile, one-shot scan, a chunked
+streaming session, an error path — and checks the results against an
+inline :func:`repro.scan` of the same input.  Exit code 0 means every
+check passed; 1 means a mismatch or failure, with the reason on
+stderr.  It is the cheapest end-to-end proof that the serving path
+still returns exactly what the engine returns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import List
+
+from ..core.schemes import Scheme
+from ..parallel.config import BACKENDS, EXECUTORS, ScanConfig
+from .config import ServeConfig
+
+SELF_TEST_PATTERNS = ["a(bc)*d", "cat|dog", "[0-9][0-9]"]
+SELF_TEST_DATA = b"abcbcd cat 42 dog abcd and 7 cats, 99 dogs; abcbcbcd"
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Run the persistent-engine matching gateway "
+                    "(JSONL over TCP; see repro.serve).")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="TCP port (0 = ephemeral)")
+    parser.add_argument("--max-engines", type=int, default=8,
+                        help="resident compiled engines before LRU "
+                             "eviction")
+    parser.add_argument("--queue-depth", type=int, default=64,
+                        help="per-tenant admission high-water mark")
+    parser.add_argument("--max-sessions", type=int, default=4096,
+                        help="gateway-wide open-session cap")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="default per-request deadline")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="scan worker shards (1 = serial)")
+    parser.add_argument("--executor", choices=EXECUTORS,
+                        default="process")
+    parser.add_argument("--backend", choices=BACKENDS,
+                        default="simulate")
+    parser.add_argument("--scheme", choices=[s.name for s in Scheme],
+                        default="ZBS")
+    parser.add_argument("--self-test", action="store_true",
+                        help="start on an ephemeral port, run a client "
+                             "round-trip, and exit 0/1")
+    return parser
+
+
+def serve_config_from_args(args) -> ServeConfig:
+    scan = ScanConfig(scheme=Scheme[args.scheme], backend=args.backend,
+                      workers=args.workers, executor=args.executor,
+                      loop_fallback=True)
+    return ServeConfig(max_engines=args.max_engines,
+                       queue_depth=args.queue_depth,
+                       max_sessions=args.max_sessions,
+                       deadline_s=args.deadline,
+                       scan=scan)
+
+
+async def _self_test(config: ServeConfig) -> int:
+    import repro
+    from .server import GatewayClient, GatewayServer
+
+    server = await GatewayServer(config=config, port=0).start()
+    client = await GatewayClient("127.0.0.1", server.port).connect()
+    failures: List[str] = []
+    try:
+        pong = await client.ping()
+        if not pong.get("ok"):
+            failures.append(f"ping failed: {pong}")
+
+        reference = repro.scan(SELF_TEST_PATTERNS, SELF_TEST_DATA,
+                               config=config.scan.serial())
+        expected = {p: list(ends) for p, ends in reference.matches.items()
+                    if ends}
+
+        compiled = await client.request(
+            "compile", tenant="selftest", patterns=SELF_TEST_PATTERNS)
+        if not compiled.get("fingerprint"):
+            failures.append(f"compile returned no fingerprint: {compiled}")
+
+        scanned = await client.scan("selftest", SELF_TEST_PATTERNS,
+                                    SELF_TEST_DATA)
+        got = {int(k): v for k, v in scanned["matches"].items()}
+        if got != expected:
+            failures.append(
+                f"one-shot scan mismatch: {got} != {expected}")
+
+        sid = await client.open_session("selftest", SELF_TEST_PATTERNS)
+        streamed: dict = {}
+        for start in range(0, len(SELF_TEST_DATA), 7):
+            fed = await client.feed("selftest", sid,
+                                    SELF_TEST_DATA[start:start + 7])
+            for k, ends in fed["matches"].items():
+                streamed.setdefault(int(k), []).extend(ends)
+        summary = await client.close_session("selftest", sid)
+        if streamed != expected:
+            failures.append(
+                f"streaming session mismatch: {streamed} != {expected}")
+        if summary.get("matches") != reference.match_count():
+            failures.append(f"session summary mismatch: {summary}")
+
+        try:
+            await client.feed("selftest", "no-such-session", b"x")
+            failures.append("feed to unknown session did not error")
+        except Exception as exc:
+            if getattr(exc, "code", None) != "unknown-session":
+                failures.append(f"wrong error for unknown session: {exc}")
+
+        stats = await client.request("stats")
+        if stats.get("host", {}).get("resident", 0) < 1:
+            failures.append(f"no resident engine after serving: {stats}")
+    finally:
+        await client.close()
+        await server.stop()
+
+    if failures:
+        for failure in failures:
+            print(f"self-test FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"self-test OK: {reference.match_count()} matches, "
+          f"bit-identical over one-shot and streaming paths")
+    return 0
+
+
+async def _serve_forever(config: ServeConfig, host: str,
+                         port: int) -> int:
+    from .server import GatewayServer
+
+    server = await GatewayServer(config=config, host=host,
+                                 port=port).start()
+    print(f"repro serve: listening on {host}:{server.port} "
+          f"(engines<={config.max_engines}, "
+          f"queue<={config.queue_depth}/tenant)")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - shutdown race
+        pass
+    finally:
+        await server.stop()
+    return 0
+
+
+def serve_main(argv: List[str]) -> int:
+    args = build_serve_parser().parse_args(argv)
+    config = serve_config_from_args(args)
+    if args.self_test:
+        return asyncio.run(_self_test(config))
+    try:
+        return asyncio.run(
+            _serve_forever(config, args.host, args.port))
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0

@@ -1,0 +1,122 @@
+"""Gateway configuration and error vocabulary.
+
+One frozen :class:`ServeConfig` describes a gateway the way
+:class:`~repro.parallel.ScanConfig` describes a scan: engine-registry
+capacity, per-tenant admission limits, default deadlines, and the
+circuit-breaker tuning, all validated at construction.  The ``scan``
+field carries the default :class:`ScanConfig` engines are compiled
+with when a request doesn't bring its own.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..parallel.config import ScanConfig
+
+#: wire / exception error codes, stable for clients and dashboards
+OVERLOADED = "overloaded"
+DEADLINE = "deadline"
+UNKNOWN_SESSION = "unknown-session"
+SESSION_LIMIT = "session-limit"
+BAD_REQUEST = "bad-request"
+INTERNAL = "internal"
+
+
+class GatewayError(Exception):
+    """Base of every request-level gateway failure; ``code`` is the
+    stable wire identifier clients branch on."""
+
+    code = INTERNAL
+
+    def __init__(self, message: str = ""):
+        super().__init__(message or self.code)
+
+
+class OverloadedError(GatewayError):
+    """Admission control shed the request: the tenant's queue was at
+    its high-water mark.  Back off and retry."""
+
+    code = OVERLOADED
+
+
+class DeadlineExceededError(GatewayError):
+    """The request's deadline expired before (or while) serving it."""
+
+    code = DEADLINE
+
+
+class UnknownSessionError(GatewayError):
+    """``feed``/``close`` named a session this gateway doesn't hold."""
+
+    code = UNKNOWN_SESSION
+
+
+class SessionLimitError(GatewayError):
+    """The gateway-wide concurrent-session cap was reached."""
+
+    code = SESSION_LIMIT
+
+
+class BadRequestError(GatewayError):
+    """Malformed request (unknown op, missing field, undecodable
+    payload)."""
+
+    code = BAD_REQUEST
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """One object describing how a gateway admits, queues, and serves."""
+
+    #: engine-registry capacity: compiled engines resident across all
+    #: tenants before LRU eviction (:class:`~repro.serve.host.EngineHost`)
+    max_engines: int = 8
+    #: per-tenant queue high-water mark — requests past this depth are
+    #: shed with :class:`OverloadedError` instead of queued
+    queue_depth: int = 64
+    #: queue depth that bumps the warning counter (operators alert on
+    #: it before the shed point); ``None`` = 3/4 of ``queue_depth``
+    warn_depth: Optional[int] = None
+    #: gateway-wide cap on concurrently open streaming sessions
+    max_sessions: int = 4096
+    #: default per-request deadline (seconds) when the request doesn't
+    #: carry one; ``None`` = no deadline
+    deadline_s: Optional[float] = None
+    #: consecutive request failures that open the circuit and degrade
+    #: execution to inline serial scans
+    breaker_threshold: int = 3
+    #: seconds the circuit stays open before a half-open probe
+    breaker_cooldown_s: float = 5.0
+    #: default compile/dispatch configuration for hosted engines
+    scan: ScanConfig = field(default_factory=ScanConfig)
+
+    def __post_init__(self):
+        if self.max_engines < 1:
+            raise ValueError("max_engines must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.warn_depth is not None and \
+                not (0 < self.warn_depth <= self.queue_depth):
+            raise ValueError(
+                "warn_depth must be in (0, queue_depth]")
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s < 0:
+            raise ValueError("breaker_cooldown_s must be >= 0")
+
+    def effective_warn_depth(self) -> int:
+        """The depth that trips the warning counter."""
+        if self.warn_depth is not None:
+            return self.warn_depth
+        return max(1, (self.queue_depth * 3) // 4)
+
+    def replace(self, **changes) -> "ServeConfig":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)

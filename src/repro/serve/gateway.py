@@ -1,0 +1,282 @@
+"""The asyncio gateway.
+
+:class:`Gateway` is the long-lived serving core: it owns the
+persistent engine registry (:class:`~repro.serve.host.EngineHost`),
+the open streaming sessions, and one *lane* per tenant — an asyncio
+queue drained by a dedicated task.  A lane serializes its tenant's
+requests, which is exactly the ordering guarantee streaming sessions
+need (feeds of one session never reorder or interleave mid-chunk),
+while different tenants proceed concurrently.
+
+Request lifecycle::
+
+    admit (shed at high-water)  ->  enqueue on tenant lane
+        ->  dequeue (queue delay observed)
+        ->  deadline check (expired requests answered without scanning)
+        ->  execute  ->  resolve the caller's future
+
+Fault policy reuses :mod:`repro.resilience`: every request carries an
+optional :class:`~repro.resilience.Deadline` (per-request ``deadline_s``
+falling back to ``ServeConfig.deadline_s``), whose remaining budget is
+threaded into the scan's own ``ScanConfig.deadline_s`` so parallel
+dispatch inherits the wait budget.  A gateway-level
+:class:`~repro.resilience.CircuitBreaker` watches request failures;
+while it is open, parallel-configured work degrades to inline serial
+scans — bit-identical results, bounded blast radius.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..parallel.config import ScanConfig
+from ..parallel.report import ScanReport
+from ..resilience import CircuitBreaker, Deadline
+from .admission import AdmissionController, Ticket
+from .config import (DEADLINE, GatewayError, DeadlineExceededError,
+                     ServeConfig, SessionLimitError, UnknownSessionError)
+from .host import EngineHost, HostedEngine
+from .session import Session, next_session_id
+
+_REG = obs.registry()
+_REQUESTS = _REG.counter(
+    "repro_serve_requests_total",
+    "Gateway requests by op and outcome (ok / error code)")
+_REQUEST_SECONDS = _REG.histogram(
+    "repro_serve_request_seconds",
+    "End-to-end gateway request latency (admission to response)")
+_SESSIONS = _REG.gauge(
+    "repro_serve_sessions",
+    "Currently open streaming sessions")
+_DEGRADED = _REG.counter(
+    "repro_serve_degraded_total",
+    "Requests executed serially because the serve breaker was open")
+
+#: sentinel that stops a lane's drain task
+_STOP = object()
+
+#: sentinel distinguishing "no deadline" from "use the config default"
+_DEFAULT = object()
+
+
+class _Lane:
+    """One tenant's serialized execution lane."""
+
+    __slots__ = ("queue", "task")
+
+    def __init__(self, queue: "asyncio.Queue", task: "asyncio.Task"):
+        self.queue = queue
+        self.task = task
+
+
+class Gateway:
+    """Multiplexes tenants' scans and streaming sessions over a
+    registry of persistent compiled engines."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 host: Optional[EngineHost] = None):
+        self.config = config if config is not None else ServeConfig()
+        self.host = host if host is not None else EngineHost(self.config)
+        self.admission = AdmissionController(self.config)
+        self.breaker = CircuitBreaker(
+            "serve", threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s)
+        self._sessions: Dict[str, Tuple[Session, HostedEngine]] = {}
+        self._lanes: Dict[str, _Lane] = {}
+        self._closed = False
+        self.started_at = time.monotonic()
+
+    # -- public ops ---------------------------------------------------------
+
+    async def ping(self) -> Dict[str, object]:
+        """Liveness, no lane, no admission."""
+        return {"ok": True,
+                "uptime_s": round(time.monotonic() - self.started_at, 6)}
+
+    async def compile(self, tenant: str,
+                      patterns: Sequence[Union[str, object]],
+                      config: Optional[ScanConfig] = None,
+                      deadline_s=_DEFAULT) -> Dict[str, object]:
+        """Warm the tenant's engine for ``patterns``; returns its
+        registry entry (fingerprint, compile time, use counts)."""
+
+        def run(deadline: Optional[Deadline]) -> Dict[str, object]:
+            hosted = self.host.acquire(tenant, patterns, config)
+            return hosted.stats()
+
+        return await self._submit(tenant, "compile", run, deadline_s)
+
+    async def scan(self, tenant: str,
+                   patterns: Sequence[Union[str, object]], data: bytes,
+                   config: Optional[ScanConfig] = None,
+                   deadline_s=_DEFAULT) -> ScanReport:
+        """One-shot scan on the tenant's (cached) compiled engine."""
+
+        def run(deadline: Optional[Deadline]) -> ScanReport:
+            hosted = self.host.acquire(tenant, patterns, config)
+            effective = self._execution_config(
+                hosted.matcher.config, deadline)
+            return hosted.matcher.scan(data, config=effective)
+
+        return await self._submit(tenant, "scan", run, deadline_s)
+
+    async def open_session(self, tenant: str,
+                           patterns: Sequence[Union[str, object]],
+                           config: Optional[ScanConfig] = None,
+                           deadline_s=_DEFAULT) -> Dict[str, object]:
+        """Open a streaming session; returns its id and engine
+        fingerprint."""
+
+        def run(deadline: Optional[Deadline]) -> Dict[str, object]:
+            if len(self._sessions) >= self.config.max_sessions:
+                raise SessionLimitError(
+                    f"session limit {self.config.max_sessions} reached")
+            hosted = self.host.acquire(tenant, patterns, config)
+            session = Session(next_session_id(tenant), tenant, hosted)
+            self._sessions[session.id] = (session, hosted)
+            self.host.session_opened(hosted)
+            _SESSIONS.set(len(self._sessions))
+            return {"session": session.id,
+                    "fingerprint": hosted.fingerprint,
+                    "guaranteed_span": session.matcher.guaranteed_span}
+
+        return await self._submit(tenant, "open", run, deadline_s)
+
+    async def feed(self, tenant: str, session_id: str, chunk: bytes,
+                   deadline_s=_DEFAULT) -> ScanReport:
+        """Feed one chunk to an open session; new match ends in global
+        stream coordinates.  Feeds of one session are serialized by
+        the tenant's lane, so chunk order is preserved."""
+
+        def run(deadline: Optional[Deadline]) -> ScanReport:
+            session = self._session_for(tenant, session_id)
+            return session.feed(chunk)
+
+        return await self._submit(tenant, "feed", run, deadline_s)
+
+    async def close_session(self, tenant: str,
+                            session_id: str) -> Dict[str, object]:
+        """Close a session; returns its final summary."""
+
+        def run(deadline: Optional[Deadline]) -> Dict[str, object]:
+            session = self._session_for(tenant, session_id)
+            _, hosted = self._sessions.pop(session_id)
+            self.host.session_closed(hosted)
+            _SESSIONS.set(len(self._sessions))
+            return session.close()
+
+        return await self._submit(tenant, "close", run, None)
+
+    def stats(self) -> Dict[str, object]:
+        return {"uptime_s": round(time.monotonic() - self.started_at, 6),
+                "sessions": len(self._sessions),
+                "tenants": len(self._lanes),
+                "breaker": self.breaker.state(),
+                "admission": self.admission.stats(),
+                "host": self.host.stats()}
+
+    async def close(self) -> None:
+        """Stop every lane and drop open sessions."""
+        self._closed = True
+        lanes = list(self._lanes.values())
+        self._lanes.clear()
+        for lane in lanes:
+            lane.queue.put_nowait(_STOP)
+        for lane in lanes:
+            await lane.task
+        for session, hosted in self._sessions.values():
+            session.close()
+            self.host.session_closed(hosted)
+        self._sessions.clear()
+        _SESSIONS.set(0)
+
+    # -- internals ----------------------------------------------------------
+
+    def _session_for(self, tenant: str, session_id: str) -> Session:
+        entry = self._sessions.get(session_id)
+        if entry is None or entry[0].tenant != tenant:
+            raise UnknownSessionError(
+                f"no open session {session_id!r} for tenant {tenant!r}")
+        return entry[0]
+
+    def _execution_config(self, base: ScanConfig,
+                          deadline: Optional[Deadline]) -> Optional[ScanConfig]:
+        """What the scan actually runs with: the engine's config, the
+        request deadline threaded into the dispatch wait budget, and —
+        when the serve breaker is open — parallel dispatch degraded to
+        inline serial."""
+        config = base
+        if deadline is not None:
+            config = config.replace(
+                deadline_s=max(deadline.remaining(), 1e-6))
+        if config.parallel_enabled() and not self.breaker.allow():
+            config = config.serial()
+            _DEGRADED.inc()
+        return None if config is base else config
+
+    async def _submit(self, tenant: str, op: str, run,
+                      deadline_s=_DEFAULT):
+        if self._closed:
+            raise GatewayError("gateway is closed")
+        budget = self.config.deadline_s if deadline_s is _DEFAULT \
+            else deadline_s
+        try:
+            ticket = self.admission.try_admit(tenant)
+        except GatewayError as exc:
+            _REQUESTS.inc(op=op, outcome=exc.code)
+            raise
+        deadline = Deadline.start(budget)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        lane = self._lane(tenant)
+        lane.queue.put_nowait((ticket, deadline, op, run, future))
+        return await future
+
+    def _lane(self, tenant: str) -> _Lane:
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            queue: "asyncio.Queue" = asyncio.Queue()
+            task = asyncio.get_running_loop().create_task(
+                self._drain(queue))
+            lane = _Lane(queue, task)
+            self._lanes[tenant] = lane
+        return lane
+
+    async def _drain(self, queue: "asyncio.Queue") -> None:
+        """One tenant's worker: pop, account, execute, resolve."""
+        while True:
+            item = await queue.get()
+            if item is _STOP:
+                return
+            ticket, deadline, op, run, future = item
+            self.admission.started(ticket)
+            if future.cancelled():
+                continue
+            try:
+                if deadline is not None and deadline.expired():
+                    raise DeadlineExceededError(
+                        f"deadline expired after "
+                        f"{ticket.queue_delay_s:.3f}s in queue")
+                result = run(deadline)
+            except GatewayError as exc:
+                _REQUESTS.inc(op=op, outcome=exc.code)
+                if exc.code == DEADLINE:
+                    self.breaker.record_failure()
+                future.set_exception(exc)
+            except Exception as exc:
+                _REQUESTS.inc(op=op, outcome="internal")
+                self.breaker.record_failure()
+                future.set_exception(exc)
+            else:
+                _REQUESTS.inc(op=op, outcome="ok")
+                self.breaker.record_success()
+                future.set_result(result)
+            finally:
+                _REQUEST_SECONDS.observe(
+                    time.monotonic() - ticket.enqueued_at)
+                # yield so a same-loop client can observe the result
+                # between back-to-back jobs
+                await asyncio.sleep(0)

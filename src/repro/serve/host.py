@@ -1,0 +1,185 @@
+"""The persistent-engine registry.
+
+Compilation is the cost the paper's engine amortizes across scans;
+:class:`EngineHost` is where a long-lived gateway does the amortizing.
+Engines are compiled at most once per ``(tenant, fingerprint)`` — the
+fingerprint covers the pattern set and every compile-relevant
+:class:`~repro.parallel.ScanConfig` field — kept warm in an LRU
+registry of bounded capacity, and evicted coldest-first when a new
+pattern set needs the slot.
+
+Eviction only drops the *registry's* reference: streaming sessions
+hold their own reference to the hosted engine, so an in-flight session
+keeps matching on an evicted engine until it closes (the registry just
+won't hand it to new sessions — a fresh ``acquire`` recompiles).
+
+Residency and churn are exported through the ``repro_serve_engines``
+gauges and the ``repro_serve_engine_events_total`` counter (hit /
+miss / evict), the signals a capacity dashboard needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .. import obs
+from ..api import Matcher, fingerprint_patterns
+from ..api import compile as compile_patterns
+from ..parallel.config import ScanConfig
+from .config import ServeConfig
+
+_REG = obs.registry()
+_ENGINES = _REG.gauge(
+    "repro_serve_engines",
+    "Hosted-engine registry residency, by state (resident/capacity)")
+_ENGINE_EVENTS = _REG.counter(
+    "repro_serve_engine_events_total",
+    "Engine-registry events: hit, miss (compile), evict")
+_COMPILE_SECONDS = _REG.histogram(
+    "repro_serve_compile_seconds",
+    "Wall time of gateway-triggered engine compilations")
+
+
+@dataclass
+class HostedEngine:
+    """One resident compiled engine plus its serving bookkeeping."""
+
+    tenant: str
+    fingerprint: str
+    matcher: Matcher
+    compiled_s: float
+    #: monotonically increasing acquire count (hits + the miss)
+    uses: int = 0
+    #: streaming sessions currently holding this engine
+    active_sessions: int = 0
+    #: acquire sequence number of the most recent use (LRU ordering is
+    #: the OrderedDict; this is for the stats view)
+    last_use: int = 0
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.tenant, self.fingerprint)
+
+    def stats(self) -> Dict[str, object]:
+        return {"tenant": self.tenant,
+                "fingerprint": self.fingerprint,
+                "patterns": self.matcher.pattern_count,
+                "compiled_s": round(self.compiled_s, 6),
+                "uses": self.uses,
+                "active_sessions": self.active_sessions}
+
+
+class EngineHost:
+    """Compile-once, keep-warm, evict-LRU registry of matchers."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config if config is not None else ServeConfig()
+        self._engines: "OrderedDict[Tuple[str, str], HostedEngine]" = \
+            OrderedDict()
+        self._lock = threading.Lock()
+        self._acquires = 0
+        _ENGINES.set(self.config.max_engines, state="capacity")
+        _ENGINES.set(0, state="resident")
+
+    # -- the one entry point -----------------------------------------------
+
+    def acquire(self, tenant: str,
+                patterns: Sequence[Union[str, object]],
+                config: Optional[ScanConfig] = None) -> HostedEngine:
+        """The hosted engine for ``(tenant, patterns, config)`` —
+        compiled now on first use, reused warm afterwards."""
+        scan_config = config if config is not None else self.config.scan
+        fingerprint = fingerprint_patterns(patterns, scan_config)
+        key = (tenant, fingerprint)
+        with self._lock:
+            self._acquires += 1
+            hosted = self._engines.get(key)
+            if hosted is not None:
+                self._engines.move_to_end(key)
+                hosted.uses += 1
+                hosted.last_use = self._acquires
+                _ENGINE_EVENTS.inc(event="hit")
+                return hosted
+        # Compile outside the lock: a slow compile must not block
+        # hits on other pattern sets.  A racing acquire of the same
+        # key may compile twice; the second insert wins the slot and
+        # both callers hold working engines.
+        begin = time.perf_counter()
+        matcher = compile_patterns(patterns, config=scan_config)
+        elapsed = time.perf_counter() - begin
+        _COMPILE_SECONDS.observe(elapsed)
+        _ENGINE_EVENTS.inc(event="miss")
+        hosted = HostedEngine(tenant=tenant, fingerprint=fingerprint,
+                              matcher=matcher, compiled_s=elapsed)
+        hosted.uses = 1
+        with self._lock:
+            hosted.last_use = self._acquires
+            self._engines[key] = hosted
+            self._engines.move_to_end(key)
+            self._evict_over_capacity()
+            _ENGINES.set(len(self._engines), state="resident")
+        return hosted
+
+    def _evict_over_capacity(self) -> None:
+        """Caller holds the lock.  Engines with live sessions are
+        skipped — evicting them would only delay their release — unless
+        *everything* is live, in which case the coldest goes anyway so
+        the registry cannot grow without bound."""
+        while len(self._engines) > self.config.max_engines:
+            # never the most-recent entry: that is the engine the
+            # current acquire is about to hand out
+            candidates = list(self._engines)[:-1]
+            victim_key = next(
+                (key for key in candidates
+                 if self._engines[key].active_sessions == 0),
+                candidates[0])
+            del self._engines[victim_key]
+            _ENGINE_EVENTS.inc(event="evict")
+
+    # -- session refcounting ------------------------------------------------
+
+    def session_opened(self, hosted: HostedEngine) -> None:
+        with self._lock:
+            hosted.active_sessions += 1
+
+    def session_closed(self, hosted: HostedEngine) -> None:
+        with self._lock:
+            hosted.active_sessions = max(0, hosted.active_sessions - 1)
+
+    # -- introspection ------------------------------------------------------
+
+    def resident(self) -> List[Tuple[str, str]]:
+        """(tenant, fingerprint) keys, coldest first."""
+        with self._lock:
+            return list(self._engines)
+
+    def get(self, tenant: str,
+            fingerprint: str) -> Optional[HostedEngine]:
+        """Registry lookup without LRU side effects (tests, stats)."""
+        with self._lock:
+            return self._engines.get((tenant, fingerprint))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._engines)
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "capacity": self.config.max_engines,
+                "resident": len(self._engines),
+                "acquires": self._acquires,
+                "engines": [hosted.stats()
+                            for hosted in self._engines.values()],
+            }
+
+    def clear(self) -> None:
+        """Drop every resident engine (test isolation / reload)."""
+        with self._lock:
+            self._engines.clear()
+            _ENGINES.set(0, state="resident")

@@ -10,6 +10,7 @@ from repro.backend import (compile_group, dispatch_programs,
                            dispatch_streams, compile_program)
 from repro.core.engine import BitGenEngine
 from repro.core.schemes import Scheme
+from repro.parallel.config import ScanConfig
 from repro.ir.interpreter import Interpreter
 from repro.ir.lower import lower_group
 from repro.regex.parser import parse
@@ -84,9 +85,10 @@ def test_batched_outputs_are_independent_copies():
 @pytest.mark.parametrize("scheme", [Scheme.BASE, Scheme.DTM, Scheme.ZBS])
 def test_engine_backend_equivalence(scheme):
     patterns = ["ab", "a(b|c)*d", "x{2,4}y", "cat", "dog", "[ab]c"]
-    simulate = BitGenEngine.compile(patterns, scheme=scheme)
-    compiled = BitGenEngine.compile(patterns, scheme=scheme,
-                                    backend="compiled")
+    simulate = BitGenEngine.compile(patterns,
+                                    config=ScanConfig(scheme=scheme))
+    compiled = BitGenEngine.compile(
+        patterns, config=ScanConfig(scheme=scheme, backend="compiled"))
     assert simulate.match(DATA).ends == compiled.match(DATA).ends
 
 
@@ -94,7 +96,8 @@ def test_engine_match_many_backend_equivalence():
     patterns = ["ab", "a(b|c)*d", "cat"]
     streams = [DATA, DATA[:100], b"", DATA[:100]]
     simulate = BitGenEngine.compile(patterns)
-    compiled = BitGenEngine.compile(patterns, backend="compiled")
+    compiled = BitGenEngine.compile(
+        patterns, config=ScanConfig(backend="compiled"))
     for left, right in zip(simulate.match_many(streams),
                            compiled.match_many(streams)):
         assert left.ends == right.ends

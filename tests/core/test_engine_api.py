@@ -8,6 +8,7 @@ from repro.core.barriers import plan_barriers
 from repro.core.rebalance import rebalance_program
 from repro.gpu.machine import CTAGeometry
 from repro.ir.lower import lower_regex
+from repro.parallel.config import ScanConfig
 from repro.regex.parser import parse
 
 
@@ -64,14 +65,16 @@ def test_engine_accepts_ast_nodes():
 
 def test_engine_pattern_indices_stable_across_grouping():
     patterns = [f"{c}x" for c in "abcdefgh"]
-    engine = BitGenEngine.compile(patterns, cta_count=3)
+    engine = BitGenEngine.compile(patterns,
+                                  config=ScanConfig(cta_count=3))
     result = engine.match(b"ax bx cx dx ex fx gx hx")
     for index in range(len(patterns)):
         assert len(result.ends[index]) == 1, patterns[index]
 
 
 def test_engine_metrics_per_cta():
-    engine = BitGenEngine.compile(["ab", "cd", "ef"], cta_count=3)
+    engine = BitGenEngine.compile(["ab", "cd", "ef"],
+                                  config=ScanConfig(cta_count=3))
     result = engine.match(b"ab cd ef" * 10)
     assert len(result.cta_metrics) == len(engine.groups)
     assert result.metrics.thread_word_ops == sum(
@@ -80,7 +83,8 @@ def test_engine_metrics_per_cta():
 
 def test_engine_scheme_selection():
     for scheme in Scheme:
-        engine = BitGenEngine.compile(["abc"], scheme=scheme)
+        engine = BitGenEngine.compile(["abc"],
+                                      config=ScanConfig(scheme=scheme))
         assert engine.match(b"abc").ends[0] == [2]
 
 
@@ -100,8 +104,10 @@ def test_empty_matches_result():
 
 
 def test_same_matches_comparison():
-    a = BitGenEngine.compile(["ab"], scheme=Scheme.BASE).match(b"abab")
-    b = BitGenEngine.compile(["ab"], scheme=Scheme.ZBS).match(b"abab")
+    a = BitGenEngine.compile(
+        ["ab"], config=ScanConfig(scheme=Scheme.BASE)).match(b"abab")
+    b = BitGenEngine.compile(
+        ["ab"], config=ScanConfig(scheme=Scheme.ZBS)).match(b"abab")
     assert a.same_matches(b)
 
 
@@ -148,7 +154,8 @@ def test_render_module_dispatch():
 
 
 def test_engine_render_kernels():
-    engine = BitGenEngine.compile(["abc", "a(bc)*d"], cta_count=2)
+    engine = BitGenEngine.compile(["abc", "a(bc)*d"],
+                                  config=ScanConfig(cta_count=2))
     source = engine.render_kernels()
     assert source.count("__device__") == len(engine.groups)
 

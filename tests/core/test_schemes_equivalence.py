@@ -12,6 +12,7 @@ from hypothesis import strategies as st
 from repro.core import SCHEME_LADDER, BitGenEngine, Scheme
 from repro.gpu.machine import CTAGeometry
 from repro.ir.interpreter import run_regexes
+from repro.parallel.config import ScanConfig
 
 from ..conftest import random_text
 
@@ -29,8 +30,9 @@ def reference(patterns, data):
 
 
 def run_scheme(patterns, data, scheme, geometry, **options):
-    engine = BitGenEngine.compile(patterns, scheme=scheme,
-                                  geometry=geometry, **options)
+    engine = BitGenEngine.compile(
+        patterns, config=ScanConfig(scheme=scheme, geometry=geometry,
+                                    **options))
     return engine.match(data)
 
 

@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 from repro.core import BitGenEngine
 from repro.core.streaming import StreamingMatcher
 from repro.gpu.machine import CTAGeometry
+from repro.parallel.config import ScanConfig
 
 from ..conftest import random_text
 
@@ -30,14 +31,16 @@ def one_shot(engine, data):
 
 
 def test_single_feed_equals_one_shot():
-    engine = BitGenEngine.compile(["cat", "ab+c"], geometry=TINY)
+    engine = BitGenEngine.compile(["cat", "ab+c"],
+                                  config=ScanConfig(geometry=TINY))
     matcher = StreamingMatcher(engine)
     data = b"a cat abbbc cat"
     assert matcher.feed(data) == one_shot(engine, data)
 
 
 def test_boundary_straddling_match_found():
-    engine = BitGenEngine.compile(["needle"], geometry=TINY)
+    engine = BitGenEngine.compile(["needle"],
+                                  config=ScanConfig(geometry=TINY))
     matcher = StreamingMatcher(engine)
     first = matcher.feed(b"hay nee")
     second = matcher.feed(b"dle hay")
@@ -46,7 +49,8 @@ def test_boundary_straddling_match_found():
 
 
 def test_no_duplicate_reports_across_chunks():
-    engine = BitGenEngine.compile(["aa"], geometry=TINY)
+    engine = BitGenEngine.compile(["aa"],
+                                  config=ScanConfig(geometry=TINY))
     matcher = StreamingMatcher(engine)
     totals = matcher.feed_all([b"aaa", b"aaa"])
     reference = one_shot(engine, b"aaaaaa")
@@ -54,7 +58,8 @@ def test_no_duplicate_reports_across_chunks():
 
 
 def test_stream_position_tracks_bytes():
-    engine = BitGenEngine.compile(["x"], geometry=TINY)
+    engine = BitGenEngine.compile(["x"],
+                                  config=ScanConfig(geometry=TINY))
     matcher = StreamingMatcher(engine)
     matcher.feed(b"abc")
     matcher.feed(b"defgh")
@@ -63,21 +68,28 @@ def test_stream_position_tracks_bytes():
 
 @pytest.mark.slow
 def test_guaranteed_span_from_bounded_patterns():
-    engine = BitGenEngine.compile(["a{300}b{300}"], geometry=TINY)
-    matcher = StreamingMatcher(engine, max_tail_bytes=8192)
+    engine = BitGenEngine.compile(["a{300}b{300}"],
+                                  config=ScanConfig(geometry=TINY))
+    matcher = StreamingMatcher(engine,
+                               config=ScanConfig(geometry=TINY,
+                                                 max_tail_bytes=8192))
     assert matcher.guaranteed_span >= 600
     assert not matcher.has_unbounded
 
 
 def test_unbounded_patterns_use_cap():
-    engine = BitGenEngine.compile(["a(bc)*d"], geometry=TINY)
-    matcher = StreamingMatcher(engine, max_tail_bytes=512)
+    engine = BitGenEngine.compile(["a(bc)*d"],
+                                  config=ScanConfig(geometry=TINY))
+    matcher = StreamingMatcher(engine,
+                               config=ScanConfig(geometry=TINY,
+                                                 max_tail_bytes=512))
     assert matcher.has_unbounded
     assert matcher.guaranteed_span == 512
 
 
 def test_reset():
-    engine = BitGenEngine.compile(["ab"], geometry=TINY)
+    engine = BitGenEngine.compile(["ab"],
+                                  config=ScanConfig(geometry=TINY))
     matcher = StreamingMatcher(engine)
     matcher.feed(b"ab")
     matcher.reset()
@@ -93,8 +105,8 @@ def test_chunked_equals_one_shot_property(seed, sizes):
     rng = random.Random(seed)
     patterns = ["cat", "ab+c", "x(yz)*w", "[0-9]{2}"]
     data = random_text(rng, rng.randrange(0, 100), "abcxyzw019 t")
-    engine = BitGenEngine.compile(patterns, geometry=TINY,
-                                  loop_fallback=True)
+    engine = BitGenEngine.compile(
+        patterns, config=ScanConfig(geometry=TINY, loop_fallback=True))
     matcher = StreamingMatcher(engine)
     streamed = matcher.feed_all(chunked(data, sizes))
     reference = one_shot(engine, data)
@@ -104,7 +116,8 @@ def test_chunked_equals_one_shot_property(seed, sizes):
 
 
 def test_long_stream_many_small_chunks():
-    engine = BitGenEngine.compile(["virus[0-9]"], geometry=TINY)
+    engine = BitGenEngine.compile(["virus[0-9]"],
+                                  config=ScanConfig(geometry=TINY))
     matcher = StreamingMatcher(engine)
     payload = (b"x" * 97 + b"virus7") * 20
     streamed = []

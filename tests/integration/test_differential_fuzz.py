@@ -18,6 +18,7 @@ from repro.core import BitGenEngine, Scheme
 from repro.automata.nfa import match_ends
 from repro.gpu.machine import CTAGeometry
 from repro.ir.interpreter import run_regexes
+from repro.parallel.config import ScanConfig
 from repro.regex import ast
 from repro.regex.charclass import CharClass
 
@@ -73,8 +74,9 @@ def test_three_way_differential(seed):
     assert interpreter_ends == nfa_ends, \
         f"bitstream vs NFA disagree: {node!r} on {data!r}"
 
-    engine = BitGenEngine.compile([node], scheme=Scheme.ZBS,
-                                  geometry=TINY, loop_fallback=True)
+    engine = BitGenEngine.compile(
+        [node], config=ScanConfig(scheme=Scheme.ZBS, geometry=TINY,
+                                  loop_fallback=True))
     assert engine.match(data).ends[0] == interpreter_ends, \
         f"interleaved vs interpreter disagree: {node!r} on {data!r}"
 
@@ -85,8 +87,9 @@ def test_multi_pattern_differential(seed):
     rng = random.Random(seed)
     nodes = [random_regex(rng, depth=2) for _ in range(4)]
     data = random_input(rng)
-    engine = BitGenEngine.compile(nodes, scheme=Scheme.SR, geometry=TINY,
-                                  cta_count=2, loop_fallback=True)
+    engine = BitGenEngine.compile(
+        nodes, config=ScanConfig(scheme=Scheme.SR, geometry=TINY,
+                                 cta_count=2, loop_fallback=True))
     result = engine.match(data)
     expected = run_regexes(nodes, data)
     for index in range(len(nodes)):

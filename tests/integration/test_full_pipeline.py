@@ -7,6 +7,7 @@ import pytest
 from repro.core import SCHEME_LADDER, BitGenEngine, Scheme
 from repro.engines import HyperscanEngine, ICgrepEngine, NgAPEngine
 from repro.gpu.machine import CTAGeometry
+from repro.parallel.config import ScanConfig
 from repro.workloads import ALL_APPS, app_by_name
 
 SMALL = CTAGeometry(threads=16, word_bits=8)
@@ -20,8 +21,9 @@ def test_every_app_every_engine_agrees(app):
     report identical matches on a scaled workload."""
     workload = app.build(scale=0.005, seed=11)
     data = workload.data[:6000]
-    reference = BitGenEngine.compile(workload.nodes, geometry=SMALL,
-                                     loop_fallback=True).match(data)
+    reference = BitGenEngine.compile(
+        workload.nodes, config=ScanConfig(geometry=SMALL,
+                                          loop_fallback=True)).match(data)
     for cls in (NgAPEngine, ICgrepEngine):
         other = cls.compile(workload.nodes).match(data)
         assert reference.same_matches(other), \
@@ -39,9 +41,10 @@ def test_scheme_ladder_on_real_workloads(app):
     data = workload.data[:5000]
     results = []
     for scheme in SCHEME_LADDER:
-        engine = BitGenEngine.compile(workload.nodes, scheme=scheme,
-                                      geometry=SMALL, cta_count=3,
-                                      loop_fallback=True)
+        engine = BitGenEngine.compile(
+            workload.nodes,
+            config=ScanConfig(scheme=scheme, geometry=SMALL, cta_count=3,
+                              loop_fallback=True))
         results.append(engine.match(data))
     for other in results[1:]:
         assert results[0].same_matches(other)
@@ -49,7 +52,8 @@ def test_scheme_ladder_on_real_workloads(app):
 
 def test_incremental_compile_and_rematch():
     """One engine, many inputs: compile once, match repeatedly."""
-    engine = BitGenEngine.compile(["ab+c", "xyz"], geometry=SMALL)
+    engine = BitGenEngine.compile(["ab+c", "xyz"],
+                                  config=ScanConfig(geometry=SMALL))
     rng = random.Random(4)
     for _ in range(8):
         data = bytes(rng.choice(b"abcxyz ") for _ in range(300))
@@ -60,7 +64,8 @@ def test_incremental_compile_and_rematch():
 
 def test_kernel_source_emitted_for_real_workload():
     workload = app_by_name("TCP").build(scale=0.01, seed=2)
-    engine = BitGenEngine.compile(workload.nodes, cta_count=2)
+    engine = BitGenEngine.compile(workload.nodes,
+                                  config=ScanConfig(cta_count=2))
     source = engine.render_kernels()
     assert source.count("__device__") == len(engine.groups)
     assert "__syncthreads" in source
@@ -68,8 +73,8 @@ def test_kernel_source_emitted_for_real_workload():
 
 def test_metrics_are_internally_consistent():
     workload = app_by_name("Yara").build(scale=0.005, seed=5)
-    engine = BitGenEngine.compile(workload.nodes, geometry=SMALL,
-                                  cta_count=3)
+    engine = BitGenEngine.compile(
+        workload.nodes, config=ScanConfig(geometry=SMALL, cta_count=3))
     result = engine.match(workload.data[:4000])
     metrics = result.metrics
     assert metrics.blocks_processed > 0

@@ -1,36 +1,26 @@
-"""ScanConfig: validation, legacy-kwarg resolution, deprecation policy.
+"""ScanConfig: validation and the post-deprecation legacy-kwarg policy.
 
 The API contract under test: every entry point accepts one ScanConfig;
-the old scattered kwargs keep working for one release and emit exactly
-ONE DeprecationWarning per call, no matter how many legacy kwargs the
-call used; legacy kwargs and the equivalent ScanConfig produce
-identical engines.
+the pre-ScanConfig scattered kwargs (deprecated for one release in
+PR 2) are now rejected outright with a TypeError that spells out the
+migration, so stale call sites fail loudly at the call site.
 """
 
 from __future__ import annotations
 
-import warnings
-
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.core.engine import BitGenEngine
 from repro.core.schemes import Scheme
 from repro.core.streaming import StreamingMatcher
 from repro.gpu.machine import CTAGeometry
 from repro.parallel.config import (BACKENDS, EXECUTORS, SHARD_POLICIES,
-                                   UNSET, ScanConfig, resolve_config)
+                                   ScanConfig, reject_legacy_kwargs)
 from repro.perf.harness import Harness
 
 TINY = CTAGeometry(threads=4, word_bits=8)
 
 PATTERNS = ["a(bc)*d", "cat|dog"]
-
-
-def deprecations(record) -> list:
-    return [w for w in record if issubclass(w.category,
-                                            DeprecationWarning)]
 
 
 # -- validation --------------------------------------------------------------
@@ -82,127 +72,71 @@ def test_compile_key_excludes_dispatch_knobs():
         base.replace(merge_size=4).compile_key()
 
 
-# -- resolve_config ----------------------------------------------------------
+# -- legacy kwargs are rejected with a migration hint ------------------------
 
 
-def test_resolve_explicit_legacy_wins_over_config():
-    config = ScanConfig(merge_size=8)
-    with pytest.warns(DeprecationWarning):
-        resolved = resolve_config("api", config, {"merge_size": 4},
-                                  stacklevel=2)
-    assert resolved.merge_size == 4
+def test_reject_legacy_kwargs_no_op_on_empty():
+    reject_legacy_kwargs("api", {})     # must not raise
 
 
-def test_resolve_unset_legacy_keeps_config():
-    config = ScanConfig(merge_size=4)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        resolved = resolve_config("api", config, {"merge_size": UNSET})
-    assert resolved.merge_size == 4
+def test_reject_legacy_kwargs_message_names_fields():
+    with pytest.raises(TypeError) as exc:
+        reject_legacy_kwargs("SomeAPI", {"merge_size": 4, "scheme": 1})
+    message = str(exc.value)
+    assert "SomeAPI" in message
+    assert "merge_size" in message and "scheme" in message
+    assert "ScanConfig" in message          # the migration hint
 
 
-def test_resolve_base_fallback():
-    base = ScanConfig(merge_size=2)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        resolved = resolve_config("api", None, {"merge_size": UNSET},
-                                  base=base)
-    assert resolved is base
-
-
-# -- exactly one warning per legacy call ------------------------------------
-
-
-def test_engine_legacy_kwargs_warn_exactly_once():
-    with pytest.warns(DeprecationWarning) as record:
+def test_engine_legacy_kwargs_raise():
+    with pytest.raises(TypeError) as exc:
         BitGenEngine.compile(PATTERNS, scheme=Scheme.SR, geometry=TINY,
                              merge_size=4, loop_fallback=True)
-    assert len(deprecations(record)) == 1
-    message = str(deprecations(record)[0].message)
+    message = str(exc.value)
     assert "BitGenEngine.compile" in message
+    assert "ScanConfig" in message
     for name in ("scheme", "geometry", "merge_size", "loop_fallback"):
         assert name in message
 
 
-def test_engine_config_path_is_warning_free():
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        engine = BitGenEngine.compile(
-            PATTERNS, config=ScanConfig(scheme=Scheme.SR, geometry=TINY,
-                                        merge_size=4,
-                                        loop_fallback=True))
+def test_engine_config_path_works():
+    engine = BitGenEngine.compile(
+        PATTERNS, config=ScanConfig(scheme=Scheme.SR, geometry=TINY,
+                                    merge_size=4,
+                                    loop_fallback=True))
     assert engine.scheme is Scheme.SR
 
 
-def test_streaming_legacy_kwarg_warns_exactly_once():
+def test_streaming_legacy_kwarg_raises():
     engine = BitGenEngine.compile(PATTERNS,
                                   config=ScanConfig(geometry=TINY))
-    with pytest.warns(DeprecationWarning) as record:
-        matcher = StreamingMatcher(engine, max_tail_bytes=512)
-    assert len(deprecations(record)) == 1
-    assert "StreamingMatcher" in str(deprecations(record)[0].message)
-    assert matcher.config.max_tail_bytes == 512
+    with pytest.raises(TypeError) as exc:
+        StreamingMatcher(engine, max_tail_bytes=512)
+    assert "StreamingMatcher" in str(exc.value)
+    assert "max_tail_bytes" in str(exc.value)
 
 
 def test_streaming_inherits_engine_config_silently():
     engine = BitGenEngine.compile(
         PATTERNS, config=ScanConfig(geometry=TINY, max_tail_bytes=777))
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        matcher = StreamingMatcher(engine)
+    matcher = StreamingMatcher(engine)
     assert matcher.config.max_tail_bytes == 777
 
 
-def test_harness_legacy_kwarg_warns_exactly_once():
-    with pytest.warns(DeprecationWarning) as record:
-        harness = Harness(backend="compiled")
-    assert len(deprecations(record)) == 1
-    assert "Harness" in str(deprecations(record)[0].message)
-    assert harness.backend == "compiled"
+def test_harness_legacy_kwarg_raises():
+    with pytest.raises(TypeError) as exc:
+        Harness(backend="compiled")
+    assert "Harness" in str(exc.value)
+    assert "backend" in str(exc.value)
 
 
 def test_harness_config_pins_device_defaults():
     from repro.gpu.config import RTX_3090, XEON_8562Y
 
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        harness = Harness(config=ScanConfig())
+    harness = Harness(config=ScanConfig())
     assert harness.gpu is RTX_3090
     assert harness.cpu is XEON_8562Y
     assert harness.geometry is not None
-
-
-# -- legacy kwargs and ScanConfig build identical engines --------------------
-
-
-SCHEMES = st.sampled_from(list(Scheme))
-
-
-@settings(max_examples=25, deadline=None)
-@given(scheme=SCHEMES,
-       merge_size=st.integers(min_value=1, max_value=8),
-       interval_size=st.integers(min_value=1, max_value=8),
-       loop_fallback=st.booleans())
-def test_legacy_and_config_compile_identical_engines(
-        scheme, merge_size, interval_size, loop_fallback):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        legacy = BitGenEngine.compile(
-            PATTERNS, scheme=scheme, geometry=TINY,
-            merge_size=merge_size, interval_size=interval_size,
-            loop_fallback=loop_fallback)
-    modern = BitGenEngine.compile(
-        PATTERNS, config=ScanConfig(scheme=scheme, geometry=TINY,
-                                    merge_size=merge_size,
-                                    interval_size=interval_size,
-                                    loop_fallback=loop_fallback))
-    assert legacy.config == modern.config
-    assert legacy.config.compile_key() == modern.config.compile_key()
-    assert legacy.render_kernels() == modern.render_kernels()
-    data = b"abcbcd cat dog abcd"
-    left, right = legacy.match(data), modern.match(data)
-    assert left.ends == right.ends
-    assert left.metrics == right.metrics
 
 
 # -- optimizer and dispatch-threshold knobs ----------------------------------

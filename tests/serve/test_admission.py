@@ -1,0 +1,86 @@
+"""Admission control: depth accounting, shedding, warning threshold.
+
+Contract: admission is the only backpressure mechanism — past the
+high-water mark requests are refused with OverloadedError (never
+queued), the warning counter fires before the shed point, and depth
+accounting returns to zero once everything admitted has started.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.serve import OverloadedError, ServeConfig
+from repro.serve.admission import AdmissionController
+
+
+def controller(**changes) -> AdmissionController:
+    return AdmissionController(ServeConfig(**changes))
+
+
+def test_admits_up_to_queue_depth_then_sheds():
+    admission = controller(queue_depth=3)
+    tickets = [admission.try_admit("t") for _ in range(3)]
+    assert admission.depth("t") == 3
+    with pytest.raises(OverloadedError) as exc:
+        admission.try_admit("t")
+    assert exc.value.code == "overloaded"
+    assert "high-water" in str(exc.value)
+    # draining one slot re-opens admission
+    admission.started(tickets[0])
+    assert admission.depth("t") == 2
+    admission.try_admit("t")
+
+
+def test_tenants_are_isolated():
+    admission = controller(queue_depth=2)
+    admission.try_admit("a")
+    admission.try_admit("a")
+    with pytest.raises(OverloadedError):
+        admission.try_admit("a")
+    # tenant b still has a full queue of its own
+    admission.try_admit("b")
+    assert admission.depth("b") == 1
+
+
+def test_shed_counter_and_stats():
+    admission = controller(queue_depth=1)
+    shed_before = obs.registry().counter(
+        "repro_serve_shed_total").value(tenant="shed-tenant") or 0
+    admission.try_admit("shed-tenant")
+    for _ in range(4):
+        with pytest.raises(OverloadedError):
+            admission.try_admit("shed-tenant")
+    stats = admission.stats()
+    assert stats["admitted"] == 1
+    assert stats["shed"] == 4
+    assert obs.registry().counter("repro_serve_shed_total").value(
+        tenant="shed-tenant") == shed_before + 4
+
+
+def test_warning_threshold_fires_before_shed():
+    admission = controller(queue_depth=4, warn_depth=2)
+    counter = obs.registry().counter(
+        "repro_serve_queue_warnings_total")
+    before = counter.value(tenant="warn-tenant") or 0
+    admission.try_admit("warn-tenant")          # depth 1: quiet
+    assert (counter.value(tenant="warn-tenant") or 0) == before
+    admission.try_admit("warn-tenant")          # depth 2: warns
+    admission.try_admit("warn-tenant")          # depth 3: warns
+    assert counter.value(tenant="warn-tenant") == before + 2
+
+
+def test_started_records_queue_delay():
+    admission = controller()
+    ticket = admission.try_admit("t")
+    delay = admission.started(ticket)
+    assert delay >= 0
+    assert ticket.queue_delay_s == delay
+
+
+def test_default_warn_depth_is_three_quarters():
+    assert ServeConfig(queue_depth=64).effective_warn_depth() == 48
+    assert ServeConfig(queue_depth=1).effective_warn_depth() == 1
+    assert ServeConfig(queue_depth=8,
+                       warn_depth=5).effective_warn_depth() == 5

@@ -1,0 +1,103 @@
+"""The engine registry: compile-once, LRU eviction, session safety.
+
+Contract: one compile per (tenant, fingerprint); eviction is LRU over
+a bounded capacity but never prefers an engine with live streaming
+sessions; residency is visible through the repro_serve_engines gauge.
+"""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.gpu.machine import CTAGeometry
+from repro.parallel.config import ScanConfig
+from repro.serve import EngineHost, ServeConfig
+
+TINY = CTAGeometry(threads=4, word_bits=8)
+CONFIG = ScanConfig(geometry=TINY)
+
+SET_A = ["a(bc)*d"]
+SET_B = ["cat|dog"]
+SET_C = ["[0-9][0-9]"]
+
+
+def host(max_engines=8) -> EngineHost:
+    return EngineHost(ServeConfig(max_engines=max_engines, scan=CONFIG))
+
+
+def test_acquire_compiles_once_per_fingerprint():
+    registry = host()
+    first = registry.acquire("t", SET_A)
+    second = registry.acquire("t", SET_A)
+    assert first is second
+    assert first.matcher is second.matcher
+    assert first.uses == 2
+    assert len(registry) == 1
+
+
+def test_tenants_get_separate_engines_for_same_patterns():
+    registry = host()
+    a = registry.acquire("alice", SET_A)
+    b = registry.acquire("bob", SET_A)
+    assert a is not b
+    assert a.fingerprint == b.fingerprint      # same compiled identity
+    assert len(registry) == 2
+
+
+def test_config_changes_the_fingerprint():
+    registry = host()
+    a = registry.acquire("t", SET_A)
+    b = registry.acquire("t", SET_A, CONFIG.replace(merge_size=4))
+    assert a.fingerprint != b.fingerprint
+    # dispatch-only knobs do not: same compiled artefact is reused
+    c = registry.acquire("t", SET_A, CONFIG.replace(workers=4))
+    assert c is a
+
+
+def test_lru_eviction_at_capacity():
+    registry = host(max_engines=2)
+    events = obs.registry().counter("repro_serve_engine_events_total")
+    evicted_before = events.value(event="evict") or 0
+    registry.acquire("t", SET_A)
+    registry.acquire("t", SET_B)
+    registry.acquire("t", SET_A)               # A is now the warm one
+    registry.acquire("t", SET_C)               # evicts B (coldest)
+    assert len(registry) == 2
+    keys = registry.resident()
+    fingerprints = {fp for _, fp in keys}
+    assert registry.acquire("t", SET_A).fingerprint in fingerprints
+    assert events.value(event="evict") == evicted_before + 1
+    # gauge tracks residency
+    assert obs.registry().gauge("repro_serve_engines").value(
+        state="resident") == 2
+
+
+def test_eviction_skips_engines_with_live_sessions():
+    registry = host(max_engines=2)
+    a = registry.acquire("t", SET_A)
+    registry.session_opened(a)                 # a is streaming
+    registry.acquire("t", SET_B)               # a is now coldest
+    registry.acquire("t", SET_C)               # must evict B, not A
+    assert registry.get("t", a.fingerprint) is a
+    registry.session_closed(a)
+    assert a.active_sessions == 0
+
+
+def test_eviction_falls_back_when_everything_is_live():
+    registry = host(max_engines=1)
+    a = registry.acquire("t", SET_A)
+    registry.session_opened(a)
+    registry.acquire("t", SET_B)               # a evicted despite session
+    assert len(registry) == 1
+    assert registry.get("t", a.fingerprint) is None
+    # the session's own reference keeps the evicted engine usable
+    assert a.matcher.scan(b"abcd").match_count() == 1
+
+
+def test_stats_and_clear():
+    registry = host()
+    registry.acquire("t", SET_A)
+    stats = registry.stats()
+    assert stats["resident"] == 1
+    assert stats["engines"][0]["patterns"] == 1
+    registry.clear()
+    assert len(registry) == 0
