@@ -28,8 +28,9 @@ from .regex import CharClass, parse
 __all__ = [
     "BitGenEngine", "BitVector", "CharClass", "Interpreter", "MatchResult",
     "Matcher", "ScanConfig", "ScanReport", "Scheme", "StreamingMatcher",
-    "compile", "lower_group", "lower_regex", "match_positions", "obs",
-    "parse", "run_regexes", "scan", "serve", "transpose",
+    "compile", "load_patterns_file", "lower_group", "lower_regex",
+    "match_positions", "obs", "parse", "run_regexes", "scan", "serve",
+    "transpose",
 ]
 
 #: lazily imported top-level names (heavier subsystems stay off the
@@ -43,6 +44,7 @@ _LAZY = {
     "StreamingMatcher": ("core.streaming", "StreamingMatcher"),
     "Scheme": ("core.schemes", "Scheme"),
     "compile": ("api", "compile"),
+    "load_patterns_file": ("api", "load_patterns_file"),
     "obs": ("obs", None),         # the whole tracing/metrics subpackage
     "scan": ("api", "scan"),
     "serve": ("serve", None),     # the async matching gateway

@@ -26,7 +26,9 @@ from .engines.hyperscan import HyperscanEngine
 from .engines.icgrep import ICgrepEngine
 from .engines.ngap import NgAPEngine
 from .engines.re2 import RE2Engine
-from .parallel.config import (BACKENDS, EXECUTORS, ON_FAULT_POLICIES,
+from .api import load_patterns_file
+from .parallel.config import (BACKENDS, EXECUTORS, GROUPINGS,
+                              ON_FAULT_POLICIES, PREFILTER_IMPLS,
                               SHARD_POLICIES, START_METHODS, ScanConfig)
 
 ENGINES = {
@@ -70,9 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
 def load_patterns(args) -> List[str]:
     patterns = list(args.patterns)
     if args.patterns_file:
-        with open(args.patterns_file) as handle:
-            patterns.extend(line.rstrip("\n") for line in handle
-                            if line.strip() and not line.startswith("#"))
+        patterns.extend(load_patterns_file(args.patterns_file))
     if not patterns:
         raise SystemExit("no patterns given (positional or -f)")
     return patterns
@@ -94,8 +94,22 @@ def build_scan_parser() -> argparse.ArgumentParser:
                     "JSON (one report per input file).")
     parser.add_argument("inputs", nargs="*", metavar="FILE",
                         help="input files to scan (stdin when omitted)")
-    parser.add_argument("--patterns", required=True, metavar="FILE",
-                        help="file with one pattern per line")
+    parser.add_argument("--patterns", "--patterns-file",
+                        dest="patterns", metavar="FILE",
+                        help="rule-set file: one pattern per line, "
+                             "blank lines and '#' comments skipped")
+    parser.add_argument("--prefilter", action="store_true",
+                        help="gate kernel dispatch on a literal "
+                             "prefilter pass (identical matches, "
+                             "skips groups whose required literals "
+                             "are absent)")
+    parser.add_argument("--prefilter-impl", choices=PREFILTER_IMPLS,
+                        default="screen",
+                        help="prefilter gate implementation")
+    parser.add_argument("--grouping", choices=GROUPINGS,
+                        default="balanced",
+                        help="regex grouping strategy (fingerprint "
+                             "scales best to large rule sets)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker shards (1 = serial)")
     parser.add_argument("--executor", choices=EXECUTORS, default="process")
@@ -128,15 +142,19 @@ def build_scan_parser() -> argparse.ArgumentParser:
 
 def scan_main(argv: List[str]) -> int:
     args = build_scan_parser().parse_args(argv)
-    with open(args.patterns) as handle:
-        patterns = [line.rstrip("\n") for line in handle
-                    if line.strip() and not line.startswith("#")]
+    if not args.patterns:
+        raise SystemExit(
+            "no rule-set file given (--patterns/--patterns-file)")
+    patterns = load_patterns_file(args.patterns)
     if not patterns:
         raise SystemExit(f"no patterns in {args.patterns}")
     config = ScanConfig(scheme=Scheme[args.scheme], backend=args.backend,
                         workers=args.workers, executor=args.executor,
                         start_method=args.start_method,
                         shard=args.shard, loop_fallback=True,
+                        grouping=args.grouping,
+                        prefilter=args.prefilter,
+                        prefilter_impl=args.prefilter_impl,
                         on_fault=args.on_fault,
                         max_retries=args.max_retries,
                         deadline_s=args.deadline)
@@ -166,6 +184,9 @@ def scan_main(argv: List[str]) -> int:
         payload = report.to_dict()
         payload["file"] = name
         payload["dispatch"] = engine.last_dispatch
+        gate = getattr(result, "prefilter", None)
+        if gate is not None:
+            payload["prefilter"] = gate.to_dict()
         payload["faults"] = [f.to_dict() for f in engine.last_scan_faults]
         reports.append(payload)
     for fault in engine.last_scan_faults:

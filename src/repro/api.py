@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
 from .parallel.config import ScanConfig
@@ -62,6 +63,19 @@ def fingerprint_patterns(patterns: Sequence[Union[str, object]],
         digest.update(b"\x00")
     digest.update(repr(config.compile_key()).encode())
     return digest.hexdigest()[:16]
+
+
+def load_patterns_file(path: Union[str, Path]) -> List[str]:
+    """Load one pattern per line from ``path``.  Blank lines and lines
+    whose first non-space character is ``#`` are skipped — the shared
+    rule-set file format of the CLI (``--patterns-file``) and the
+    benchmarks."""
+    patterns: List[str] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            patterns.append(stripped)
+    return patterns
 
 
 class Matcher:
@@ -102,6 +116,31 @@ class Matcher:
         return (f"Matcher(patterns={self.pattern_count}, "
                 f"scheme={self.config.scheme.name}, "
                 f"backend={self.config.backend!r})")
+
+    # -- rule-set updates --------------------------------------------------
+
+    def update(self, patterns: Sequence[Union[str, object]],
+               config: Optional[ScanConfig] = None, **knobs):
+        """Swap this matcher's rule set for ``patterns``, recompiling
+        incrementally: compiled groups whose membership is unchanged
+        are reused verbatim (:mod:`repro.core.incremental`), so update
+        latency scales with the diff rather than the set size.
+
+        Mutates the matcher in place — in-flight scans on the old
+        engine finish unaffected — and returns the
+        :class:`~repro.core.incremental.UpdateReport` accounting how
+        much was reused.  Config knobs may be changed in the same
+        call, at the cost of a full recompile when the compile key
+        shifts."""
+        from .core.incremental import update_engine
+
+        effective = resolve_knobs(config or self.config, knobs) \
+            if (config is not None or knobs) else self.config
+        engine, report = update_engine(self._engine, patterns,
+                                       config=effective)
+        self._engine = engine
+        self.patterns = list(patterns)
+        return report
 
     # -- matching ----------------------------------------------------------
 

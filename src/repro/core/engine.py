@@ -22,7 +22,8 @@ from .. import obs
 from ..gpu.machine import DEFAULT_GEOMETRY, CTAGeometry
 from ..gpu.metrics import KernelMetrics
 from ..ir.lower import lower_group
-from ..ir.passes import (LEVEL2_PREGUARD_PASSES, PipelineReport,
+from ..ir.passes import (LEVEL2_PASSES, LEVEL2_PREGUARD_PASSES,
+                         PipelineReport, factor_prologue,
                          optimize_pipeline)
 from ..ir.program import Program
 from ..parallel.config import ScanConfig, reject_legacy_kwargs
@@ -78,6 +79,11 @@ class BitGenResult(MatchResult):
     #: per-CTA metrics, aligned with the engine's groups
     cta_metrics: List[KernelMetrics] = field(default_factory=list)
     input_bytes: int = 0
+    #: gate accounting when this match ran prefiltered
+    #: (:class:`~repro.core.prefilter.PrefilterReport`; for a batched
+    #: ``match_many`` every stream carries the one union-gated
+    #: evaluation), ``None`` for ungated runs
+    prefilter: Optional[object] = None
 
     def report(self, stream_offset: int = 0) -> ScanReport:
         """This result as the unified :class:`ScanReport` view —
@@ -111,8 +117,13 @@ class BitGenEngine(Engine):
         #: "none" (no parallel dispatch yet), "inline", "warm"
         #: (persistent pool reused), or "cold" (pool built)
         self.last_pool_state: str = "none"
+        #: gate accounting of the most recent prefiltered match
+        #: (:class:`~repro.core.prefilter.PrefilterReport`), None until
+        #: a prefiltered scan ran
+        self.last_prefilter = None
         self._reversed_engine: Optional["BitGenEngine"] = None
         self._compiled_group_cache: Optional[list] = None
+        self._prefilter_cache = None
 
     # -- config-backed views (the pre-ScanConfig attribute surface) --------
 
@@ -150,6 +161,7 @@ class BitGenEngine(Engine):
         state = dict(self.__dict__)
         state["_compiled_group_cache"] = None
         state["_reversed_engine"] = None
+        state["_prefilter_cache"] = None
         state["last_scan_faults"] = []
         return state
 
@@ -199,37 +211,55 @@ class BitGenEngine(Engine):
                 groups = group_regexes(nodes, cta_count,
                                        strategy=config.grouping)
 
-            scheme = config.scheme
-            geometry = config.geometry if config.geometry is not None \
-                else DEFAULT_GEOMETRY
             compiled: List[CompiledGroup] = []
             for index, group in enumerate(groups):
                 members = [nodes[i] for i in group.indices]
-                names = [f"R{i}" for i in group.indices]
-                # opt_level=0 compiles the raw syntax-directed
-                # translation: no construction-time value numbering, no
-                # passes.  Levels >= 1 keep value-numbered lowering
-                # (the historical baseline) and layer the pass pipeline
-                # on top.
-                with obs.span("lower", category="compile", cta=index,
-                              regexes=len(members)):
-                    program = lower_group(members, names=names,
-                                          value_number=level > 0)
-                program, report = cls._transform(
-                    program, scheme, level, config.interval_size)
-                with obs.span("plan_barriers", category="compile",
-                              cta=index):
-                    plan = cls._plan(program, scheme,
-                                     config.merge_size, geometry)
-                compiled.append(CompiledGroup(group, program, plan,
-                                              report))
+                compiled.append(cls._compile_group(members, group,
+                                                   config, index))
         _COMPILES.inc(scheme=config.scheme.value, opt_level=level)
         _COMPILE_SECONDS.observe(time.perf_counter() - begin)
         return cls(compiled, len(nodes), nodes=nodes, config=config)
 
+    @classmethod
+    def _compile_group(cls, members: List[ast.Regex], group: RegexGroup,
+                       config: ScanConfig,
+                       index: int = 0) -> CompiledGroup:
+        """Compile one group's members into its program artefact.
+
+        Outputs are named by *local* position (``R0..Rk-1``); match
+        paths map them back to global pattern ids through
+        ``group.indices``.  Local naming makes a compiled group
+        position-independent — the same member multiset produces the
+        same program wherever the patterns sit in the rule set, which
+        is what incremental recompilation
+        (:mod:`repro.core.incremental`) reuses across set diffs.
+        """
+        level = config.effective_opt_level()
+        scheme = config.scheme
+        geometry = config.geometry if config.geometry is not None \
+            else DEFAULT_GEOMETRY
+        names = [f"R{local}" for local in range(len(members))]
+        # opt_level=0 compiles the raw syntax-directed
+        # translation: no construction-time value numbering, no
+        # passes.  Levels >= 1 keep value-numbered lowering
+        # (the historical baseline) and layer the pass pipeline
+        # on top.
+        with obs.span("lower", category="compile", cta=index,
+                      regexes=len(members)):
+            program = lower_group(members, names=names,
+                                  value_number=level > 0)
+        program, report = cls._transform(
+            program, scheme, level, config.interval_size,
+            factor=config.factor)
+        with obs.span("plan_barriers", category="compile",
+                      cta=index):
+            plan = cls._plan(program, scheme,
+                             config.merge_size, geometry)
+        return CompiledGroup(group, program, plan, report)
+
     @staticmethod
     def _transform(program: Program, scheme: Scheme, level: int,
-                   interval_size: int
+                   interval_size: int, factor: bool = True
                    ) -> "tuple[Program, Optional[PipelineReport]]":
         """The per-scheme transformation pipeline.  The optimizer runs
         twice — on the lowered program and again after Shift
@@ -243,9 +273,20 @@ class BitGenEngine(Engine):
         interleaves the chains the guard planner needs contiguous and
         shrinks the skippable spans (a measured net loss on zero-heavy
         workloads).  Post-guard CSE never registers facts inside a
-        guard span, so sharing cannot cross a skip region."""
-        pre = LEVEL2_PREGUARD_PASSES \
-            if scheme.zero_skipping and level >= 2 else None
+        guard span, so sharing cannot cross a skip region.
+
+        ``factor`` adds cross-pattern prologue factoring
+        (:func:`~repro.ir.passes.factor_prologue`) to the pre-guard
+        rounds at level >= 2; the pass refuses guarded programs, so the
+        post-guard run never includes it."""
+        pre = None
+        if level >= 2:
+            pre = LEVEL2_PREGUARD_PASSES if scheme.zero_skipping \
+                else LEVEL2_PASSES
+            if factor:
+                pre = pre + (("factor", factor_prologue),)
+            elif not scheme.zero_skipping:
+                pre = None  # the default roster, unmodified
         program, report = optimize_pipeline(program, level, passes=pre)
         if scheme.rebalanced:
             program = rebalance_program(program)
@@ -269,24 +310,69 @@ class BitGenEngine(Engine):
         return plan_barriers(program, merge_size=effective,
                              block_bytes=geometry.block_bytes)
 
+    # -- prefiltered dispatch ----------------------------------------------
+
+    def prefilter_index(self):
+        """The lazily built literal-gate index
+        (:class:`~repro.core.prefilter.PrefilterIndex`), or ``None``
+        for engines without pattern ASTs (worker sub-engines), which
+        always execute ungated."""
+        if self._prefilter_cache is None:
+            if self._nodes is None:
+                return None
+            from .prefilter import PrefilterIndex
+
+            self._prefilter_cache = PrefilterIndex.build(
+                self._nodes, [c.group for c in self.groups])
+        return self._prefilter_cache
+
+    def _prefilter_active(self, data: bytes,
+                          effective: ScanConfig) -> Optional[set]:
+        """Group indices that must execute on ``data``, or ``None``
+        for "all" (prefilter off, or no gate index available)."""
+        if not effective.prefilter:
+            return None
+        index = self.prefilter_index()
+        if index is None:
+            return None
+        active, report = index.active_groups(data,
+                                             effective.prefilter_impl)
+        self.last_prefilter = report
+        return set(active)
+
     # -- matching -----------------------------------------------------------
 
-    def match(self, data: bytes) -> BitGenResult:
+    def match(self, data: bytes,
+              config: Optional[ScanConfig] = None) -> BitGenResult:
+        effective = config if config is not None else self.config
+        active = self._prefilter_active(data, effective)
         if self.backend == "compiled":
-            return self._match_compiled(data)
+            result = self._match_compiled(data, active=active)
+            if active is not None:
+                result.prefilter = self.last_prefilter
+            return result
         with obs.span("exec", category="exec", backend="simulate",
                       input_bytes=len(data), ctas=len(self.groups)):
             result = BitGenResult(pattern_count=self.pattern_count,
                                   input_bytes=len(data))
             for index, compiled in enumerate(self.groups):
+                if active is not None and index not in active:
+                    # Skipped by the literal gate: every output of
+                    # this group is provably all-zero; an empty
+                    # metrics slot keeps cta_metrics aligned.
+                    result.cta_metrics.append(KernelMetrics())
+                    continue
                 with obs.span("exec.cta", category="exec", cta=index):
                     execution = self._run_group(compiled, data)
                 result.cta_metrics.append(execution.metrics)
                 result.metrics.merge(execution.metrics)
                 for out, ends in execution.match_ends().items():
-                    result.ends[int(out[1:])] = ends
+                    result.ends[compiled.group.indices[int(out[1:])]] \
+                        = ends
         _SCAN_BYTES.inc(len(data), backend="simulate")
         _SCAN_MATCHES.inc(result.match_count())
+        if active is not None:
+            result.prefilter = self.last_prefilter
         return result
 
     def _compiled_programs(self) -> list:
@@ -299,20 +385,27 @@ class BitGenEngine(Engine):
                 honour_guards=self.scheme.zero_skipping)
         return self._compiled_group_cache
 
-    def _match_compiled(self, data: bytes) -> BitGenResult:
+    def _match_compiled(self, data: bytes,
+                        active: Optional[set] = None) -> BitGenResult:
         """Batched CTA dispatch: one transpose, groups whose programs
         share a kernel fingerprint execute as a single 2D NumPy call."""
         from ..backend import basis_environment
 
-        return self.match_words(basis_environment(data), len(data))
+        return self.match_words(basis_environment(data), len(data),
+                                active=active)
 
-    def match_words(self, basis, input_bytes: int) -> BitGenResult:
+    def match_words(self, basis, input_bytes: int,
+                    active: Optional[set] = None) -> BitGenResult:
         """Compiled match over an already-transposed ``(8, W)`` basis
         word array (padded to ``input_bytes + 1`` bits).  This is the
         zero-copy shard entry point: the parent transposes once into
         shared memory and every group-shard worker executes on views
         of the same words.  Bit-identical to :meth:`match` because the
-        basis fully determines the kernels' inputs."""
+        basis fully determines the kernels' inputs.
+
+        ``active`` (a set of group indices) restricts execution to the
+        prefilter-activated groups; skipped groups contribute empty
+        metrics slots and (provably all-zero) empty match lists."""
         import numpy as np
 
         from ..backend import dispatch_words, estimate_metrics
@@ -323,9 +416,16 @@ class BitGenEngine(Engine):
             length = input_bytes + 1
             result = BitGenResult(pattern_count=self.pattern_count,
                                   input_bytes=input_bytes)
-            dispatched = dispatch_words(self._compiled_programs(),
-                                        basis, length)
-            for compiled, (raw, stats) in zip(self.groups, dispatched):
+            programs = self._compiled_programs()
+            indices = list(range(len(self.groups))) if active is None \
+                else sorted(active)
+            dispatched = dict(zip(indices, dispatch_words(
+                [programs[i] for i in indices], basis, length)))
+            for index, compiled in enumerate(self.groups):
+                if index not in dispatched:
+                    result.cta_metrics.append(KernelMetrics())
+                    continue
+                raw, stats = dispatched[index]
                 metrics = estimate_metrics(compiled.program,
                                            self.geometry, length, stats)
                 result.cta_metrics.append(metrics)
@@ -334,7 +434,8 @@ class BitGenEngine(Engine):
                     stream = NPBitVector(np.asarray(raw[out],
                                                     dtype=np.uint64),
                                          length)
-                    result.ends[int(out[1:])] = stream.match_ends()
+                    result.ends[compiled.group.indices[int(out[1:])]] \
+                        = stream.match_ends()
         _SCAN_BYTES.inc(input_bytes, backend="compiled")
         _SCAN_MATCHES.inc(result.match_count())
         return result
@@ -392,8 +493,10 @@ class BitGenEngine(Engine):
                 self.last_dispatch = "serial"
             _SCAN_DISPATCH.inc(dispatch=self.last_dispatch)
             if self.backend == "compiled":
-                return self._match_many_compiled(streams)
-            return [self.match(stream) for stream in streams]
+                return self._match_many_compiled(streams,
+                                                 config=effective)
+            return [self.match(stream, config=effective)
+                    for stream in streams]
 
     def scan(self, data: bytes,
              config: Optional[ScanConfig] = None) -> ScanReport:
@@ -419,11 +522,11 @@ class BitGenEngine(Engine):
                 else:
                     self.last_dispatch = "serial-small-input"
                     report = ScanReport.from_result(
-                        self.match(data),
+                        self.match(data, config=effective),
                         dispatch="serial-small-input")
             else:
                 self.last_dispatch = "serial"
-                report = self.match(data).report()
+                report = self.match(data, config=effective).report()
             if sp.is_recording:
                 sp.set(dispatch=self.last_dispatch)
         _SCAN_DISPATCH.inc(dispatch=self.last_dispatch)
@@ -434,21 +537,41 @@ class BitGenEngine(Engine):
             report.trace = tracer.subtree(sp.span_id)
         return report
 
-    def _match_many_compiled(self,
-                             streams: Sequence[bytes]
+    def _match_many_compiled(self, streams: Sequence[bytes],
+                             config: Optional[ScanConfig] = None
                              ) -> List[BitGenResult]:
         from ..backend import transpose_stream_classes
 
-        return self.match_many_words([len(s) for s in streams],
-                                     transpose_stream_classes(streams))
+        effective = config if config is not None else self.config
+        active = None
+        if effective.prefilter:
+            index = self.prefilter_index()
+            if index is not None:
+                # One gate evaluation over all streams: a group
+                # executes if its literals fired in *any* stream, so
+                # equal-length batching survives (per-stream results
+                # for over-activated groups are still all-zero).
+                actives, report = index.active_groups_many(
+                    streams, effective.prefilter_impl)
+                self.last_prefilter = report
+                active = set(actives)
+        results = self.match_many_words([len(s) for s in streams],
+                                        transpose_stream_classes(streams),
+                                        active=active)
+        if active is not None:
+            for result in results:
+                result.prefilter = self.last_prefilter
+        return results
 
-    def match_many_words(self, sizes: Sequence[int],
-                         classes) -> List[BitGenResult]:
+    def match_many_words(self, sizes: Sequence[int], classes,
+                         active: Optional[set] = None
+                         ) -> List[BitGenResult]:
         """Compiled multi-stream match over pre-transposed length
         classes (:func:`~repro.backend.transpose_stream_classes`
         layout).  The transpose is paid once for all groups — and, on
         the zero-copy shard path, once in the *parent*, with workers
-        executing on shared-memory views."""
+        executing on shared-memory views.  ``active`` restricts
+        execution to prefilter-activated group indices."""
         import numpy as np
 
         from ..backend import dispatch_stream_classes, estimate_metrics
@@ -457,8 +580,12 @@ class BitGenEngine(Engine):
         results = [BitGenResult(pattern_count=self.pattern_count,
                                 input_bytes=size)
                    for size in sizes]
-        for compiled, cprog in zip(self.groups,
-                                   self._compiled_programs()):
+        for index, (compiled, cprog) in enumerate(
+                zip(self.groups, self._compiled_programs())):
+            if active is not None and index not in active:
+                for result in results:
+                    result.cta_metrics.append(KernelMetrics())
+                continue
             for size, result, (raw, stats) in zip(
                     sizes, results,
                     dispatch_stream_classes(cprog, classes,
@@ -471,7 +598,8 @@ class BitGenEngine(Engine):
                 for out in compiled.program.outputs:
                     vec = NPBitVector(np.asarray(raw[out],
                                                  dtype=np.uint64), length)
-                    result.ends[int(out[1:])] = vec.match_ends()
+                    result.ends[compiled.group.indices[int(out[1:])]] \
+                        = vec.match_ends()
         return results
 
     def match_starts(self, data: bytes) -> BitGenResult:

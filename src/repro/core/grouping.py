@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..regex import ast
 from ..regex.simplify import char_length
@@ -27,9 +27,41 @@ class RegexGroup:
         return len(self.indices)
 
 
+def shape_key(node: ast.Regex) -> Tuple:
+    """The structural shape of a pattern AST: the tree with character
+    classes abstracted to first-occurrence slots.  Two patterns with
+    equal shape keys lower to programs that differ only in their
+    ``MATCH_CC`` constants — exactly what the kernel fingerprint cache
+    (:mod:`repro.backend.fingerprint`) parameterises away, so grouping
+    by shape collapses compiled-kernel count on template rule sets."""
+    slots: Dict[object, int] = {}
+
+    def visit(sub: ast.Regex) -> Tuple:
+        if isinstance(sub, ast.Lit):
+            slot = slots.setdefault(sub.cc, len(slots))
+            return ("lit", slot)
+        if isinstance(sub, ast.Seq):
+            return ("seq",) + tuple(visit(p) for p in sub.parts)
+        if isinstance(sub, ast.Alt):
+            return ("alt",) + tuple(visit(b) for b in sub.branches)
+        if isinstance(sub, ast.Star):
+            return ("star", visit(sub.body))
+        if isinstance(sub, ast.Rep):
+            return ("rep", sub.lo, sub.hi, visit(sub.body))
+        if isinstance(sub, ast.Anchor):
+            return ("anchor", sub.kind)
+        if isinstance(sub, ast.Empty):
+            return ("empty",)
+        return ("other", repr(sub))
+
+    return visit(node)
+
+
 def group_regexes(nodes: Sequence[ast.Regex], group_count: int,
                   strategy: str = "balanced") -> List[RegexGroup]:
-    """Partition ``nodes`` into at most ``group_count`` groups.
+    """Partition ``nodes`` into groups (at most ``group_count`` for the
+    balanced/round-robin strategies; ``"fingerprint"`` may exceed it,
+    since it never mixes shapes inside a group).
 
     ``strategy``:
 
@@ -38,6 +70,13 @@ def group_regexes(nodes: Sequence[ast.Regex], group_count: int,
     * ``"round_robin"`` — naive index-striped assignment (the ablation
       baseline: ignores pattern length, so one CTA can end up with all
       the long patterns and straggle the whole launch).
+    * ``"fingerprint"`` — bucket by structural shape
+      (:func:`shape_key`), then chunk each bucket in original index
+      order.  Same-shape groups compile to fingerprint-equal kernels
+      (one codegen for the whole bucket), and the deterministic
+      chunking keeps group membership stable under small rule-set
+      diffs — the property incremental recompilation
+      (:mod:`repro.core.incremental`) reuses.
     """
     if group_count < 1:
         raise ValueError("group_count must be >= 1")
@@ -52,6 +91,20 @@ def group_regexes(nodes: Sequence[ast.Regex], group_count: int,
             group.indices.append(index)
             group.total_length += char_length(node)
         return [g for g in groups if g.indices]
+    if strategy == "fingerprint":
+        shapes: Dict[Tuple, List[int]] = {}
+        for index, node in enumerate(nodes):
+            shapes.setdefault(shape_key(node), []).append(index)
+        chunk = max(1, round(len(nodes) / group_count))
+        out: List[RegexGroup] = []
+        for members in shapes.values():
+            for start in range(0, len(members), chunk):
+                group = RegexGroup()
+                for index in members[start:start + chunk]:
+                    group.indices.append(index)
+                    group.total_length += char_length(nodes[index])
+                out.append(group)
+        return out
     if strategy != "balanced":
         raise ValueError(f"unknown grouping strategy {strategy!r}")
 

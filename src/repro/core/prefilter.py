@@ -1,0 +1,240 @@
+"""Literal prefiltering for the main BitGen pipeline.
+
+At rule-set scale the dominant waste is executing every group's
+bitstream kernel on inputs that cannot possibly match most of them.
+This module promotes the Hyperscan engine's decomposition insight into
+the BitGen dispatch path: at index-build time each compiled group gets
+a *gate* — a set of literals such that every non-empty match of any
+member pattern contains at least one gate literal
+(:func:`repro.regex.factors.factor_literals`, computed on exactly the
+prepared AST the lowering consumed, so the gate and the kernel agree
+about what a match is).  Groups containing any factor-free pattern are
+**always-on**: the gate never guesses.
+
+At scan time one pass over the input decides which gate literals fire;
+only groups whose gate fired (plus the always-on ones) execute.
+Soundness: a skipped group's kernel could only have produced matches
+containing one of its gate literals, and none occurred in the input —
+so every skipped output stream is all-zero and the gated result is
+bit-identical to full execution (the differential fuzz suite enforces
+this against the ungated serial path).
+
+Two gate implementations, selected by ``ScanConfig.prefilter_impl``:
+
+* ``"screen"`` (default) — vectorised two-stage screen: a NumPy pass
+  collects the set of adjacent byte pairs present in the input and
+  discards every literal whose leading pair is absent; survivors are
+  confirmed with exact C-speed substring search (``lit in data``).
+  Exact, and fast enough to win at kilobyte inputs.
+* ``"ac"`` — one pass of the shared Aho–Corasick automaton over the
+  input (:mod:`repro.automata.aho_corasick`).  The reference
+  implementation: linear in the input regardless of literal count,
+  and the oracle the screen is differentially tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .. import obs
+from ..automata.aho_corasick import AhoCorasick
+from ..regex import ast
+from ..regex.factors import factor_literals
+from ..regex.nonempty import strip_empty
+from ..regex.simplify import simplify
+
+PREFILTER_IMPLS = ("screen", "ac")
+
+_REG = obs.registry()
+_BUCKETS_SKIPPED = _REG.counter(
+    "repro_prefilter_buckets_skipped_total",
+    "Compiled groups skipped because no gate literal fired")
+_PREFILTER_SCANS = _REG.counter(
+    "repro_prefilter_scans_total",
+    "Prefilter gate evaluations, by implementation")
+
+
+@dataclass
+class PrefilterReport:
+    """What one gate evaluation decided (``engine.last_prefilter``)."""
+
+    impl: str
+    input_bytes: int
+    #: total compiled groups in the engine
+    groups: int
+    #: groups with a literal gate (the rest are always-on)
+    gated: int
+    #: groups that executed (always-on + fired)
+    active: int
+    #: gated groups whose literals did not occur
+    skipped: int
+    #: distinct gate literals in the index
+    literals: int
+    #: gate literals that occurred in the input
+    fired: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"impl": self.impl, "input_bytes": self.input_bytes,
+                "groups": self.groups, "gated": self.gated,
+                "active": self.active, "skipped": self.skipped,
+                "literals": self.literals, "fired": self.fired}
+
+
+def pattern_gate(node: ast.Regex) -> Optional[frozenset]:
+    """The literal gate of one pattern AST, computed on the *prepared*
+    node (``strip_empty(simplify(node))``) the lowering consumed.
+
+    ``None`` means no usable factor (the pattern stays always-on);
+    an empty frozenset means the pattern has no non-empty matches at
+    all (its output stream is always zero, so its group may be gated
+    on the other members alone)."""
+    prepared = strip_empty(simplify(node))
+    if prepared is None:
+        return frozenset()
+    return factor_literals(simplify(prepared))
+
+
+class PrefilterIndex:
+    """Per-engine gate index: one literal set per compiled group plus
+    the shared scan structures (AC automaton, pair screen)."""
+
+    def __init__(self, group_gates: List[Optional[frozenset]]):
+        self.group_gates = group_gates
+        literals: Set[bytes] = set()
+        for gate in group_gates:
+            if gate:
+                literals |= gate
+        #: sorted for deterministic AC slot assignment
+        self.literals: List[bytes] = sorted(literals)
+        self.ac: Optional[AhoCorasick] = (
+            AhoCorasick.build(self.literals) if self.literals else None)
+        #: leading byte pair of each literal (every gate literal is
+        #: >= MIN_FACTOR_LENGTH == 2 bytes), for the vectorised screen
+        self._lead_pairs = [(lit[0] << 8) | lit[1] for lit in self.literals]
+
+    @classmethod
+    def build(cls, nodes: Sequence[ast.Regex],
+              groups: Sequence[object]) -> "PrefilterIndex":
+        """Gate index for ``groups`` (RegexGroup-like, ``.indices``)
+        over the original pattern ``nodes``.  A group is gated only
+        when *every* member has a usable factor set."""
+        with obs.span("prefilter.build", category="compile",
+                      patterns=len(nodes), groups=len(groups)):
+            member_gates = [pattern_gate(node) for node in nodes]
+            group_gates: List[Optional[frozenset]] = []
+            for group in groups:
+                gates = [member_gates[i] for i in group.indices]
+                if any(g is None for g in gates):
+                    group_gates.append(None)
+                else:
+                    union: Set[bytes] = set()
+                    for gate in gates:
+                        union |= gate
+                    group_gates.append(frozenset(union))
+            return cls(group_gates)
+
+    @property
+    def gated_groups(self) -> int:
+        return sum(1 for gate in self.group_gates if gate is not None)
+
+    # -- gate evaluation ---------------------------------------------------
+
+    def fired_literals(self, data: bytes, impl: str = "screen"
+                       ) -> Set[bytes]:
+        """The subset of index literals occurring in ``data``."""
+        if not self.literals:
+            return set()
+        if impl == "ac":
+            hits, _stats = self.ac.scan(data)
+            return {self.literals[slot] for slot, _end in hits}
+        if impl != "screen":
+            raise ValueError(f"unknown prefilter impl {impl!r}; "
+                             f"expected one of {PREFILTER_IMPLS}")
+        return self._screen(data)
+
+    def _screen(self, data: bytes) -> Set[bytes]:
+        import numpy as np
+
+        if len(data) < 2:
+            return set()
+        arr = np.frombuffer(data, dtype=np.uint8)
+        pairs = ((arr[:-1].astype(np.uint32) << 8)
+                 | arr[1:].astype(np.uint32))
+        present = np.unique(pairs)
+        lead = np.asarray(self._lead_pairs, dtype=np.uint32)
+        survivors = np.nonzero(np.isin(lead, present))[0]
+        # exact confirmation: the pair screen only prunes candidates
+        return {self.literals[slot] for slot in survivors
+                if self.literals[slot] in data}
+
+    def active_groups(self, data: bytes, impl: str = "screen"
+                      ) -> Tuple[List[int], PrefilterReport]:
+        """Indices of groups that must execute on ``data`` plus the
+        accounting report.  Always-on groups (gate ``None``) are always
+        included; a gated group executes iff any of its literals
+        occurred."""
+        with obs.span("prefilter", category="exec", impl=impl,
+                      input_bytes=len(data)) as sp:
+            fired = self.fired_literals(data, impl)
+            active: List[int] = []
+            gated = skipped = 0
+            for index, gate in enumerate(self.group_gates):
+                if gate is None:
+                    active.append(index)
+                    continue
+                gated += 1
+                if gate & fired:
+                    active.append(index)
+                else:
+                    skipped += 1
+            report = PrefilterReport(
+                impl=impl, input_bytes=len(data),
+                groups=len(self.group_gates), gated=gated,
+                active=len(active), skipped=skipped,
+                literals=len(self.literals), fired=len(fired))
+            if sp.is_recording:
+                sp.set(active=len(active), skipped=skipped,
+                       fired=len(fired))
+        _PREFILTER_SCANS.inc(impl=impl)
+        if skipped:
+            _BUCKETS_SKIPPED.inc(skipped)
+        return active, report
+
+    def active_groups_many(self, streams: Sequence[bytes],
+                           impl: str = "screen"
+                           ) -> Tuple[List[int], PrefilterReport]:
+        """One gate evaluation for a batch of streams: a group is
+        active when its literals fired in *any* stream (the union
+        keeps batched equal-length dispatch intact; over-activated
+        groups still produce all-zero outputs on the streams that
+        didn't fire them)."""
+        total = sum(len(stream) for stream in streams)
+        with obs.span("prefilter", category="exec", impl=impl,
+                      streams=len(streams), input_bytes=total) as sp:
+            fired: Set[bytes] = set()
+            for stream in streams:
+                fired |= self.fired_literals(stream, impl)
+            active: List[int] = []
+            gated = skipped = 0
+            for index, gate in enumerate(self.group_gates):
+                if gate is None:
+                    active.append(index)
+                    continue
+                gated += 1
+                if gate & fired:
+                    active.append(index)
+                else:
+                    skipped += 1
+            report = PrefilterReport(
+                impl=impl, input_bytes=total,
+                groups=len(self.group_gates), gated=gated,
+                active=len(active), skipped=skipped,
+                literals=len(self.literals), fired=len(fired))
+            if sp.is_recording:
+                sp.set(active=len(active), skipped=skipped,
+                       fired=len(fired))
+        _PREFILTER_SCANS.inc(impl=impl)
+        if skipped:
+            _BUCKETS_SKIPPED.inc(skipped)
+        return active, report

@@ -27,99 +27,28 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..automata.aho_corasick import ACStats, AhoCorasick
 from ..automata.nfa import MultiPatternNFA, NFAStats
 from ..regex import ast
+# Factor extraction moved to repro.regex.factors so the main BitGen
+# pipeline's prefilter gate (repro.core.prefilter) shares it; the names
+# are re-exported here for compatibility.
+from ..regex.factors import (MIN_FACTOR_LENGTH, excludes_newline,
+                             literal_bytes, max_match_length,
+                             required_factor)
 from ..regex.parser import parse
 from ..regex.simplify import simplify
 from .base import Engine, MatchResult
 
-MIN_FACTOR_LENGTH = 2
+__all__ = [
+    "MIN_FACTOR_LENGTH", "MAX_CONFIRM_LENGTH", "MAX_LINE_WINDOW",
+    "HyperscanEngine", "HyperscanStats", "excludes_newline",
+    "literal_bytes", "max_match_length", "merge_intervals",
+    "required_factor",
+]
+
 #: confirmation is worthwhile only for reasonably short patterns;
 #: beyond this the windows degenerate into full scans
 MAX_CONFIRM_LENGTH = 512
 #: cap on a line-bounded confirmation window
 MAX_LINE_WINDOW = 4096
-
-
-def literal_bytes(node: ast.Regex) -> Optional[bytes]:
-    """The exact byte string of a pure-literal pattern, else None."""
-    if isinstance(node, ast.Lit) and node.cc.is_single():
-        return bytes([node.cc.single_byte()])
-    if isinstance(node, ast.Seq):
-        parts = []
-        for part in node.parts:
-            sub = literal_bytes(part)
-            if sub is None:
-                return None
-            parts.append(sub)
-        return b"".join(parts)
-    return None
-
-
-def required_factor(node: ast.Regex) -> Optional[bytes]:
-    """A literal substring every match must contain: the longest run of
-    singleton classes among the mandatory top-level concatenation parts."""
-    parts = node.parts if isinstance(node, ast.Seq) else [node]
-    best = b""
-    current = bytearray()
-    for part in parts:
-        byte = None
-        if isinstance(part, ast.Lit) and part.cc.is_single():
-            byte = part.cc.single_byte()
-        if byte is not None:
-            current.append(byte)
-        else:
-            if len(current) > len(best):
-                best = bytes(current)
-            current = bytearray()
-    if len(current) > len(best):
-        best = bytes(current)
-    return best if len(best) >= MIN_FACTOR_LENGTH else None
-
-
-def max_match_length(node: ast.Regex) -> Optional[int]:
-    """Longest possible match in bytes, or None when unbounded."""
-    if isinstance(node, (ast.Empty, ast.Anchor)):
-        return 0
-    if isinstance(node, ast.Lit):
-        return 1
-    if isinstance(node, ast.Seq):
-        total = 0
-        for part in node.parts:
-            sub = max_match_length(part)
-            if sub is None:
-                return None
-            total += sub
-        return total
-    if isinstance(node, ast.Alt):
-        longest = 0
-        for branch in node.branches:
-            sub = max_match_length(branch)
-            if sub is None:
-                return None
-            longest = max(longest, sub)
-        return longest
-    if isinstance(node, ast.Star):
-        inner = max_match_length(node.body)
-        return 0 if inner == 0 else None
-    if isinstance(node, ast.Rep):
-        if node.hi is None:
-            inner = max_match_length(node.body)
-            return 0 if inner == 0 else None
-        inner = max_match_length(node.body)
-        if inner is None:
-            return None
-        return inner * node.hi
-    raise TypeError(f"unknown node {node!r}")
-
-
-def excludes_newline(node: ast.Regex) -> bool:
-    """True when no match of ``node`` can contain a newline byte, so
-    every match is confined to one input line.  This is how unbounded
-    ``.*`` patterns stay confirmable: ``.`` excludes newline."""
-    newline = ord("\n")
-    for sub in node.walk():
-        if isinstance(sub, ast.Lit) and sub.cc.contains(newline):
-            return False
-    return True
 
 
 def merge_intervals(intervals: List[Tuple[int, int]]

@@ -13,6 +13,7 @@ propagation + DCE).  This package adds the opt_level-2 pipeline:
 
 from .algebraic import simplify_algebraic
 from .cse import eliminate_common_subexpressions
+from .factor import factor_prologue
 from .pipeline import (LEVEL1_PASSES, LEVEL2_PASSES,
                        LEVEL2_PREGUARD_PASSES, PassDelta, PassPipeline,
                        PipelineReport, optimize_pipeline)
@@ -27,6 +28,7 @@ __all__ = [
     "PipelineReport",
     "coalesce_shift_chains",
     "eliminate_common_subexpressions",
+    "factor_prologue",
     "optimize_pipeline",
     "simplify_algebraic",
 ]

@@ -30,6 +30,10 @@ from ..gpu.machine import CTAGeometry
 
 BACKENDS = ("simulate", "compiled")
 SHARD_POLICIES = ("auto", "stream", "group")
+#: grouping strategies (see :func:`repro.core.grouping.group_regexes`)
+GROUPINGS = ("balanced", "round_robin", "fingerprint")
+#: literal-gate implementations (see :mod:`repro.core.prefilter`)
+PREFILTER_IMPLS = ("screen", "ac")
 EXECUTORS = ("process", "thread", "serial")
 START_METHODS = ("fork", "spawn", "forkserver")
 #: fault-handling policy vocabulary (see :mod:`repro.resilience`)
@@ -67,6 +71,21 @@ class ScanConfig:
     opt_level: int = 2
     grouping: str = "balanced"
     backend: str = "simulate"
+    #: hoist shared pure definitions into a per-bucket prologue and
+    #: loop-invariant instructions out of fixpoint loops
+    #: (:mod:`repro.ir.passes.factor`); applied at opt_level >= 2.
+    factor: bool = True
+
+    # -- prefiltered dispatch (repro.core.prefilter) -----------------------
+    #: gate compiled groups behind their mandatory literal factors: one
+    #: literal scan per input activates only the groups whose factors
+    #: fired (groups with factor-free patterns stay always-on).  A
+    #: dispatch-time knob — results are bit-identical either way, so
+    #: the same compiled engine serves both settings.
+    prefilter: bool = False
+    #: gate implementation: "screen" (vectorised pair screen + exact
+    #: substring confirm) or "ac" (one Aho–Corasick pass, the oracle)
+    prefilter_impl: str = "screen"
 
     # -- device models (perf harness pricing) -----------------------------
     gpu: Optional[GPUConfig] = None
@@ -153,6 +172,13 @@ class ScanConfig:
             raise ValueError("retry_backoff must be >= 0")
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive")
+        if self.prefilter_impl not in PREFILTER_IMPLS:
+            raise ValueError(
+                f"unknown prefilter_impl {self.prefilter_impl!r}; "
+                f"expected one of {PREFILTER_IMPLS}")
+        if self.grouping not in GROUPINGS:
+            raise ValueError(f"unknown grouping {self.grouping!r}; "
+                             f"expected one of {GROUPINGS}")
 
     # -- derived views -----------------------------------------------------
 
@@ -205,7 +231,8 @@ class ScanConfig:
         (dispatch knobs excluded) — a cache key for compiled engines."""
         return (self.scheme, self.geometry, self.cta_count,
                 self.merge_size, self.interval_size, self.loop_fallback,
-                self.effective_opt_level(), self.grouping, self.backend)
+                self.effective_opt_level(), self.grouping, self.backend,
+                self.factor)
 
 
 def reject_legacy_kwargs(api: str, legacy: Mapping[str, object]) -> None:

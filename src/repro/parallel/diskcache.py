@@ -47,6 +47,23 @@ _DISK_PUTS = obs.registry().counter(
 _DISK_CORRUPT = obs.registry().counter(
     "repro_disk_cache_corrupt_total",
     "Corrupt disk-cache entries quarantined (renamed to .kbc.bad)")
+_DISK_EVICTIONS = obs.registry().counter(
+    "repro_disk_cache_evictions_total",
+    "Disk-cache entries evicted to enforce the size cap")
+
+#: Environment override for the cache size cap, in megabytes.
+CACHE_MAX_MB_ENV = "REPRO_DISK_CACHE_MAX_MB"
+
+
+def _env_max_mb() -> Optional[float]:
+    raw = os.environ.get(CACHE_MAX_MB_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def default_cache_dir() -> str:
@@ -60,10 +77,18 @@ def default_cache_dir() -> str:
 
 
 class DiskKernelCache:
-    """One cache directory of marshalled kernels."""
+    """One cache directory of marshalled kernels.
 
-    def __init__(self, path: Optional[str] = None):
+    ``max_mb`` (default ``$REPRO_DISK_CACHE_MAX_MB``, unbounded when
+    unset) caps the total ``.kbc`` payload: after every ``put`` the
+    oldest-touched entries are evicted until the directory fits.
+    Recency is entry mtime — refreshed on every hit — so eviction is
+    LRU, and the entry just written is never the victim."""
+
+    def __init__(self, path: Optional[str] = None,
+                 max_mb: Optional[float] = None):
         self.path = path if path is not None else default_cache_dir()
+        self.max_mb = max_mb if max_mb is not None else _env_max_mb()
         os.makedirs(self.path, exist_ok=True)
 
     def _entry_path(self, key: str) -> str:
@@ -100,6 +125,10 @@ class DiskKernelCache:
             return None
         _, source, code = payload
         _DISK_HITS.inc()
+        try:
+            os.utime(path)    # refresh LRU recency for the size cap
+        except OSError:
+            pass
         return source, code
 
     @staticmethod
@@ -132,6 +161,41 @@ class DiskKernelCache:
                 raise
         except OSError:
             pass
+        self._enforce_cap()
+
+    def _enforce_cap(self) -> None:
+        """Evict oldest-touched entries until total ``.kbc`` bytes fit
+        under ``max_mb``.  Best-effort and race-tolerant: entries that
+        vanish mid-walk (a concurrent evictor or ``clear``) are
+        skipped; at least one entry always survives so the kernel just
+        written remains loadable."""
+        if self.max_mb is None:
+            return
+        cap = int(self.max_mb * 1024 * 1024)
+        entries = []
+        try:
+            with os.scandir(self.path) as it:
+                for item in it:
+                    if not item.name.endswith(".kbc"):
+                        continue
+                    try:
+                        stat = item.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size,
+                                    item.path))
+        except OSError:
+            return
+        total = sum(size for _mtime, size, _path in entries)
+        entries.sort()    # oldest mtime first
+        while total > cap and len(entries) > 1:
+            _mtime, size, path = entries.pop(0)
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            _DISK_EVICTIONS.inc()
 
     def __len__(self) -> int:
         try:

@@ -174,6 +174,11 @@ class Harness:
                                         len(workload.data),
                                         self.extrapolation(workload))
         opt = engine.optimization_stats()
+        extra = {"opt_level": opt["opt_level"],
+                 "ops_removed": opt["ops_removed"],
+                 "opt_passes": opt["passes"]}
+        if engine.last_prefilter is not None:
+            extra["prefilter"] = engine.last_prefilter.to_dict()
         return EngineRun(app=app_name,
                          engine=f"BitGen[{scheme.value}]"
                          if scheme is not Scheme.ZBS else "BitGen",
@@ -181,9 +186,7 @@ class Harness:
                          match_count=result.match_count(),
                          metrics=result.metrics,
                          cta_metrics=result.cta_metrics,
-                         extra={"opt_level": opt["opt_level"],
-                                "ops_removed": opt["ops_removed"],
-                                "opt_passes": opt["passes"]},
+                         extra=extra,
                          optimization_stats=opt)
 
     def run_baseline(self, app_name: str, engine_name: str,
@@ -210,8 +213,15 @@ class Harness:
             throughput = model.model_hyperscan(engine.last_stats,
                                                self.cpu, threads=threads,
                                                extrapolation=extrapolation)
-            extra = {"literal_fraction":
-                     engine.last_stats.literal_fraction()}
+            # Expose the prefilter-side work counters alongside the
+            # modelled throughput, so the benchmark tables can report
+            # how much the literal pass pruned (these drifted out of
+            # the rows when the stats object grew).
+            stats = engine.last_stats
+            extra = {"literal_fraction": stats.literal_fraction(),
+                     "prefiltered_out": stats.prefiltered_out,
+                     "nfa_scanned": stats.nfa_scanned,
+                     "confirm_windows": stats.confirm_windows}
         else:
             raise KeyError(f"unknown engine {engine_name!r}")
         return EngineRun(app=app_name, engine=engine_name,

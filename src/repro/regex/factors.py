@@ -1,0 +1,203 @@
+"""Literal-factor extraction from regex ASTs.
+
+Hyperscan's decomposition insight (Wang et al., NSDI'19): most real
+rule sets anchor their expensive automata to *mandatory literal
+factors* — byte strings every match must contain.  This module is the
+shared home of that analysis.  It started inside
+:mod:`repro.engines.hyperscan`; the main BitGen pipeline now uses the
+same machinery to gate whole kernel buckets behind one literal scan
+(:mod:`repro.core.prefilter`), so the extraction lives here where both
+engines can import it.
+
+Two levels of analysis:
+
+* :func:`required_factor` — one literal substring every match must
+  contain (the longest run of singleton classes among the mandatory
+  top-level concatenation parts).  Used by the Hyperscan engine to
+  anchor confirmation windows, where a *single* factor is needed.
+* :func:`factor_literals` — a *set* of literals such that every
+  non-empty match contains at least one of them.  Alternations union
+  their branches' sets (``foo|bar`` yields ``{foo, bar}``), which a
+  single required factor cannot express.  Used by the prefilter gate,
+  where "any of these fired" is the right activation condition.
+
+Both are conservative: ``None`` means "no usable factor", never a
+wrong one — factor-based gating must stay exact.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional
+
+from . import ast
+
+#: Factors shorter than this generate too many candidate hits to be
+#: worth confirming (a single byte fires on ~1/256 of random input).
+MIN_FACTOR_LENGTH = 2
+
+#: An alternation tree whose union of branch factors exceeds this is
+#: treated as factor-free: a gate matching hundreds of literals fires
+#: on almost any input and only adds scan cost.
+MAX_FACTOR_SET = 16
+
+
+def literal_bytes(node: ast.Regex) -> Optional[bytes]:
+    """The exact byte string of a pure-literal pattern, else None."""
+    if isinstance(node, ast.Lit) and node.cc.is_single():
+        return bytes([node.cc.single_byte()])
+    if isinstance(node, ast.Seq):
+        parts = []
+        for part in node.parts:
+            sub = literal_bytes(part)
+            if sub is None:
+                return None
+            parts.append(sub)
+        return b"".join(parts)
+    return None
+
+
+def required_factor(node: ast.Regex) -> Optional[bytes]:
+    """A literal substring every match must contain: the longest run of
+    singleton classes among the mandatory top-level concatenation parts."""
+    parts = node.parts if isinstance(node, ast.Seq) else [node]
+    best = b""
+    current = bytearray()
+    for part in parts:
+        byte = None
+        if isinstance(part, ast.Lit) and part.cc.is_single():
+            byte = part.cc.single_byte()
+        if byte is not None:
+            current.append(byte)
+        else:
+            if len(current) > len(best):
+                best = bytes(current)
+            current = bytearray()
+    if len(current) > len(best):
+        best = bytes(current)
+    return best if len(best) >= MIN_FACTOR_LENGTH else None
+
+
+def max_match_length(node: ast.Regex) -> Optional[int]:
+    """Longest possible match in bytes, or None when unbounded."""
+    if isinstance(node, (ast.Empty, ast.Anchor)):
+        return 0
+    if isinstance(node, ast.Lit):
+        return 1
+    if isinstance(node, ast.Seq):
+        total = 0
+        for part in node.parts:
+            sub = max_match_length(part)
+            if sub is None:
+                return None
+            total += sub
+        return total
+    if isinstance(node, ast.Alt):
+        longest = 0
+        for branch in node.branches:
+            sub = max_match_length(branch)
+            if sub is None:
+                return None
+            longest = max(longest, sub)
+        return longest
+    if isinstance(node, ast.Star):
+        inner = max_match_length(node.body)
+        return 0 if inner == 0 else None
+    if isinstance(node, ast.Rep):
+        if node.hi is None:
+            inner = max_match_length(node.body)
+            return 0 if inner == 0 else None
+        inner = max_match_length(node.body)
+        if inner is None:
+            return None
+        return inner * node.hi
+    raise TypeError(f"unknown node {node!r}")
+
+
+def excludes_newline(node: ast.Regex) -> bool:
+    """True when no match of ``node`` can contain a newline byte, so
+    every match is confined to one input line.  This is how unbounded
+    ``.*`` patterns stay confirmable: ``.`` excludes newline."""
+    newline = ord("\n")
+    for sub in node.walk():
+        if isinstance(sub, ast.Lit) and sub.cc.contains(newline):
+            return False
+    return True
+
+
+def nullable(node: ast.Regex) -> bool:
+    """True when ``node`` can match the empty string."""
+    if isinstance(node, (ast.Empty, ast.Anchor, ast.Star)):
+        return True
+    if isinstance(node, ast.Lit):
+        return False
+    if isinstance(node, ast.Seq):
+        return all(nullable(part) for part in node.parts)
+    if isinstance(node, ast.Alt):
+        return any(nullable(branch) for branch in node.branches)
+    if isinstance(node, ast.Rep):
+        return node.lo == 0 or nullable(node.body)
+    raise TypeError(f"unknown node {node!r}")
+
+
+def factor_literals(node: ast.Regex,
+                    limit: int = MAX_FACTOR_SET
+                    ) -> Optional[FrozenSet[bytes]]:
+    """A set of literals such that **every non-empty match of ``node``
+    contains at least one of them** as a substring — or ``None`` when
+    no such set (of usable size and factor length) exists.
+
+    The soundness argument, case by case:
+
+    * ``Alt`` — a match of the alternation is a match of some branch,
+      so the union of per-branch factor sets covers it.  If any branch
+      has no factors, neither does the alternation.
+    * ``Seq`` — every match decomposes into sub-matches of the parts;
+      a non-nullable part contributes a non-empty sub-match, so that
+      part's factors are contained.  The best candidate wins: the
+      longest run of mandatory singleton-literal parts
+      (:func:`required_factor`) competes with each non-nullable part's
+      own factor set.
+    * ``Rep(lo >= 1)`` — at least one body match is contained.
+    * ``Star`` / nullable nodes — a match may be empty or avoid any
+      particular branch, so no factor is required.
+
+    Candidate sets are ranked smallest-first (fewer literals = cheaper
+    gate, more selective), longest-min-literal as the tie break.
+    """
+    if isinstance(node, ast.Alt):
+        union: set = set()
+        for branch in node.branches:
+            sub = factor_literals(branch, limit)
+            if sub is None:
+                return None
+            union |= sub
+            if len(union) > limit:
+                return None
+        return frozenset(union)
+    if isinstance(node, ast.Seq):
+        candidates: List[FrozenSet[bytes]] = []
+        run = required_factor(node)
+        if run is not None:
+            candidates.append(frozenset({run}))
+        for part in node.parts:
+            if nullable(part):
+                continue
+            sub = factor_literals(part, limit)
+            if sub is not None:
+                candidates.append(sub)
+        return _best_candidate(candidates)
+    if isinstance(node, ast.Rep):
+        if node.lo < 1:
+            return None
+        return factor_literals(node.body, limit)
+    # Lit is a single byte (below MIN_FACTOR_LENGTH on its own);
+    # Empty/Anchor/Star require nothing.
+    return None
+
+
+def _best_candidate(candidates: List[FrozenSet[bytes]]
+                    ) -> Optional[FrozenSet[bytes]]:
+    if not candidates:
+        return None
+    return min(candidates,
+               key=lambda s: (len(s), -min(len(lit) for lit in s)))

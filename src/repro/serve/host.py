@@ -15,7 +15,12 @@ won't hand it to new sessions — a fresh ``acquire`` recompiles).
 
 Residency and churn are exported through the ``repro_serve_engines``
 gauges and the ``repro_serve_engine_events_total`` counter (hit /
-miss / evict), the signals a capacity dashboard needs.
+miss / refresh / evict), the signals a capacity dashboard needs.
+
+:meth:`EngineHost.refresh` is the rule-set *update* path: on a miss it
+recompiles incrementally off the tenant's warmest compatible resident
+engine, so pushing a small diff to a large set costs the diff, not
+the set.
 """
 
 from __future__ import annotations
@@ -117,6 +122,66 @@ class EngineHost:
         hosted = HostedEngine(tenant=tenant, fingerprint=fingerprint,
                               matcher=matcher, compiled_s=elapsed)
         hosted.uses = 1
+        with self._lock:
+            hosted.last_use = self._acquires
+            self._engines[key] = hosted
+            self._engines.move_to_end(key)
+            self._evict_over_capacity()
+            _ENGINES.set(len(self._engines), state="resident")
+        return hosted
+
+    def refresh(self, tenant: str,
+                patterns: Sequence[Union[str, object]],
+                config: Optional[ScanConfig] = None) -> HostedEngine:
+        """Acquire with incremental recompilation: like
+        :meth:`acquire`, but a miss looks for a *donor* — the
+        tenant's warmest resident matcher with the same compile key —
+        and reuses its compiled groups for the unchanged slice of the
+        rule set (:mod:`repro.core.incremental`).  The donor engine is
+        never mutated (its registry key must keep describing it;
+        in-flight sessions keep their exact rule set) — the refreshed
+        set gets a fresh :class:`HostedEngine` under its own
+        fingerprint, and plain LRU eviction retires the old one.
+        """
+        scan_config = config if config is not None else self.config.scan
+        fingerprint = fingerprint_patterns(patterns, scan_config)
+        key = (tenant, fingerprint)
+        with self._lock:
+            self._acquires += 1
+            hosted = self._engines.get(key)
+            if hosted is not None:
+                self._engines.move_to_end(key)
+                hosted.uses += 1
+                hosted.last_use = self._acquires
+                _ENGINE_EVENTS.inc(event="hit")
+                return hosted
+            donor: Optional[Matcher] = None
+            compile_key = scan_config.compile_key()
+            for resident in reversed(self._engines.values()):
+                if (resident.tenant == tenant and resident.matcher
+                        .config.compile_key() == compile_key):
+                    donor = resident.matcher
+                    break
+        begin = time.perf_counter()
+        if donor is None:
+            matcher = compile_patterns(patterns, config=scan_config)
+            update = None
+        else:
+            # Compile outside the lock, off the donor's artefacts.
+            from ..core.incremental import update_engine
+
+            engine, update = update_engine(donor.engine, patterns,
+                                           config=scan_config)
+            matcher = Matcher(engine, patterns)
+        elapsed = time.perf_counter() - begin
+        _COMPILE_SECONDS.observe(elapsed)
+        _ENGINE_EVENTS.inc(event="refresh" if donor is not None
+                           else "miss")
+        hosted = HostedEngine(tenant=tenant, fingerprint=fingerprint,
+                              matcher=matcher, compiled_s=elapsed)
+        hosted.uses = 1
+        if update is not None:
+            hosted.extra["update"] = update.to_dict()
         with self._lock:
             hosted.last_use = self._acquires
             self._engines[key] = hosted

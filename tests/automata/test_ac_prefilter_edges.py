@@ -1,0 +1,111 @@
+"""Aho–Corasick and factor-extraction edge cases feeding the
+prefilter gate (repro.core.prefilter / repro.regex.factors)."""
+
+import pytest
+
+from repro.automata.aho_corasick import AhoCorasick
+from repro.core.engine import BitGenEngine
+from repro.core.prefilter import PrefilterIndex, pattern_gate
+from repro.parallel.config import PREFILTER_IMPLS, ScanConfig
+from repro.regex.factors import factor_literals
+from repro.regex.parser import parse
+
+
+def _fired(literals, data):
+    ac = AhoCorasick.build(literals)
+    hits, _ = ac.scan(data)
+    return {literals[slot] for slot, _end in hits}
+
+
+# -- AC literal edge cases ------------------------------------------------
+
+
+def test_overlapping_literals_all_fire():
+    # "aba" occurrences overlap in "ababa"; suffix links must surface
+    # both patterns despite the shared border
+    literals = [b"aba", b"bab"]
+    assert _fired(literals, b"ababa") == {b"aba", b"bab"}
+
+
+def test_prefix_literal_fires_with_its_extension():
+    literals = [b"ab", b"abcd"]
+    assert _fired(literals, b"zabcdz") == {b"ab", b"abcd"}
+    assert _fired(literals, b"zabz") == {b"ab"}
+
+
+def test_suffix_literal_fires_inside_longer_hit():
+    # "cd" only occurs as a suffix of "abcd": the dict-suffix chain
+    # must report it anyway
+    literals = [b"abcd", b"cd"]
+    assert _fired(literals, b"xxabcdxx") == {b"abcd", b"cd"}
+
+
+def test_single_byte_literals():
+    literals = [b"a", b"z", b"az"]
+    assert _fired(literals, b"a") == {b"a"}
+    assert _fired(literals, b"az") == {b"a", b"z", b"az"}
+    assert _fired(literals, b"qqq") == set()
+
+
+@pytest.mark.parametrize("impl", PREFILTER_IMPLS)
+def test_gate_identity_with_overlapping_gates(impl):
+    """Patterns whose gate literals overlap each other must still gate
+    soundly end to end."""
+    patterns = ["ababx[0-9]", "babay[0-9]", "abab|baba"]
+    baseline = BitGenEngine.compile(
+        patterns, config=ScanConfig(loop_fallback=True))
+    engine = BitGenEngine.compile(
+        patterns, config=ScanConfig(prefilter=True, prefilter_impl=impl,
+                                    loop_fallback=True))
+    for data in (b"abababax7 babay3", b"no hits here", b"abab", b""):
+        assert engine.match(data).ends == baseline.match(data).ends
+
+
+# -- factor extraction edge cases -----------------------------------------
+
+
+def test_alternation_case_collision_keeps_both_spellings():
+    gate = factor_literals(parse("foo|FOO"))
+    assert gate == {b"foo", b"FOO"}
+
+
+def test_case_insensitive_class_pattern_has_no_literal_factor():
+    # [fF][oO][oO] has no single required literal run — the extractor
+    # must refuse rather than guess one spelling
+    assert factor_literals(parse("[fF][oO][oO]")) is None
+
+
+def test_alternation_with_factor_free_branch_is_ungated():
+    assert factor_literals(parse("foo|[0-9]+")) is None
+    assert pattern_gate(parse("foo|[0-9]+")) is None
+
+
+def test_nested_alternation_union():
+    gate = factor_literals(parse("(foo|bar)|baz"))
+    assert gate == {b"foo", b"bar", b"baz"}
+
+
+def test_optional_prefix_factor_excluded():
+    # "x?" is nullable: only the mandatory tail can gate
+    gate = factor_literals(parse("(ab)?cdef"))
+    assert gate == {b"cdef"}
+
+
+def test_wide_alternation_overflows_to_ungated():
+    wide = "|".join(f"lit{i:02d}" for i in range(40))
+    assert factor_literals(parse(wide)) is None
+
+
+def test_single_char_required_run_is_too_short():
+    # one-byte factors are below MIN_FACTOR_LENGTH; extractor refuses
+    assert factor_literals(parse("a[0-9]+")) is None
+
+
+def test_index_build_mixes_gated_and_ungated():
+    patterns = ["foo|FOO", "[fF][oO][oO]", "barbaz[0-9]"]
+    nodes = [parse(p) for p in patterns]
+    engine = BitGenEngine.compile(
+        patterns, config=ScanConfig(loop_fallback=True))
+    index = PrefilterIndex.build(nodes, [c.group for c in engine.groups])
+    assert index.gated_groups < len(engine.groups)
+    assert set(index.literals) >= {b"foo", b"FOO"}

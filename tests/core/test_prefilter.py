@@ -1,0 +1,130 @@
+"""Literal prefilter gating (repro.core.prefilter).
+
+The load-bearing property is bit-identity: a prefiltered scan must
+return exactly the ungated scan's matches, for both gate
+implementations and both execution backends.
+"""
+
+import pytest
+
+from repro.core.engine import BitGenEngine
+from repro.core.prefilter import PrefilterIndex, pattern_gate
+from repro.parallel.config import PREFILTER_IMPLS, ScanConfig
+from repro.regex.parser import parse
+
+PATTERNS = [
+    "needle[0-9]+",          # gated: requires "needle"
+    "abc|xyz",               # gated: alternation of literals
+    "foo(bar)*baz",          # gated: "foo"..."baz"
+    "[a-z]+",                # ungated: no required literal
+    "qq(ab|cd)zz",           # gated
+]
+
+#: input containing none of the gate literals
+SPARSE = b"the quick brown fox jumps over 12345 lazy dogs " * 40
+#: input firing some gates
+DENSE = b"a needle42 here, xyz there, qqabzz foobarbaz done " * 40
+
+
+def _ends(engine, data, config=None):
+    return engine.match(data, config=config).ends
+
+
+@pytest.mark.parametrize("backend", ["simulate", "compiled"])
+@pytest.mark.parametrize("impl", PREFILTER_IMPLS)
+@pytest.mark.parametrize("data", [SPARSE, DENSE, b"", b"x"])
+def test_prefiltered_match_is_bit_identical(backend, impl, data):
+    baseline = BitGenEngine.compile(
+        PATTERNS, config=ScanConfig(loop_fallback=True))
+    config = ScanConfig(backend=backend, prefilter=True,
+                        prefilter_impl=impl, loop_fallback=True)
+    engine = BitGenEngine.compile(PATTERNS, config=config)
+    assert _ends(engine, data) == _ends(baseline, data)
+
+
+@pytest.mark.parametrize("impl", PREFILTER_IMPLS)
+def test_sparse_input_skips_gated_groups(impl):
+    config = ScanConfig(prefilter=True, prefilter_impl=impl,
+                        loop_fallback=True)
+    engine = BitGenEngine.compile(PATTERNS, config=config)
+    engine.match(SPARSE)
+    report = engine.last_prefilter
+    assert report is not None
+    assert report.skipped == report.gated > 0
+    # the factor-free pattern keeps its group always-on
+    assert report.active >= 1
+
+
+def test_cta_metrics_stay_aligned_when_groups_skip():
+    config = ScanConfig(prefilter=True, loop_fallback=True)
+    engine = BitGenEngine.compile(PATTERNS, config=config)
+    result = engine.match(SPARSE)
+    assert len(result.cta_metrics) == len(engine.groups)
+
+
+def test_prefilter_is_dispatch_time_not_compile_time():
+    plain = ScanConfig(loop_fallback=True)
+    gated = ScanConfig(prefilter=True, loop_fallback=True)
+    assert plain.compile_key() == gated.compile_key()
+    # one engine, gate toggled per call
+    engine = BitGenEngine.compile(PATTERNS, config=plain)
+    ungated = _ends(engine, DENSE)
+    assert _ends(engine, DENSE, config=gated) == ungated
+    assert engine.last_prefilter is not None
+
+
+@pytest.mark.parametrize("impl", PREFILTER_IMPLS)
+def test_match_many_union_gating(impl):
+    config = ScanConfig(backend="compiled", prefilter=True,
+                        prefilter_impl=impl, loop_fallback=True)
+    engine = BitGenEngine.compile(PATTERNS, config=config)
+    baseline = BitGenEngine.compile(
+        PATTERNS, config=ScanConfig(loop_fallback=True))
+    streams = [SPARSE, DENSE, b"needle7", b""]
+    results = engine.match_many(streams)
+    for stream, result in zip(streams, results):
+        assert result.ends == _ends(baseline, stream)
+    assert engine.last_prefilter is not None
+    assert engine.last_prefilter.input_bytes == sum(map(len, streams))
+
+
+def test_screen_and_ac_agree_on_fired_literals():
+    nodes = [parse(p) for p in PATTERNS]
+    groups = BitGenEngine.compile(
+        PATTERNS, config=ScanConfig(loop_fallback=True)).groups
+    index = PrefilterIndex.build(nodes, [c.group for c in groups])
+    for data in (SPARSE, DENSE, b"", b"needleneedle", b"zzxyzab"):
+        assert index.fired_literals(data, "screen") \
+            == index.fired_literals(data, "ac")
+
+
+def test_pattern_gate_prepared_node_semantics():
+    # factor-free: any single char
+    assert pattern_gate(parse("[a-z]")) is None
+    # required literal factor: one best factor suffices as the gate
+    gate = pattern_gate(parse("xx(a|b)yy"))
+    assert gate and gate <= {b"xx", b"yy"}
+    # never-matching non-empty pattern: empty gate, not always-on
+    assert pattern_gate(parse("")) == frozenset()
+
+
+def test_unknown_impl_rejected():
+    with pytest.raises(ValueError):
+        ScanConfig(prefilter_impl="bloom")
+    nodes = [parse("abcd")]
+    groups = BitGenEngine.compile(
+        ["abcd"], config=ScanConfig(loop_fallback=True)).groups
+    index = PrefilterIndex.build(nodes, [c.group for c in groups])
+    with pytest.raises(ValueError):
+        index.fired_literals(b"abcd", "bloom")
+
+
+def test_gate_counter_accounting():
+    from repro.core.prefilter import _BUCKETS_SKIPPED
+
+    config = ScanConfig(prefilter=True, loop_fallback=True)
+    engine = BitGenEngine.compile(PATTERNS, config=config)
+    before = _BUCKETS_SKIPPED.value()
+    engine.match(SPARSE)
+    assert _BUCKETS_SKIPPED.value() \
+        == before + engine.last_prefilter.skipped

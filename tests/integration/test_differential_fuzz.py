@@ -95,3 +95,49 @@ def test_multi_pattern_differential(seed):
     for index in range(len(nodes)):
         assert result.ends[index] == expected[f"R{index}"], \
             f"pattern {index}: {nodes[index]!r} on {data!r}"
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=2**64))
+def test_prefiltered_factored_differential(seed):
+    """The rule-set-scale pipeline (prologue factoring + literal
+    prefilter gating, both gate impls, both grouping strategies) must
+    be bit-identical to the plain ungated interpreter."""
+    rng = random.Random(seed)
+    nodes = [random_regex(rng, depth=2) for _ in range(5)]
+    data = random_input(rng)
+    expected = run_regexes(nodes, data)
+    for grouping in ("balanced", "fingerprint"):
+        for impl in ("screen", "ac"):
+            engine = BitGenEngine.compile(
+                nodes, config=ScanConfig(
+                    scheme=Scheme.ZBS, geometry=TINY, cta_count=2,
+                    grouping=grouping, prefilter=True,
+                    prefilter_impl=impl, loop_fallback=True))
+            result = engine.match(data)
+            for index in range(len(nodes)):
+                assert result.ends[index] == expected[f"R{index}"], \
+                    (f"{grouping}/{impl} pattern {index}: "
+                     f"{nodes[index]!r} on {data!r}")
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=2**64))
+def test_incremental_update_differential(seed):
+    """An incrementally updated engine must match exactly what a cold
+    compile of the new set matches."""
+    from repro.core.incremental import update_engine
+
+    rng = random.Random(seed)
+    nodes = [random_regex(rng, depth=2) for _ in range(4)]
+    config = ScanConfig(scheme=Scheme.ZBS, geometry=TINY, cta_count=2,
+                        grouping="fingerprint", loop_fallback=True)
+    engine = BitGenEngine.compile(nodes, config=config)
+    new_nodes = nodes[1:] + [random_regex(rng, depth=2)]
+    updated, _ = update_engine(engine, new_nodes)
+    data = random_input(rng)
+    expected = run_regexes(new_nodes, data)
+    result = updated.match(data)
+    for index in range(len(new_nodes)):
+        assert result.ends[index] == expected[f"R{index}"], \
+            f"pattern {index}: {new_nodes[index]!r} on {data!r}"

@@ -1,0 +1,117 @@
+"""Cross-pattern prologue factoring (repro.ir.passes.factor)."""
+
+from repro.core.zeroskip import insert_guards
+from repro.ir.instructions import Instr, Op, WhileLoop, iter_instrs
+from repro.ir.interpreter import Interpreter
+from repro.ir.lower import lower_group
+from repro.ir.passes import factor_prologue
+from repro.ir.program import Program
+from repro.regex.parser import parse
+
+
+def run(program, data):
+    return Interpreter().run(program, data)
+
+
+def _loop_program():
+    """A loop recomputing an invariant AND every iteration."""
+    cc_a = parse("a").cc
+    cc_b = parse("b").cc
+    statements = [
+        Instr("sa", Op.MATCH_CC, (), cc=cc_a),
+        Instr("sb", Op.MATCH_CC, (), cc=cc_b),
+        Instr("m", Op.COPY, ("sa",)),
+        WhileLoop("m", [
+            Instr("inv", Op.OR, ("sa", "sb")),
+            Instr("m", Op.ANDN, ("m", "inv")),
+        ]),
+        Instr("out", Op.OR, ("m", "sb")),
+    ]
+    return Program("licm", statements, {"R": "out"})
+
+
+def test_licm_hoists_invariant_out_of_loop():
+    program = _loop_program()
+    optimized, changes = factor_prologue(program)
+    assert changes > 0
+    (loop,) = [s for s in optimized.statements
+               if isinstance(s, WhileLoop)]
+    body_dests = [s.dest for s in loop.body if isinstance(s, Instr)]
+    assert "inv" not in body_dests
+    top_dests = [s.dest for s in optimized.statements
+                 if isinstance(s, Instr)]
+    assert top_dests.index("inv") < len(optimized.statements) - 1
+    data = b"abab"
+    assert run(program, data)["R"] == run(optimized, data)["R"]
+
+
+def test_loop_carried_definitions_stay_in_loop():
+    program = _loop_program()
+    optimized, _ = factor_prologue(program)
+    (loop,) = [s for s in optimized.statements
+               if isinstance(s, WhileLoop)]
+    assert any(isinstance(s, Instr) and s.dest == "m"
+               for s in loop.body)
+
+
+def test_shared_prologue_groups_at_top():
+    # Two member chains drawing from the same MATCH_CC pool, with the
+    # shared definitions interleaved between per-pattern work.
+    cc_a = parse("a").cc
+    cc_b = parse("b").cc
+    statements = [
+        Instr("sa", Op.MATCH_CC, (), cc=cc_a),
+        Instr("p0", Op.SHIFT, ("sa",), shift=1),
+        Instr("sb", Op.MATCH_CC, (), cc=cc_b),
+        Instr("p1", Op.AND, ("p0", "sb")),
+        Instr("p2", Op.SHIFT, ("sb",), shift=1),
+        Instr("p3", Op.AND, ("p2", "sa")),
+    ]
+    program = Program("prologue", statements, {"R0": "p1", "R1": "p3"})
+    optimized, changes = factor_prologue(program)
+    assert changes > 0
+    dests = [s.dest for s in optimized.statements
+             if isinstance(s, Instr)]
+    # the MATCH_CC pool leads, member chains follow
+    assert dests[:2] == ["sa", "sb"]
+    data = b"abba"
+    before, after = run(program, data), run(optimized, data)
+    assert before["R0"] == after["R0"]
+    assert before["R1"] == after["R1"]
+
+
+def test_idempotent():
+    program = _loop_program()
+    once, changes = factor_prologue(program)
+    assert changes > 0
+    twice, rerun_changes = factor_prologue(once)
+    assert rerun_changes == 0
+    assert twice is once
+
+
+def test_refuses_guarded_programs():
+    program = lower_group([parse("a(bc)*d")], names=["R0"])
+    guarded = insert_guards(program, interval=4)
+    result, changes = factor_prologue(guarded)
+    assert changes == 0
+    assert result is guarded
+
+
+def test_semantics_preserved_on_lowered_group():
+    nodes = [parse("ab[cd]*e"), parse("ab[cd]*f"), parse("x(yz)+")]
+    program = lower_group(nodes, names=["R0", "R1", "R2"])
+    optimized, _ = factor_prologue(program)
+    data = b"abcde abddf xyzyz abe"
+    before, after = run(program, data), run(optimized, data)
+    for name in ("R0", "R1", "R2"):
+        assert before[name] == after[name]
+
+
+def test_outputs_never_dropped():
+    program = lower_group([parse("ab"), parse("cd")],
+                          names=["R0", "R1"])
+    optimized, _ = factor_prologue(program)
+    assert set(optimized.outputs) == {"R0", "R1"}
+    defined = {s.dest for s in iter_instrs(optimized.statements)}
+    assert set(optimized.outputs.values()) <= defined | set(
+        optimized.inputs)

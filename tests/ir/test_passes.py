@@ -370,7 +370,7 @@ def test_engine_reports_optimization_stats():
     assert stats["instrs_after"] \
         == stats["instrs_before"] - stats["ops_removed"]
     assert set(stats["passes"]) == {"copy_prop", "cse", "algebraic",
-                                    "shift_coalesce", "dce"}
+                                    "shift_coalesce", "dce", "factor"}
     totals = engine.program_stats()
     assert totals["optimized_away"] == stats["ops_removed"]
 

@@ -149,3 +149,64 @@ def test_attach_disk_flushes_resident_kernels(tmp_path):
     assert len(disk) == 0
     cache.attach_disk(disk)
     assert disk.get(cache_key(canonical.digest)) is not None
+
+
+# -- size cap / LRU eviction ----------------------------------------------
+
+
+def _fill(disk, count, payload_lines=2000):
+    source = "x = 1\n" * payload_lines
+    code = compile(source, "<kernel>", "exec")
+    import time
+
+    for index in range(count):
+        disk.put(f"cap{index}", source, code)
+        time.sleep(0.01)        # distinct mtimes for a stable LRU order
+    return source
+
+
+def test_size_cap_evicts_oldest_first(tmp_path):
+    from repro.parallel.diskcache import _DISK_EVICTIONS
+
+    disk = DiskKernelCache(str(tmp_path), max_mb=0.05)
+    before = _DISK_EVICTIONS.value()
+    _fill(disk, 8)
+    assert len(disk) < 8
+    # the newest entry always survives eviction
+    assert disk.get("cap7") is not None
+    assert disk.get("cap0") is None or len(disk) >= 8
+    assert _DISK_EVICTIONS.value() > before
+
+
+def test_hit_refreshes_recency(tmp_path):
+    import os
+    import time
+
+    disk = DiskKernelCache(str(tmp_path), max_mb=10)
+    _fill(disk, 3)
+    entry_bytes = os.path.getsize(
+        os.path.join(disk.path, "cap0.kbc"))
+    time.sleep(0.01)
+    assert disk.get("cap0") is not None   # touch the oldest
+    # cap sized so one entry must go when the fourth arrives
+    disk.max_mb = 3.5 * entry_bytes / (1024 * 1024)
+    source = "y = 2\n" * 2000
+    disk.put("trigger", source, compile(source, "<k>", "exec"))
+    # cap0 was touched most recently before the trigger; cap1 was not
+    assert disk.get("cap0") is not None
+    assert disk.get("cap1") is None
+
+
+def test_env_cap(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_DISK_CACHE_MAX_MB", "7.5")
+    assert DiskKernelCache(str(tmp_path)).max_mb == 7.5
+    monkeypatch.setenv("REPRO_DISK_CACHE_MAX_MB", "not-a-number")
+    assert DiskKernelCache(str(tmp_path)).max_mb is None
+    monkeypatch.delenv("REPRO_DISK_CACHE_MAX_MB")
+    assert DiskKernelCache(str(tmp_path)).max_mb is None
+
+
+def test_uncapped_cache_never_evicts(tmp_path):
+    disk = DiskKernelCache(str(tmp_path))
+    _fill(disk, 4, payload_lines=200)
+    assert len(disk) == 4
