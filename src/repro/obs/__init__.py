@@ -43,6 +43,8 @@ import os
 from typing import Optional
 
 from . import export  # noqa: F401  (public submodule)
+from . import log  # noqa: F401  (public submodule)
+from .log import RingLogWriter
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       registry)
 from .trace import NULL_SPAN, NullSpan, Span, TraceContext, Tracer
@@ -54,6 +56,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "NullSpan",
+    "RingLogWriter",
     "Span",
     "TraceContext",
     "Tracer",
@@ -62,6 +65,7 @@ __all__ = [
     "enabled",
     "export",
     "install_tracer",
+    "log",
     "registry",
     "span",
     "start_tracing",

@@ -86,9 +86,22 @@ def _format_value(value: float) -> str:
     return repr(value)
 
 
+def escape_label_value(value: str) -> str:
+    """Label-value escaping per the 0.0.4 exposition format: backslash,
+    double quote, and newline must be escaped inside the quotes."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP-text escaping: backslash and newline only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _sample(name: str, labels, value) -> str:
     if labels:
-        rendered = ",".join(f'{k}="{v}"' for k, v in labels)
+        rendered = ",".join(f'{k}="{escape_label_value(v)}"'
+                            for k, v in labels)
         return f"{name}{{{rendered}}} {_format_value(value)}\n"
     return f"{name} {_format_value(value)}\n"
 
@@ -98,7 +111,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     out: List[str] = []
     for instrument in registry.instruments():
         if instrument.help:
-            out.append(f"# HELP {instrument.name} {instrument.help}\n")
+            out.append(f"# HELP {instrument.name} "
+                       f"{_escape_help(instrument.help)}\n")
         out.append(f"# TYPE {instrument.name} {instrument.kind}\n")
         if isinstance(instrument, Histogram):
             for labels, cell in sorted(instrument.series().items()):

@@ -1,0 +1,172 @@
+"""Bounded, non-blocking structured (JSONL) log writer.
+
+The serving gateway emits one access-log record per request; the one
+property that record stream must have is that **logging can never
+stall the event loop**.  :class:`RingLogWriter` guarantees it
+structurally: :meth:`log` appends a plain dict to a bounded in-memory
+ring under a briefly-held lock — no serialization, no I/O, no
+blocking — and a daemon thread drains the ring to disk as JSON lines.
+When the producer outruns the disk, the ring drops its *oldest*
+records (the newest context is the one an operator debugging a live
+incident needs) and counts every drop, so backpressure is visible
+instead of latent.
+
+The same contract makes the writer safe anywhere: a slow or full
+filesystem costs dropped log lines, never a slow gateway.
+
+Exported metrics (:mod:`repro.obs.metrics`):
+
+* ``repro_obs_log_records_total`` — records accepted into the ring;
+* ``repro_obs_log_dropped_total{reason}`` — records lost to overflow
+  (``ring-full``), a closed writer (``closed``), or a write error
+  (``io-error``);
+* ``repro_obs_log_flushes_total`` — batches written to disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from .metrics import registry
+
+_REG = registry()
+_RECORDS = _REG.counter(
+    "repro_obs_log_records_total",
+    "Structured log records accepted into a ring writer")
+_DROPPED = _REG.counter(
+    "repro_obs_log_dropped_total",
+    "Structured log records lost, by reason "
+    "(ring-full, closed, io-error)")
+_FLUSHES = _REG.counter(
+    "repro_obs_log_flushes_total",
+    "Ring-writer batches flushed to disk")
+
+
+def _default(obj):
+    """JSON fallback: never let one odd attribute kill a log line."""
+    return repr(obj)
+
+
+class RingLogWriter:
+    """Drop-oldest ring buffer drained to a JSONL file by one daemon
+    thread.  ``log()`` is wait-free in practice: one short lock, one
+    deque append, one event set."""
+
+    def __init__(self, path: str, capacity: int = 4096,
+                 flush_interval_s: float = 0.05,
+                 auto_flush: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.path = path
+        self.capacity = capacity
+        self.flush_interval_s = flush_interval_s
+        self._ring: "deque[Dict[str, object]]" = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._io_lock = threading.Lock()
+        self._closed = False
+        #: lifetime accounting, mirrored into the registry counters
+        self.accepted = 0
+        self.dropped = 0
+        self.written = 0
+        self._thread: Optional[threading.Thread] = None
+        if auto_flush:
+            self._thread = threading.Thread(
+                target=self._drain_loop, name="repro-log-writer",
+                daemon=True)
+            self._thread.start()
+
+    # -- producer side -------------------------------------------------------
+
+    def log(self, record: Dict[str, object]) -> bool:
+        """Accept one record (a JSON-ready dict).  Never blocks on
+        I/O.  Returns ``False`` when the record displaced an older one
+        or the writer is closed."""
+        with self._lock:
+            if self._closed:
+                self.dropped += 1
+                _DROPPED.inc(reason="closed")
+                return False
+            displaced = len(self._ring) >= self.capacity
+            if displaced:
+                self._ring.popleft()
+                self.dropped += 1
+                _DROPPED.inc(reason="ring-full")
+            self._ring.append(record)
+            self.accepted += 1
+        _RECORDS.inc()
+        self._wake.set()
+        return not displaced
+
+    # -- consumer side -------------------------------------------------------
+
+    def _take(self) -> List[Dict[str, object]]:
+        with self._lock:
+            if not self._ring:
+                return []
+            batch = list(self._ring)
+            self._ring.clear()
+        return batch
+
+    def _write(self, batch: List[Dict[str, object]]) -> None:
+        lines = "".join(
+            json.dumps(record, sort_keys=True, default=_default) + "\n"
+            for record in batch)
+        try:
+            with self._io_lock:
+                with open(self.path, "a") as handle:
+                    handle.write(lines)
+        except OSError:
+            # A full or vanished filesystem costs log lines, never a
+            # stalled producer.
+            self.dropped += len(batch)
+            _DROPPED.inc(len(batch), reason="io-error")
+            return
+        self.written += len(batch)
+        _FLUSHES.inc()
+
+    def _drain_loop(self) -> None:
+        while True:
+            self._wake.wait(self.flush_interval_s)
+            self._wake.clear()
+            batch = self._take()
+            if batch:
+                self._write(batch)
+            with self._lock:
+                if self._closed and not self._ring:
+                    return
+
+    def flush(self) -> None:
+        """Synchronously drain whatever is buffered right now."""
+        batch = self._take()
+        if batch:
+            self._write(batch)
+
+    def close(self, timeout_s: float = 2.0) -> None:
+        """Stop accepting records, drain the ring, join the thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            self._thread = None
+        self.flush()
+
+    # -- introspection -------------------------------------------------------
+
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"accepted": self.accepted,
+                    "written": self.written,
+                    "dropped": self.dropped,
+                    "pending": len(self._ring),
+                    "capacity": self.capacity}

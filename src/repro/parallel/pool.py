@@ -189,6 +189,39 @@ def shutdown(wait: bool = True) -> None:
             pass
 
 
+#: registry key kind for the serve gateway's loop-offload thread pool.
+#: Its own key — never shared with thread-executor shard dispatch — so
+#: a saturated offload pool (every thread inside a scan that is itself
+#: dispatching shards) can never deadlock waiting on its own threads.
+OFFLOAD_KIND = "serve-offload"
+
+
+def offload_pool(workers: int) -> futures.ThreadPoolExecutor:
+    """The persistent gateway-offload thread pool (get-or-create).
+
+    Lives in the same registry as the shard-dispatch pools — fork-aware,
+    covered by :func:`shutdown` and atexit — but under its own key, and
+    without touching the warm/cold dispatch counters the parallel
+    speedup guard asserts on."""
+    key: PoolKey = (OFFLOAD_KIND, workers, None)
+    with _POOLS_LOCK:
+        entry = _POOLS.get(key)
+        if entry is not None and entry.pid != os.getpid():
+            _POOLS.pop(key, None)
+            _POOL_DISCARDS.inc(reason="fork")
+            entry = None
+        if entry is None:
+            # Thread pools spawn lazily: building one under the lock
+            # forks/spawns nothing.
+            executor = futures.ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve")
+            entry = _PoolEntry(executor, os.getpid())
+            _POOLS[key] = entry
+            _POOLS_ACTIVE.set(len(_POOLS))
+        entry.dispatches += 1
+        return entry.executor
+
+
 def pool_stats() -> Dict[str, float]:
     """Warm/cold acquisition counters plus live-pool count — what the
     bench records per row."""

@@ -36,10 +36,13 @@ __all__ = [
     "GatewayError",
     "GatewayServer",
     "HostedEngine",
+    "MetricsServer",
     "OverloadedError",
     "ServeConfig",
+    "ServeTelemetry",
     "Session",
     "SessionLimitError",
+    "SloTracker",
     "UnknownSessionError",
 ]
 
@@ -53,10 +56,13 @@ _LAZY = {
     "GatewayError": ("config", "GatewayError"),
     "GatewayServer": ("server", "GatewayServer"),
     "HostedEngine": ("host", "HostedEngine"),
+    "MetricsServer": ("telemetry", "MetricsServer"),
     "OverloadedError": ("config", "OverloadedError"),
     "ServeConfig": ("config", "ServeConfig"),
+    "ServeTelemetry": ("telemetry", "ServeTelemetry"),
     "Session": ("session", "Session"),
     "SessionLimitError": ("config", "SessionLimitError"),
+    "SloTracker": ("telemetry", "SloTracker"),
     "UnknownSessionError": ("config", "UnknownSessionError"),
 }
 
@@ -69,6 +75,7 @@ if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .host import EngineHost, HostedEngine
     from .server import GatewayClient, GatewayServer
     from .session import Session
+    from .telemetry import MetricsServer, ServeTelemetry, SloTracker
 
 
 def __getattr__(name):

@@ -37,6 +37,9 @@ _DEPTH = _REG.gauge(
 _DELAY = _REG.histogram(
     "repro_serve_queue_delay_seconds",
     "Admission-to-execution queue delay")
+_TENANT_DELAY = _REG.histogram(
+    "repro_serve_tenant_queue_delay_seconds",
+    "Admission-to-execution queue delay, per tenant")
 _SHED = _REG.counter(
     "repro_serve_shed_total",
     "Requests refused at admission (tenant queue at high-water mark)")
@@ -90,6 +93,7 @@ class AdmissionController:
         delay = time.monotonic() - ticket.enqueued_at
         ticket.queue_delay_s = delay
         _DELAY.observe(delay)
+        _TENANT_DELAY.observe(delay, tenant=ticket.tenant)
         with self._lock:
             depth = max(0, self._depths.get(ticket.tenant, 0) - 1)
             self._depths[ticket.tenant] = depth

@@ -90,6 +90,34 @@ class ServeConfig:
     breaker_threshold: int = 3
     #: seconds the circuit stays open before a half-open probe
     breaker_cooldown_s: float = 5.0
+    #: TCP port for the live ``/metrics`` Prometheus scrape endpoint
+    #: served beside the gateway front (``0`` = ephemeral, ``None`` =
+    #: no endpoint)
+    metrics_port: Optional[int] = None
+    #: per-request latency SLO target (seconds): requests slower than
+    #: this — or failed — count against the error budget
+    slo_target_s: float = 0.25
+    #: sliding window (seconds) behind the rolling p50/p99 and
+    #: SLO-burn gauges
+    slo_window_s: float = 60.0
+    #: allowed violation fraction inside the window; the burn gauge is
+    #: ``violation_ratio / slo_error_budget`` (> 1 = burning budget
+    #: faster than the SLO allows)
+    slo_error_budget: float = 0.01
+    #: idle seconds after which an open streaming session is evicted
+    #: (``None`` = sessions live until closed)
+    session_idle_s: Optional[float] = None
+    #: JSONL per-request access-log path (``None`` = no access log)
+    access_log_path: Optional[str] = None
+    #: ring capacity of the non-blocking access-log writer; overflow
+    #: drops oldest records, never blocks the gateway loop
+    access_log_capacity: int = 4096
+    #: execute requests on the shared warm thread pool
+    #: (:func:`repro.parallel.pool.offload_pool`) instead of the event
+    #: loop's own thread, so one slow tenant cannot stall the loop
+    offload: bool = True
+    #: width of the offload thread pool
+    offload_workers: int = 4
     #: default compile/dispatch configuration for hosted engines
     scan: ScanConfig = field(default_factory=ScanConfig)
 
@@ -110,6 +138,21 @@ class ServeConfig:
             raise ValueError("breaker_threshold must be >= 1")
         if self.breaker_cooldown_s < 0:
             raise ValueError("breaker_cooldown_s must be >= 0")
+        if self.metrics_port is not None and \
+                not (0 <= self.metrics_port <= 65535):
+            raise ValueError("metrics_port must be in [0, 65535]")
+        if self.slo_target_s <= 0:
+            raise ValueError("slo_target_s must be positive")
+        if self.slo_window_s <= 0:
+            raise ValueError("slo_window_s must be positive")
+        if not (0 < self.slo_error_budget <= 1):
+            raise ValueError("slo_error_budget must be in (0, 1]")
+        if self.session_idle_s is not None and self.session_idle_s <= 0:
+            raise ValueError("session_idle_s must be positive")
+        if self.access_log_capacity < 1:
+            raise ValueError("access_log_capacity must be >= 1")
+        if self.offload_workers < 1:
+            raise ValueError("offload_workers must be >= 1")
 
     def effective_warn_depth(self) -> int:
         """The depth that trips the warning counter."""

@@ -13,7 +13,16 @@ Request lifecycle::
     admit (shed at high-water)  ->  enqueue on tenant lane
         ->  dequeue (queue delay observed)
         ->  deadline check (expired requests answered without scanning)
-        ->  execute  ->  resolve the caller's future
+        ->  execute (offloaded to the warm thread pool)
+        ->  resolve the caller's future  ->  telemetry + access log
+
+Execution is **offloaded off the event loop** by default
+(``ServeConfig.offload``): each dequeued request runs on the shared
+persistent thread pool (:func:`repro.parallel.pool.offload_pool`) via
+``run_in_executor``, so one tenant's slow scan or compile cannot stall
+every other tenant's admission, scheduling, or scrape traffic.  The
+lane still awaits the result before dequeuing its next item, so
+per-tenant ordering is unchanged and results stay bit-identical.
 
 Fault policy reuses :mod:`repro.resilience`: every request carries an
 optional :class:`~repro.resilience.Deadline` (per-request ``deadline_s``
@@ -23,16 +32,25 @@ dispatch inherits the wait budget.  A gateway-level
 :class:`~repro.resilience.CircuitBreaker` watches request failures;
 while it is open, parallel-configured work degrades to inline serial
 scans — bit-identical results, bounded blast radius.
+
+Every finished (or shed) request is recorded through
+:class:`~repro.serve.telemetry.ServeTelemetry`: per-tenant
+request/latency series, rolling SLO windows, and — when
+``ServeConfig.access_log_path`` is set — one JSONL access-log line
+carrying the request's trace/span ids so it joins its
+``serve.request`` span in a Chrome trace.
 """
 
 from __future__ import annotations
 
 import asyncio
+import threading
 import time
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from .. import obs
 from ..parallel.config import ScanConfig
+from ..parallel.pool import offload_pool
 from ..parallel.report import ScanReport
 from ..resilience import CircuitBreaker, Deadline
 from .admission import AdmissionController, Ticket
@@ -40,6 +58,7 @@ from .config import (DEADLINE, GatewayError, DeadlineExceededError,
                      ServeConfig, SessionLimitError, UnknownSessionError)
 from .host import EngineHost, HostedEngine
 from .session import Session, next_session_id
+from .telemetry import ServeTelemetry
 
 _REG = obs.registry()
 _REQUESTS = _REG.counter(
@@ -54,6 +73,14 @@ _SESSIONS = _REG.gauge(
 _DEGRADED = _REG.counter(
     "repro_serve_degraded_total",
     "Requests executed serially because the serve breaker was open")
+_OFFLOADED = _REG.counter(
+    "repro_serve_loop_offload_total",
+    "Requests executed on the offload thread pool instead of the "
+    "gateway's event-loop thread")
+_EVICTED = _REG.counter(
+    "repro_serve_sessions_evicted_total",
+    "Streaming sessions closed by the gateway, by reason "
+    "(idle, shutdown)")
 
 #: sentinel that stops a lane's drain task
 _STOP = object()
@@ -84,8 +111,13 @@ class Gateway:
         self.breaker = CircuitBreaker(
             "serve", threshold=self.config.breaker_threshold,
             cooldown_s=self.config.breaker_cooldown_s)
+        self.telemetry = ServeTelemetry(self.config)
         self._sessions: Dict[str, Tuple[Session, HostedEngine]] = {}
+        #: guards the session map — open/close/evict run on offload
+        #: threads and the idle reaper runs on the loop thread
+        self._session_lock = threading.Lock()
         self._lanes: Dict[str, _Lane] = {}
+        self._reaper: Optional["asyncio.Task"] = None
         self._closed = False
         self.started_at = time.monotonic()
 
@@ -103,8 +135,10 @@ class Gateway:
         """Warm the tenant's engine for ``patterns``; returns its
         registry entry (fingerprint, compile time, use counts)."""
 
-        def run(deadline: Optional[Deadline]) -> Dict[str, object]:
+        def run(deadline: Optional[Deadline],
+                info: Dict[str, object]) -> Dict[str, object]:
             hosted = self.host.acquire(tenant, patterns, config)
+            info["fingerprint"] = hosted.fingerprint
             return hosted.stats()
 
         return await self._submit(tenant, "compile", run, deadline_s)
@@ -115,8 +149,11 @@ class Gateway:
                    deadline_s=_DEFAULT) -> ScanReport:
         """One-shot scan on the tenant's (cached) compiled engine."""
 
-        def run(deadline: Optional[Deadline]) -> ScanReport:
+        def run(deadline: Optional[Deadline],
+                info: Dict[str, object]) -> ScanReport:
             hosted = self.host.acquire(tenant, patterns, config)
+            info["fingerprint"] = hosted.fingerprint
+            info["bytes"] = len(data)
             effective = self._execution_config(
                 hosted.matcher.config, deadline)
             return hosted.matcher.scan(data, config=effective)
@@ -130,15 +167,27 @@ class Gateway:
         """Open a streaming session; returns its id and engine
         fingerprint."""
 
-        def run(deadline: Optional[Deadline]) -> Dict[str, object]:
-            if len(self._sessions) >= self.config.max_sessions:
-                raise SessionLimitError(
-                    f"session limit {self.config.max_sessions} reached")
+        def run(deadline: Optional[Deadline],
+                info: Dict[str, object]) -> Dict[str, object]:
+            self.evict_idle_sessions()
+            with self._session_lock:
+                if len(self._sessions) >= self.config.max_sessions:
+                    raise SessionLimitError(
+                        f"session limit {self.config.max_sessions} "
+                        f"reached")
             hosted = self.host.acquire(tenant, patterns, config)
             session = Session(next_session_id(tenant), tenant, hosted)
-            self._sessions[session.id] = (session, hosted)
+            with self._session_lock:
+                if len(self._sessions) >= self.config.max_sessions:
+                    raise SessionLimitError(
+                        f"session limit {self.config.max_sessions} "
+                        f"reached")
+                self._sessions[session.id] = (session, hosted)
+                open_count = len(self._sessions)
             self.host.session_opened(hosted)
-            _SESSIONS.set(len(self._sessions))
+            _SESSIONS.set(open_count)
+            info["fingerprint"] = hosted.fingerprint
+            info["session"] = session.id
             return {"session": session.id,
                     "fingerprint": hosted.fingerprint,
                     "guaranteed_span": session.matcher.guaranteed_span}
@@ -151,8 +200,12 @@ class Gateway:
         stream coordinates.  Feeds of one session are serialized by
         the tenant's lane, so chunk order is preserved."""
 
-        def run(deadline: Optional[Deadline]) -> ScanReport:
+        def run(deadline: Optional[Deadline],
+                info: Dict[str, object]) -> ScanReport:
             session = self._session_for(tenant, session_id)
+            info["fingerprint"] = session.hosted.fingerprint
+            info["session"] = session_id
+            info["bytes"] = len(chunk)
             return session.feed(chunk)
 
         return await self._submit(tenant, "feed", run, deadline_s)
@@ -161,42 +214,100 @@ class Gateway:
                             session_id: str) -> Dict[str, object]:
         """Close a session; returns its final summary."""
 
-        def run(deadline: Optional[Deadline]) -> Dict[str, object]:
-            session = self._session_for(tenant, session_id)
-            _, hosted = self._sessions.pop(session_id)
+        def run(deadline: Optional[Deadline],
+                info: Dict[str, object]) -> Dict[str, object]:
+            with self._session_lock:
+                entry = self._sessions.get(session_id)
+                if entry is None or entry[0].tenant != tenant:
+                    raise UnknownSessionError(
+                        f"no open session {session_id!r} for tenant "
+                        f"{tenant!r}")
+                del self._sessions[session_id]
+                open_count = len(self._sessions)
+            session, hosted = entry
             self.host.session_closed(hosted)
-            _SESSIONS.set(len(self._sessions))
+            _SESSIONS.set(open_count)
+            info["fingerprint"] = hosted.fingerprint
+            info["session"] = session_id
             return session.close()
 
         return await self._submit(tenant, "close", run, None)
 
     def stats(self) -> Dict[str, object]:
+        self.telemetry.refresh()
         return {"uptime_s": round(time.monotonic() - self.started_at, 6),
                 "sessions": len(self._sessions),
                 "tenants": len(self._lanes),
                 "breaker": self.breaker.state(),
                 "admission": self.admission.stats(),
-                "host": self.host.stats()}
+                "host": self.host.stats(),
+                "telemetry": self.telemetry.stats()}
+
+    # -- session eviction ---------------------------------------------------
+
+    def evict_idle_sessions(self) -> int:
+        """Close every session idle past ``ServeConfig.session_idle_s``
+        (no-op when unset).  Runs opportunistically on session opens
+        and periodically from the idle reaper; a feed to an evicted
+        session answers ``unknown-session``."""
+        idle_s = self.config.session_idle_s
+        if idle_s is None:
+            return 0
+        victims = []
+        with self._session_lock:
+            for session_id, (session, hosted) in \
+                    list(self._sessions.items()):
+                if session.idle_s() >= idle_s:
+                    victims.append((session, hosted))
+                    del self._sessions[session_id]
+            open_count = len(self._sessions)
+        for session, hosted in victims:
+            session.close()
+            self.host.session_closed(hosted)
+            _EVICTED.inc(reason="idle")
+        if victims:
+            _SESSIONS.set(open_count)
+        return len(victims)
+
+    async def _reap_idle(self) -> None:
+        """Periodic idle-session sweep (started lazily with the first
+        request once ``session_idle_s`` is configured)."""
+        interval = max(self.config.session_idle_s / 4, 0.05)
+        while not self._closed:
+            await asyncio.sleep(interval)
+            self.evict_idle_sessions()
 
     async def close(self) -> None:
         """Stop every lane and drop open sessions."""
         self._closed = True
+        if self._reaper is not None:
+            self._reaper.cancel()
+            try:
+                await self._reaper
+            except asyncio.CancelledError:
+                pass
+            self._reaper = None
         lanes = list(self._lanes.values())
         self._lanes.clear()
         for lane in lanes:
             lane.queue.put_nowait(_STOP)
         for lane in lanes:
             await lane.task
-        for session, hosted in self._sessions.values():
+        with self._session_lock:
+            entries = list(self._sessions.values())
+            self._sessions.clear()
+        for session, hosted in entries:
             session.close()
             self.host.session_closed(hosted)
-        self._sessions.clear()
+            _EVICTED.inc(reason="shutdown")
         _SESSIONS.set(0)
+        self.telemetry.close()
 
     # -- internals ----------------------------------------------------------
 
     def _session_for(self, tenant: str, session_id: str) -> Session:
-        entry = self._sessions.get(session_id)
+        with self._session_lock:
+            entry = self._sessions.get(session_id)
         if entry is None or entry[0].tenant != tenant:
             raise UnknownSessionError(
                 f"no open session {session_id!r} for tenant {tenant!r}")
@@ -227,9 +338,14 @@ class Gateway:
             ticket = self.admission.try_admit(tenant)
         except GatewayError as exc:
             _REQUESTS.inc(op=op, outcome=exc.code)
+            self.telemetry.record(op=op, tenant=tenant,
+                                  outcome=exc.code, latency_s=0.0,
+                                  queue_delay_s=0.0)
             raise
         deadline = Deadline.start(budget)
         loop = asyncio.get_running_loop()
+        if self._reaper is None and self.config.session_idle_s is not None:
+            self._reaper = loop.create_task(self._reap_idle())
         future: "asyncio.Future" = loop.create_future()
         lane = self._lane(tenant)
         lane.queue.put_nowait((ticket, deadline, op, run, future))
@@ -245,8 +361,30 @@ class Gateway:
             self._lanes[tenant] = lane
         return lane
 
+    def _run_request(self, op: str, tenant: str, run,
+                     deadline: Optional[Deadline],
+                     info: Dict[str, object]):
+        """Execute one request (loop thread or offload thread) under a
+        ``serve.request`` span, recording wall/CPU seconds and the
+        trace/span ids the access log joins on."""
+        tracer = obs.current_tracer()
+        if tracer is not None:
+            info["trace"] = tracer.trace_id
+        begin_wall = time.perf_counter()
+        begin_cpu = time.thread_time()
+        try:
+            with obs.span("serve.request", category="serve",
+                          op=op, tenant=tenant) as request_span:
+                if request_span.is_recording:
+                    info["span"] = request_span.span_id
+                return run(deadline, info)
+        finally:
+            info["wall_s"] = round(time.perf_counter() - begin_wall, 6)
+            info["cpu_s"] = round(time.thread_time() - begin_cpu, 6)
+
     async def _drain(self, queue: "asyncio.Queue") -> None:
         """One tenant's worker: pop, account, execute, resolve."""
+        loop = asyncio.get_running_loop()
         while True:
             item = await queue.get()
             if item is _STOP:
@@ -255,18 +393,30 @@ class Gateway:
             self.admission.started(ticket)
             if future.cancelled():
                 continue
+            info: Dict[str, object] = {}
+            outcome = "ok"
             try:
                 if deadline is not None and deadline.expired():
                     raise DeadlineExceededError(
                         f"deadline expired after "
                         f"{ticket.queue_delay_s:.3f}s in queue")
-                result = run(deadline)
+                if self.config.offload:
+                    _OFFLOADED.inc()
+                    result = await loop.run_in_executor(
+                        offload_pool(self.config.offload_workers),
+                        self._run_request, op, ticket.tenant, run,
+                        deadline, info)
+                else:
+                    result = self._run_request(op, ticket.tenant, run,
+                                               deadline, info)
             except GatewayError as exc:
+                outcome = exc.code
                 _REQUESTS.inc(op=op, outcome=exc.code)
                 if exc.code == DEADLINE:
                     self.breaker.record_failure()
                 future.set_exception(exc)
             except Exception as exc:
+                outcome = "internal"
                 _REQUESTS.inc(op=op, outcome="internal")
                 self.breaker.record_failure()
                 future.set_exception(exc)
@@ -275,8 +425,13 @@ class Gateway:
                 self.breaker.record_success()
                 future.set_result(result)
             finally:
-                _REQUEST_SECONDS.observe(
-                    time.monotonic() - ticket.enqueued_at)
+                latency = time.monotonic() - ticket.enqueued_at
+                _REQUEST_SECONDS.observe(latency)
+                self.telemetry.record(
+                    op=op, tenant=ticket.tenant, outcome=outcome,
+                    latency_s=latency,
+                    queue_delay_s=max(ticket.queue_delay_s, 0.0),
+                    info=info)
                 # yield so a same-loop client can observe the result
                 # between back-to-back jobs
                 await asyncio.sleep(0)

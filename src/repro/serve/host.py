@@ -64,6 +64,9 @@ class HostedEngine:
     #: acquire sequence number of the most recent use (LRU ordering is
     #: the OrderedDict; this is for the stats view)
     last_use: int = 0
+    #: monotonic time of the most recent acquire — the idle signal a
+    #: capacity dashboard (and /healthz) reads
+    last_used_at: float = field(default_factory=time.monotonic)
     extra: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -76,7 +79,8 @@ class HostedEngine:
                 "patterns": self.matcher.pattern_count,
                 "compiled_s": round(self.compiled_s, 6),
                 "uses": self.uses,
-                "active_sessions": self.active_sessions}
+                "active_sessions": self.active_sessions,
+                "idle_s": round(time.monotonic() - self.last_used_at, 6)}
 
 
 class EngineHost:
@@ -108,6 +112,7 @@ class EngineHost:
                 self._engines.move_to_end(key)
                 hosted.uses += 1
                 hosted.last_use = self._acquires
+                hosted.last_used_at = time.monotonic()
                 _ENGINE_EVENTS.inc(event="hit")
                 return hosted
         # Compile outside the lock: a slow compile must not block
@@ -153,6 +158,7 @@ class EngineHost:
                 self._engines.move_to_end(key)
                 hosted.uses += 1
                 hosted.last_use = self._acquires
+                hosted.last_used_at = time.monotonic()
                 _ENGINE_EVENTS.inc(event="hit")
                 return hosted
             donor: Optional[Matcher] = None

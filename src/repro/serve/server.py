@@ -21,10 +21,18 @@ from typing import Dict, Optional, Sequence
 from . import protocol
 from .config import BadRequestError, GatewayError, ServeConfig
 from .gateway import Gateway, _DEFAULT
+from .telemetry import MetricsServer
 
 
 class GatewayServer:
-    """JSONL-over-TCP front for one :class:`Gateway`."""
+    """JSONL-over-TCP front for one :class:`Gateway`.
+
+    When ``ServeConfig.metrics_port`` is set, a
+    :class:`~repro.serve.telemetry.MetricsServer` is started beside
+    the JSONL listener on the same event loop: ``GET /metrics`` serves
+    the live Prometheus registry (serve series included) and
+    ``GET /healthz`` the gateway's stats summary.
+    """
 
     def __init__(self, gateway: Optional[Gateway] = None,
                  config: Optional[ServeConfig] = None,
@@ -34,6 +42,7 @@ class GatewayServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self.metrics: Optional[MetricsServer] = None
 
     async def start(self) -> "GatewayServer":
         """Bind and listen; with ``port=0`` the kernel picks a free
@@ -41,9 +50,27 @@ class GatewayServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        metrics_port = self.gateway.config.metrics_port
+        if metrics_port is not None:
+            self.metrics = MetricsServer(
+                host=self.host, port=metrics_port,
+                refresh=self.gateway.telemetry.refresh,
+                health=self._health)
+            await self.metrics.start()
         return self
 
+    def _health(self) -> dict:
+        stats = self.gateway.stats()
+        return {"uptime_s": stats["uptime_s"],
+                "sessions": stats["sessions"],
+                "tenants": stats["tenants"],
+                "breaker": stats["breaker"],
+                "engines": stats["host"]["resident"]}
+
     async def stop(self) -> None:
+        if self.metrics is not None:
+            await self.metrics.stop()
+            self.metrics = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()

@@ -43,6 +43,8 @@ class Session:
         # every small packet.
         self.matcher = hosted.matcher.stream(config=config.serial())
         self.opened_at = time.monotonic()
+        #: last feed (or open) time — what idle eviction measures
+        self.last_active = self.opened_at
         self.chunks = 0
         self.match_count = 0
         self.bytes_fed = 0
@@ -51,6 +53,7 @@ class Session:
     def feed(self, chunk: bytes) -> ScanReport:
         """Scan one chunk; new match ends in stream coordinates."""
         report = self.matcher.feed(chunk)
+        self.last_active = time.monotonic()
         self.chunks += 1
         self.bytes_fed += len(chunk)
         self.match_count += report.match_count()
@@ -59,6 +62,10 @@ class Session:
     @property
     def stream_position(self) -> int:
         return self.matcher.stream_position
+
+    def idle_s(self) -> float:
+        """Seconds since the last feed (or the open)."""
+        return time.monotonic() - self.last_active
 
     def close(self) -> Dict[str, object]:
         """Final summary; the session is unusable afterwards."""
@@ -74,4 +81,5 @@ class Session:
                 "matches": self.match_count,
                 "stream_position": self.stream_position,
                 "age_s": round(time.monotonic() - self.opened_at, 6),
+                "idle_s": round(self.idle_s(), 6),
                 "closed": self.closed}

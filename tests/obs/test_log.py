@@ -1,0 +1,96 @@
+"""RingLogWriter: bounded, non-blocking, drop-oldest JSONL logging."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro import obs
+from repro.obs.log import RingLogWriter
+
+
+def read_jsonl(path):
+    return [json.loads(line)
+            for line in path.read_text().splitlines()]
+
+
+def test_records_reach_disk_as_jsonl(tmp_path):
+    path = tmp_path / "access.jsonl"
+    writer = RingLogWriter(str(path))
+    for index in range(5):
+        assert writer.log({"seq": index, "op": "scan"})
+    writer.close()
+    records = read_jsonl(path)
+    assert [r["seq"] for r in records] == list(range(5))
+    assert all(r["op"] == "scan" for r in records)
+    stats = writer.stats()
+    assert stats["accepted"] == stats["written"] == 5
+    assert stats["dropped"] == 0 and stats["pending"] == 0
+
+
+def test_overflow_drops_oldest_and_counts(tmp_path):
+    path = tmp_path / "access.jsonl"
+    # auto_flush=False: nothing drains, so the ring must displace
+    writer = RingLogWriter(str(path), capacity=3, auto_flush=False)
+    dropped = obs.registry().counter("repro_obs_log_dropped_total")
+    before = dropped.value(reason="ring-full") or 0
+    results = [writer.log({"seq": index}) for index in range(5)]
+    assert results == [True, True, True, False, False]
+    assert writer.pending() == 3
+    writer.flush()
+    # the two *oldest* records were displaced
+    assert [r["seq"] for r in read_jsonl(path)] == [2, 3, 4]
+    assert writer.stats()["dropped"] == 2
+    assert dropped.value(reason="ring-full") == before + 2
+
+
+def test_closed_writer_refuses_records(tmp_path):
+    path = tmp_path / "access.jsonl"
+    writer = RingLogWriter(str(path))
+    writer.log({"seq": 0})
+    writer.close()
+    assert not writer.log({"seq": 1})
+    assert [r["seq"] for r in read_jsonl(path)] == [0]
+    writer.close()  # idempotent
+
+
+def test_unserializable_values_fall_back_to_repr(tmp_path):
+    path = tmp_path / "access.jsonl"
+    writer = RingLogWriter(str(path), auto_flush=False)
+    writer.log({"payload": {1, 2}})
+    writer.flush()
+    (record,) = read_jsonl(path)
+    assert record["payload"] in ("{1, 2}", "{2, 1}")
+
+
+def test_io_error_costs_lines_not_exceptions(tmp_path):
+    writer = RingLogWriter(str(tmp_path / "no-such-dir" / "x.jsonl"),
+                           auto_flush=False)
+    writer.log({"seq": 0})
+    writer.flush()  # must not raise
+    assert writer.stats()["dropped"] == 1
+    assert writer.stats()["written"] == 0
+
+
+def test_concurrent_producers_lose_nothing_under_capacity(tmp_path):
+    path = tmp_path / "access.jsonl"
+    writer = RingLogWriter(str(path), capacity=10_000)
+    per_thread, threads = 200, 4
+
+    def produce(worker):
+        for index in range(per_thread):
+            writer.log({"worker": worker, "seq": index})
+
+    workers = [threading.Thread(target=produce, args=(w,))
+               for w in range(threads)]
+    for thread in workers:
+        thread.start()
+    for thread in workers:
+        thread.join()
+    writer.close()
+    records = read_jsonl(path)
+    assert len(records) == per_thread * threads
+    for worker in range(threads):
+        seqs = [r["seq"] for r in records if r["worker"] == worker]
+        # each producer's own records stay in order
+        assert seqs == sorted(seqs)

@@ -1,0 +1,123 @@
+"""Prometheus 0.0.4 text-exposition compliance.
+
+The /metrics endpoint is only useful if real scrapers parse it, so
+this file checks the format contract itself: escaping rules inside
+label values and HELP text, histogram invariants (cumulative buckets,
+``+Inf`` equals ``_count``, ``_sum`` present), and one TYPE line per
+metric family.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.obs.export import (escape_label_value, prometheus_text,
+                              write_prometheus)
+from repro.obs.metrics import MetricsRegistry
+
+SAMPLE_LINE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>.*)\})? (?P<value>\S+)$')
+
+
+def parse_samples(text):
+    """(name, labels-string, float-value) for every sample line."""
+    samples = []
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = SAMPLE_LINE.match(line)
+        assert match, f"unparseable sample line: {line!r}"
+        value = match.group("value")
+        samples.append((match.group("name"), match.group("labels"),
+                        math.inf if value == "+Inf" else float(value)))
+    return samples
+
+
+# -- escaping ----------------------------------------------------------------
+
+
+def test_label_value_escaping_rules():
+    assert escape_label_value('plain') == 'plain'
+    assert escape_label_value('a"b') == 'a\\"b'
+    assert escape_label_value('a\\b') == 'a\\\\b'
+    assert escape_label_value('a\nb') == 'a\\nb'
+    # backslash first: escaping "a\"b" must not double-escape the quote
+    assert escape_label_value('\\"') == '\\\\\\"'
+
+
+def test_hostile_label_values_render_one_line_each():
+    reg = MetricsRegistry()
+    counter = reg.counter("repro_evil_total", "Hostile labels")
+    counter.inc(tenant='quo"te')
+    counter.inc(tenant='back\\slash')
+    counter.inc(tenant='new\nline')
+    text = prometheus_text(reg)
+    assert 'repro_evil_total{tenant="quo\\"te"} 1\n' in text
+    assert 'repro_evil_total{tenant="back\\\\slash"} 1\n' in text
+    assert 'repro_evil_total{tenant="new\\nline"} 1\n' in text
+    # the raw newline must never split a sample across lines
+    samples = parse_samples(text)
+    assert len(samples) == 3
+
+
+def test_help_text_escaping():
+    reg = MetricsRegistry()
+    reg.counter("repro_help_total", "line one\nline two \\ done").inc()
+    text = prometheus_text(reg)
+    assert ("# HELP repro_help_total line one\\nline two \\\\ done\n"
+            in text)
+
+
+# -- structure ---------------------------------------------------------------
+
+
+def test_one_type_line_per_family_and_kind_names():
+    reg = MetricsRegistry()
+    reg.counter("a_total").inc(tenant="x")
+    reg.counter("a_total").inc(tenant="y")
+    reg.gauge("b").set(1)
+    reg.histogram("c_seconds").observe(0.1)
+    text = prometheus_text(reg)
+    type_lines = [l for l in text.splitlines()
+                  if l.startswith("# TYPE")]
+    assert type_lines == ["# TYPE a_total counter",
+                          "# TYPE b gauge",
+                          "# TYPE c_seconds histogram"]
+
+
+def test_histogram_invariants():
+    reg = MetricsRegistry()
+    hist = reg.histogram("repro_h_seconds", "H",
+                         buckets=(0.01, 0.1, 1.0))
+    observations = [0.005, 0.02, 0.05, 0.5, 2.0, 2.0]
+    for value in observations:
+        hist.observe(value, op="scan")
+    samples = parse_samples(prometheus_text(reg))
+    buckets = [(labels, value) for name, labels, value in samples
+               if name == "repro_h_seconds_bucket"]
+    counts = [value for _, value in buckets]
+    # cumulative and monotonically non-decreasing, +Inf last
+    assert counts == sorted(counts)
+    assert 'le="+Inf"' in buckets[-1][0]
+    count = next(value for name, _, value in samples
+                 if name == "repro_h_seconds_count")
+    total = next(value for name, _, value in samples
+                 if name == "repro_h_seconds_sum")
+    assert buckets[-1][1] == count == len(observations)
+    assert total == sum(observations)
+    # every bucket line keeps the instrument's own labels too
+    assert all('op="scan"' in labels for labels, _ in buckets)
+
+
+def test_every_line_is_comment_or_parseable_sample(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("x_total", 'weird "help"').inc(2.5, k='v"w')
+    reg.histogram("y_seconds").observe(0.3)
+    reg.gauge("z").set(-1.5)
+    path = tmp_path / "metrics.prom"
+    write_prometheus(reg, str(path))
+    samples = parse_samples(path.read_text())
+    assert ("x_total", 'k="v\\"w"', 2.5) in samples
+    assert ("z", None, -1.5) in samples

@@ -34,6 +34,14 @@ def test_self_test_exits_zero():
     assert "bit-identical" in proc.stdout
 
 
+def test_self_test_timeout_exits_nonzero_with_wire_code():
+    proc = run_cli("--self-test", "--self-test-timeout", "0.000001")
+    assert proc.returncode == 1, \
+        f"stdout={proc.stdout!r} stderr={proc.stderr!r}"
+    assert "self-test FAIL" in proc.stderr
+    assert "deadline" in proc.stderr  # the wire error code
+
+
 def test_bad_flag_exits_two():
     proc = run_cli("--backend", "quantum", "--self-test")
     assert proc.returncode == 2
@@ -45,7 +53,10 @@ def test_flags_reach_serve_config():
         ["--max-engines", "3", "--queue-depth", "9",
          "--max-sessions", "17", "--deadline", "1.5",
          "--workers", "2", "--executor", "thread",
-         "--scheme", "SR"])
+         "--scheme", "SR", "--metrics-port", "0",
+         "--access-log", "logs/access.jsonl",
+         "--session-idle", "30", "--slo-target", "0.5",
+         "--no-offload"])
     config = serve_config_from_args(args)
     assert config.max_engines == 3
     assert config.queue_depth == 9
@@ -54,3 +65,8 @@ def test_flags_reach_serve_config():
     assert config.scan.workers == 2
     assert config.scan.executor == "thread"
     assert config.scan.scheme.name == "SR"
+    assert config.metrics_port == 0
+    assert config.access_log_path == "logs/access.jsonl"
+    assert config.session_idle_s == 30
+    assert config.slo_target_s == 0.5
+    assert config.offload is False
